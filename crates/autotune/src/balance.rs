@@ -1,0 +1,199 @@
+//! CPU/GPU auto-balance (§3.3, Table 5).
+//!
+//! "We use auto-balance to find the ratio between CPU and GPU to ensure
+//! load balance. The idea ... is the same with autotuning. The scheduler
+//! will compare their time to decide to move more or less work to each
+//! processor. After a few sampling periods, the scheduler will converge to
+//! an optimal ratio."
+//!
+//! The update rule estimates per-unit throughput of each side from the
+//! measured period times and damps toward the equalizing ratio; damping
+//! makes convergence robust to noise at the cost of a few extra periods —
+//! Table 5 reports 12-14 periods on a Sedov / triple-point run.
+
+/// The load-balancing scheduler for splitting zones between CPU and GPU.
+#[derive(Clone, Debug)]
+pub struct AutoBalancer {
+    ratio: f64,
+    damping: f64,
+    tol: f64,
+    stable_needed: usize,
+    stable_count: usize,
+    periods: usize,
+    converged_at: Option<usize>,
+}
+
+impl AutoBalancer {
+    /// Creates a balancer starting at `initial_ratio` (fraction of zones on
+    /// the GPU).
+    pub fn new(initial_ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&initial_ratio), "ratio out of [0,1]");
+        Self {
+            ratio: initial_ratio,
+            damping: 0.5,
+            tol: 5e-3,
+            stable_needed: 3,
+            stable_count: 0,
+            periods: 0,
+            converged_at: None,
+        }
+    }
+
+    /// Current fraction of zones assigned to the GPU.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Whether the ratio has stabilized.
+    pub fn is_converged(&self) -> bool {
+        self.converged_at.is_some()
+    }
+
+    /// Period at which convergence was declared (Table 5's "convergence
+    /// periods").
+    pub fn convergence_periods(&self) -> Option<usize> {
+        self.converged_at
+    }
+
+    /// Periods observed so far.
+    pub fn periods(&self) -> usize {
+        self.periods
+    }
+
+    /// Records one sampling period: the measured corner-force times of the
+    /// GPU part (at the current ratio) and the CPU part (at `1 - ratio`).
+    /// Returns the ratio to use next period.
+    pub fn record_period(&mut self, gpu_time_s: f64, cpu_time_s: f64) -> f64 {
+        assert!(gpu_time_s >= 0.0 && cpu_time_s >= 0.0, "negative period time");
+        self.periods += 1;
+        if self.converged_at.is_some() {
+            return self.ratio;
+        }
+
+        let r = self.ratio.clamp(1e-6, 1.0 - 1e-6);
+        // Per-zone-fraction throughputs; the equalizing ratio satisfies
+        // r*/sg = (1 - r*)/sc.
+        let sg = r / gpu_time_s.max(1e-12);
+        let sc = (1.0 - r) / cpu_time_s.max(1e-12);
+        let target = sg / (sg + sc);
+        let new_ratio = (self.ratio + self.damping * (target - self.ratio)).clamp(0.0, 1.0);
+
+        if (new_ratio - self.ratio).abs() < self.tol {
+            self.stable_count += 1;
+            if self.stable_count >= self.stable_needed {
+                self.converged_at = Some(self.periods);
+            }
+        } else {
+            self.stable_count = 0;
+        }
+        self.ratio = new_ratio;
+        self.ratio
+    }
+
+    /// Splits `zones` into a `(gpu, cpu)` zone-count pair at the current
+    /// ratio.
+    pub fn split(&self, zones: usize) -> (usize, usize) {
+        let gpu = ((zones as f64) * self.ratio).round() as usize;
+        (gpu.min(zones), zones - gpu.min(zones))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulates a machine where the GPU processes zones `speed_ratio`x
+    /// faster than the CPU; returns (final ratio, convergence periods).
+    fn run_to_convergence(speed_ratio: f64, initial: f64) -> (f64, usize) {
+        let mut bal = AutoBalancer::new(initial);
+        for _ in 0..100 {
+            let r = bal.ratio();
+            // Time proportional to work / speed.
+            let gpu_t = r / speed_ratio;
+            let cpu_t = 1.0 - r;
+            bal.record_period(gpu_t.max(1e-9), cpu_t.max(1e-9));
+            if bal.is_converged() {
+                break;
+            }
+        }
+        (bal.ratio(), bal.convergence_periods().expect("must converge"))
+    }
+
+    #[test]
+    fn converges_to_speed_proportional_ratio() {
+        // GPU 3x faster than the whole CPU: optimal ratio = 3/4 = 75%
+        // (Table 5's Sedov row: 75% on C2050 vs six-core Westmere).
+        let (ratio, periods) = run_to_convergence(3.0, 0.5);
+        assert!((ratio - 0.75).abs() < 0.01, "ratio {ratio}");
+        assert!(
+            (8..=20).contains(&periods),
+            "convergence periods {periods} outside Table 5's regime"
+        );
+    }
+
+    #[test]
+    fn triple_point_like_ratio() {
+        // Slightly faster GPU workload mix: ~77% (Table 5's triple-pt row).
+        let (ratio, _) = run_to_convergence(77.0 / 23.0, 0.5);
+        assert!((ratio - 0.77).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn converges_from_any_start() {
+        for initial in [0.1, 0.5, 0.9] {
+            let (ratio, _) = run_to_convergence(3.0, initial);
+            assert!((ratio - 0.75).abs() < 0.02, "from {initial}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn port_to_other_architecture_rebalances() {
+        // §3.3: "When the code is ported on another architecture, the
+        // changes will be detected and the load will be rebalanced." Start
+        // from the old optimum (75%) on a machine where the GPU is only as
+        // fast as the CPU: the balancer must move to 50%.
+        let (ratio, _) = run_to_convergence(1.0, 0.75);
+        assert!((ratio - 0.5).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn stays_converged_and_stable() {
+        let mut bal = AutoBalancer::new(0.5);
+        for _ in 0..50 {
+            let r = bal.ratio();
+            bal.record_period(r / 3.0, 1.0 - r);
+        }
+        assert!(bal.is_converged());
+        let locked = bal.ratio();
+        // Further (noisy) periods do not move the converged ratio.
+        bal.record_period(10.0, 0.1);
+        assert_eq!(bal.ratio(), locked);
+    }
+
+    #[test]
+    fn split_counts_add_up() {
+        let mut bal = AutoBalancer::new(0.75);
+        let (g, c) = bal.split(1000);
+        assert_eq!(g + c, 1000);
+        assert_eq!(g, 750);
+        bal.record_period(1.0, 1.0);
+        let (g2, c2) = bal.split(7);
+        assert_eq!(g2 + c2, 7);
+    }
+
+    #[test]
+    fn gpu_only_and_cpu_only_edges() {
+        // Extremely fast GPU: ratio saturates near 1.
+        let (ratio, _) = run_to_convergence(1000.0, 0.5);
+        assert!(ratio > 0.98, "{ratio}");
+        // Extremely slow GPU: ratio collapses near 0.
+        let (ratio0, _) = run_to_convergence(0.001, 0.5);
+        assert!(ratio0 < 0.02, "{ratio0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio out of")]
+    fn invalid_initial_ratio_rejected() {
+        AutoBalancer::new(1.5);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the tuner and balancer.
+
+use autotune::{AutoBalancer, Autotuner};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn tuner_always_picks_the_true_argmin(
+        costs in proptest::collection::vec(1e-4..1e-1f64, 2..12),
+        period in 1usize..10,
+    ) {
+        let ids: Vec<usize> = (0..costs.len()).collect();
+        let mut tuner = Autotuner::new(ids, period);
+        while !tuner.is_done() {
+            let c = *tuner.current();
+            tuner.record(costs[c]);
+        }
+        let best = *tuner.best().unwrap();
+        let true_best = costs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        prop_assert_eq!(best, true_best);
+    }
+
+    #[test]
+    fn tuner_consumes_exactly_candidates_times_period(
+        ncands in 2usize..8,
+        period in 1usize..20,
+    ) {
+        let mut tuner = Autotuner::new((0..ncands).collect::<Vec<_>>(), period);
+        let mut steps = 0;
+        while !tuner.is_done() {
+            let c = *tuner.current();
+            tuner.record(1e-3 + c as f64 * 1e-4);
+            steps += 1;
+        }
+        prop_assert_eq!(steps, ncands * period);
+    }
+
+    #[test]
+    fn balancer_converges_to_the_equalizing_ratio(
+        speed_ratio in 0.2..20.0f64,
+        initial in 0.05..0.95f64,
+    ) {
+        let mut bal = AutoBalancer::new(initial);
+        for _ in 0..200 {
+            let r = bal.ratio();
+            let gpu_t = (r / speed_ratio).max(1e-9);
+            let cpu_t = (1.0 - r).max(1e-9);
+            bal.record_period(gpu_t, cpu_t);
+            if bal.is_converged() {
+                break;
+            }
+        }
+        prop_assert!(bal.is_converged(), "no convergence from {initial} at ratio {speed_ratio}");
+        let expect = speed_ratio / (speed_ratio + 1.0);
+        prop_assert!(
+            (bal.ratio() - expect).abs() < 0.03,
+            "ratio {} vs optimal {expect}",
+            bal.ratio()
+        );
+    }
+
+    #[test]
+    fn balancer_split_is_total_and_proportional(
+        ratio in 0.0..1.0f64,
+        zones in 1usize..100_000,
+    ) {
+        let bal = AutoBalancer::new(ratio);
+        let (g, c) = bal.split(zones);
+        prop_assert_eq!(g + c, zones);
+        let got = g as f64 / zones as f64;
+        prop_assert!((got - ratio).abs() <= 0.5 / zones as f64 + 1e-12);
+    }
+}

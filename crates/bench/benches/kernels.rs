@@ -1,0 +1,153 @@
+//! Criterion wall-clock benchmarks of the computational cores (the *real*
+//! Rust execution, not the simulated-device times): batched small-matrix
+//! decompositions, batched DGEMM families, the corner-force pipeline, CSR
+//! SpMV, and PCG.
+
+use blast_kernels::base::compute_az_pipeline;
+use blast_kernels::k1::AdjugateDetKernel;
+use blast_kernels::k2::ZoneConstants;
+use blast_kernels::k56::BatchedDimGemm;
+use blast_kernels::k7::FzKernel;
+use blast_kernels::ProblemShape;
+use blast_la::{
+    batched_gemm_nn, pcg_solve, BatchedMats, CsrBuilder, DMatrix, DiagPrecond, PcgOptions,
+};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_batched_small(c: &mut Criterion) {
+    let count = 32_768;
+    let a = BatchedMats::from_fn(3, 3, count, |z, i, j| ((z + i * 2 + j) as f64 * 0.13).sin());
+    let b = BatchedMats::from_fn(3, 3, count, |z, i, j| ((z * 3 + i + j) as f64 * 0.29).cos());
+
+    c.bench_function("k56_batched_dgemm_3x3_32k", |bench| {
+        let k = BatchedDimGemm::nn_tuned();
+        let mut out = BatchedMats::zeros(3, 3, count);
+        bench.iter(|| {
+            k.compute(black_box(&a), black_box(&b), None, &mut out);
+            black_box(out.get(0, 0, 0))
+        });
+    });
+
+    c.bench_function("la_batched_gemm_nn_3x3_32k", |bench| {
+        let mut out = BatchedMats::zeros(3, 3, count);
+        bench.iter(|| {
+            batched_gemm_nn(1.0, black_box(&a), black_box(&b), 0.0, &mut out);
+            black_box(out.get(0, 0, 0))
+        });
+    });
+
+    c.bench_function("k1_svd_adjugate_det_3x3_32k", |bench| {
+        let shape = ProblemShape::new(3, 2, count / 64);
+        let mut adj = BatchedMats::zeros(3, 3, count);
+        let mut det = vec![0.0; count];
+        let mut hmin = vec![0.0; count];
+        // Well-conditioned Jacobians.
+        let jac = BatchedMats::from_fn(3, 3, count, |z, i, j| {
+            if i == j { 1.0 + 0.1 * ((z + i) as f64).sin() } else { 0.05 * ((z + j) as f64).cos() }
+        });
+        bench.iter(|| {
+            AdjugateDetKernel::compute(&shape, black_box(&jac), &mut adj, &mut det, &mut hmin);
+            black_box(det[0])
+        });
+    });
+}
+
+fn bench_corner_force(c: &mut Criterion) {
+    // 2D Q2-Q1 over 256 zones with a synthetic but valid single-zone-map
+    // mesh: each zone maps to itself (structured unit zones).
+    let shape = ProblemShape::new(2, 2, 256);
+    let mesh = blast_fem::CartMesh::<2>::unit(16);
+    let space = blast_fem::H1Space::new(mesh.clone(), 2);
+    let rule = blast_fem::TensorRule::<2>::gauss(4);
+    let table = space.basis().tabulate(&rule.points);
+    let thermo = blast_fem::L2Space::new(mesh, 1);
+    let thermo_table = thermo.basis().tabulate(&rule.points);
+    let n = space.num_dofs();
+    let zone_dofs: Vec<usize> =
+        (0..256).flat_map(|z| space.zone_dofs(z).iter().copied()).collect();
+    let x = space.initial_coords();
+    let v = vec![0.01; 2 * n];
+    let e = vec![1.0; thermo.num_dofs()];
+    let rho0detj0 = vec![1.0 / 256.0; shape.total_points()];
+    let consts = ZoneConstants {
+        gamma: vec![1.4; 256],
+        h0: vec![1.0 / 32.0; 256],
+        j0inv_diag: vec![16.0; 512],
+    };
+
+    c.bench_function("corner_force_pipeline_2d_q2_256z", |bench| {
+        bench.iter(|| {
+            let out = compute_az_pipeline(
+                &shape,
+                black_box(&x),
+                black_box(&v),
+                black_box(&e),
+                n,
+                &zone_dofs,
+                &table.grads,
+                &thermo_table.values,
+                &rule.weights,
+                &rho0detj0,
+                &consts,
+                true,
+            );
+            black_box(out.inv_dt[0])
+        });
+    });
+
+    c.bench_function("k7_fz_gemm_nt_2d_q2_256z", |bench| {
+        let az = BatchedMats::from_fn(shape.nvdof(), shape.npts, 256, |z, i, j| {
+            ((z + i + j) as f64 * 0.01).sin()
+        });
+        let b = DMatrix::from_fn(shape.nthermo, shape.npts, |i, j| ((i + j) as f64 * 0.1).cos());
+        let mut fz = BatchedMats::zeros(shape.nvdof(), shape.nthermo, 256);
+        bench.iter(|| {
+            FzKernel::compute(&shape, black_box(&az), black_box(&b), &mut fz);
+            black_box(fz.get(0, 0, 0))
+        });
+    });
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    // FEM-density banded SPD system.
+    let n = 20_000;
+    let half_band = 20;
+    let mut builder = CsrBuilder::new(n, n);
+    for i in 0..n {
+        builder.add(i, i, 2.0 * half_band as f64);
+        for o in 1..=half_band {
+            if i >= o {
+                builder.add(i, i - o, -0.5);
+            }
+            if i + o < n {
+                builder.add(i, i + o, -0.5);
+            }
+        }
+    }
+    let a = builder.build();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.001).sin()).collect();
+    let pre = DiagPrecond::from_diagonal(&a.diagonal());
+
+    c.bench_function("csr_spmv_20k_banded", |bench| {
+        let mut y = vec![0.0; n];
+        bench.iter(|| {
+            a.spmv_into(black_box(&b), &mut y);
+            black_box(y[0])
+        });
+    });
+
+    c.bench_function("pcg_solve_20k_banded", |bench| {
+        bench.iter_batched(
+            || vec![0.0; n],
+            |mut x| {
+                let res = pcg_solve(&mut (&a), &pre, &b, &mut x, &PcgOptions::default());
+                black_box(res.iterations)
+            },
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_batched_small, bench_corner_force, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Runs the DESIGN.md ablation studies (tuned-vs-default parameters,
+//! execution modes, Hyper-Q sweep).
+fn main() {
+    print!("{}", blast_bench::experiments::ablations::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `fig01_perf_per_watt`.
+fn main() {
+    print!("{}", blast_bench::experiments::fig01_perf_per_watt::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `fig02_triple_point_orders`.
+fn main() {
+    print!("{}", blast_bench::experiments::fig02_triple_point_orders::report());
+}

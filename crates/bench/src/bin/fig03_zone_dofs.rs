@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `fig03_zone_dofs`.
+fn main() {
+    print!("{}", blast_bench::experiments::fig03_zone_dofs::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `fig04_register_vs_local`.
+fn main() {
+    print!("{}", blast_bench::experiments::fig04_register_vs_local::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `fig05_tune_k3`.
+fn main() {
+    print!("{}", blast_bench::experiments::fig05_tune_k3::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `fig06_kernel_breakdown`.
+fn main() {
+    print!("{}", blast_bench::experiments::fig06_kernel_breakdown::report());
+}

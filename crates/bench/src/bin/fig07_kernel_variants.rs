@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `fig07_kernel_variants`.
+fn main() {
+    print!("{}", blast_bench::experiments::fig07_kernel_variants::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `fig08_bandwidth`.
+fn main() {
+    print!("{}", blast_bench::experiments::fig08_bandwidth::report());
+}

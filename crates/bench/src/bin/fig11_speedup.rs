@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `fig11_speedup`.
+fn main() {
+    print!("{}", blast_bench::experiments::fig11_speedup::report());
+}

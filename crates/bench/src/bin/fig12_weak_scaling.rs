@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `fig12_weak_scaling`.
+fn main() {
+    print!("{}", blast_bench::experiments::fig12_weak_scaling::report());
+}

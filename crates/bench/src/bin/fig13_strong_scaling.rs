@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `fig13_strong_scaling`.
+fn main() {
+    print!("{}", blast_bench::experiments::fig13_strong_scaling::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `fig14_cpu_power`.
+fn main() {
+    print!("{}", blast_bench::experiments::fig14_cpu_power::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `fig15_gpu_power`.
+fn main() {
+    print!("{}", blast_bench::experiments::fig15_gpu_power::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `fig16_cpu_power_offload`.
+fn main() {
+    print!("{}", blast_bench::experiments::fig16_cpu_power_offload::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `tab1_cpu_profile`.
+fn main() {
+    print!("{}", blast_bench::experiments::tab1_cpu_profile::report());
+}

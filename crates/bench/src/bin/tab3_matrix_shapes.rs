@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `tab3_matrix_shapes`.
+fn main() {
+    print!("{}", blast_bench::experiments::tab3_matrix_shapes::report());
+}

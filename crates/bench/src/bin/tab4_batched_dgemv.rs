@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `tab4_batched_dgemv`.
+fn main() {
+    print!("{}", blast_bench::experiments::tab4_batched_dgemv::report());
+}

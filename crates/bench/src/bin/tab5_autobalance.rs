@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `tab5_autobalance`.
+fn main() {
+    print!("{}", blast_bench::experiments::tab5_autobalance::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `tab6_validation`.
+fn main() {
+    print!("{}", blast_bench::experiments::tab6_validation::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact `tab7_greenup`.
+fn main() {
+    print!("{}", blast_bench::experiments::tab7_greenup::report());
+}

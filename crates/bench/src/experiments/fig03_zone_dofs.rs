@@ -1,0 +1,67 @@
+//! Fig. 3 — schematic of bilinear (Q1-Q0), biquadratic (Q2-Q1), and bicubic
+//! (Q3-Q2) zones: kinematic (continuous) vs thermodynamic (discontinuous)
+//! degrees of freedom of one 2D zone.
+
+use blast_fem::TensorBasis;
+
+use crate::table;
+
+/// Regenerates the Fig. 3 DOF layouts.
+pub fn report() -> String {
+    let mut rows = Vec::new();
+    for k in 1..=3 {
+        let kin = TensorBasis::<2>::h1(k);
+        let thermo = TensorBasis::<2>::l2(k - 1);
+        rows.push(vec![
+            format!("Q{}-Q{}", k, k - 1),
+            kin.ndof().to_string(),
+            (2 * kin.ndof()).to_string(),
+            thermo.ndof().to_string(),
+            format!("{}^2 pts", 2 * k),
+        ]);
+    }
+    let mut out = table::render(
+        "Fig. 3 — 2D zone DOF structure per method",
+        &["method", "kin. scalar", "kin. vector", "thermo", "quadrature"],
+        &rows,
+    );
+
+    // ASCII schematic of the Q2-Q1 zone: kinematic nodes (o) on the
+    // Lobatto lattice (edges shared with neighbours), thermodynamic nodes
+    // (x) strictly interior.
+    out.push_str("\nQ2-Q1 zone schematic (o kinematic, x thermodynamic):\n");
+    let kin = TensorBasis::<2>::h1(2);
+    let thermo = TensorBasis::<2>::l2(1);
+    let mut grid = vec![vec![b' '; 33]; 17];
+    for j in 0..kin.ndof() {
+        let p = kin.node(j);
+        let (cx, cy) = ((p[0] * 32.0) as usize, ((1.0 - p[1]) * 16.0) as usize);
+        grid[cy][cx] = b'o';
+    }
+    for j in 0..thermo.ndof() {
+        let p = thermo.node(j);
+        let (cx, cy) = ((p[0] * 32.0) as usize, ((1.0 - p[1]) * 16.0) as usize);
+        grid[cy][cx] = b'x';
+    }
+    for row in grid {
+        out.push_str("  ");
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn counts_match_methods() {
+        let r = super::report();
+        assert!(r.contains("Q1-Q0"));
+        assert!(r.contains("Q3-Q2"));
+        // Q2-Q1 2D: 9 scalar kinematic, 18 vector, 4 thermodynamic.
+        assert!(r.contains("9"));
+        assert!(r.contains("18"));
+        assert!(r.contains('x'));
+        assert!(r.contains('o'));
+    }
+}

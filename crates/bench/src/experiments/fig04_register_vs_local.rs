@@ -1,0 +1,81 @@
+//! Fig. 4 — kernels 1 and 2 with the per-thread workspace in local memory
+//! vs register arrays (3D Q2-Q1 on K20). The paper reports a 4x speedup on
+//! kernel 2 from registers.
+
+use blast_kernels::k1::AdjugateDetKernel;
+use blast_kernels::k2::StressKernel;
+use blast_kernels::{ProblemShape, Workspace};
+use gpu_sim::{GpuDevice, GpuSpec};
+
+use crate::table;
+
+/// Modeled `(local_time, register_time)` pairs for kernels 1 and 2.
+pub fn measure() -> [(String, f64, f64); 2] {
+    let shape = ProblemShape::new(3, 2, 4096);
+    let dev = GpuDevice::new(GpuSpec::k20());
+    let t_k1 = |ws| {
+        let k = AdjugateDetKernel { workspace: ws };
+        dev.model_kernel(&k.config(&shape), &k.traffic(&shape)).time_s
+    };
+    let t_k2 = |ws| {
+        let k = StressKernel { workspace: ws, use_viscosity: true };
+        dev.model_kernel(&k.config(&shape), &k.traffic(&shape)).time_s
+    };
+    [
+        (
+            "kernel 1 (CalcAjugate_det)".to_string(),
+            t_k1(Workspace::LocalMemory),
+            t_k1(Workspace::Registers),
+        ),
+        (
+            "kernel 2 (loop_grad_v)".to_string(),
+            t_k2(Workspace::LocalMemory),
+            t_k2(Workspace::Registers),
+        ),
+    ]
+}
+
+/// Regenerates Fig. 4.
+pub fn report() -> String {
+    let rows: Vec<Vec<String>> = measure()
+        .into_iter()
+        .map(|(name, local, regs)| {
+            vec![
+                name,
+                format!("{:.3} ms", local * 1e3),
+                format!("{:.3} ms", regs * 1e3),
+                format!("{:.1}x", local / regs),
+            ]
+        })
+        .collect();
+    let mut out = table::render(
+        "Fig. 4 — workspace placement, 3D Q2-Q1 on K20",
+        &["kernel", "local memory", "register arrays", "speedup"],
+        &rows,
+    );
+    out.push_str(
+        "\nPaper: \"By taking advantage of the more registers available on Kepler, \
+         kernel 2 achieved a 4x speedup.\"\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn register_speedups_in_paper_band() {
+        let m = super::measure();
+        for (name, local, regs) in m {
+            let speedup = local / regs;
+            assert!(
+                speedup > 1.5 && speedup < 8.0,
+                "{name}: register speedup {speedup}"
+            );
+        }
+        // Kernel 2's speedup should be the larger one (paper: 4x).
+        let m = super::measure();
+        let s1 = m[0].1 / m[0].2;
+        let s2 = m[1].1 / m[1].2;
+        assert!(s2 >= s1 * 0.8, "kernel2 {s2} vs kernel1 {s1}");
+    }
+}

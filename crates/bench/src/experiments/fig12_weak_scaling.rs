@@ -1,0 +1,45 @@
+//! Fig. 12 — weak scaling on ORNL Titan: 512 zones per node, 8x more
+//! nodes per refinement, time for 5 cycles from 8 to 4096 nodes.
+
+use cluster_sim::weak_scaling;
+
+use crate::table;
+
+/// Regenerates Fig. 12.
+pub fn report() -> String {
+    let pts = weak_scaling(4);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.nodes.to_string(),
+                (p.nodes * 16).to_string(),
+                (p.nodes * 512).to_string(),
+                format!("{:.3} s", p.time_s),
+            ]
+        })
+        .collect();
+    let mut out = table::render(
+        "Fig. 12 — weak scaling on Titan (3D Q2-Q1, 512 zones/node, 5 cycles)",
+        &["nodes", "MPI ranks", "zones", "time"],
+        &rows,
+    );
+    out.push_str(&format!(
+        "\nPaper: 0.85 s at 8 nodes -> 1.83 s at 4096 nodes (x{:.2} here; \
+         limiting factor: the global min-dt reduction and MFEM communication).\n",
+        pts.last().unwrap().time_s / pts[0].time_s
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shape_matches_paper() {
+        let pts = cluster_sim::weak_scaling(4);
+        assert_eq!(pts[0].nodes, 8);
+        assert_eq!(pts[3].nodes, 4096);
+        let ratio = pts[3].time_s / pts[0].time_s;
+        assert!(ratio > 1.7 && ratio < 2.7, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 13 — strong scaling on SNL Shannon: fixed 32^3 domain, 1-16 nodes
+//! (two K20m per node), run time on a log scale.
+
+use cluster_sim::strong_scaling;
+
+use crate::table;
+
+/// Regenerates Fig. 13.
+pub fn report() -> String {
+    let nodes = [1usize, 2, 4, 8, 16];
+    let pts = strong_scaling(&nodes);
+    let t1 = pts[0].time_s;
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.nodes.to_string(),
+                format!("{:.4} s", p.time_s),
+                format!("{:.2}x", t1 / p.time_s),
+                format!("{:.0}%", 100.0 * t1 / p.time_s / p.nodes as f64),
+            ]
+        })
+        .collect();
+    let mut out = table::render(
+        "Fig. 13 — strong scaling on Shannon (3D Q2-Q1, 32^3 zones, 5 cycles)",
+        &["nodes", "time", "speedup", "efficiency"],
+        &rows,
+    );
+    out.push_str("\nPaper: \"linear strong scaling on this machine\" (log-scale y-axis).\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn near_linear_regime() {
+        let pts = cluster_sim::strong_scaling(&[1, 2, 4, 8, 16]);
+        let speedup = pts[0].time_s / pts[4].time_s;
+        assert!(speedup > 6.0, "speedup {speedup}");
+        // Efficiency stays above 40% out to 16 nodes.
+        assert!(speedup / 16.0 > 0.4);
+    }
+}

@@ -1,0 +1,80 @@
+//! One module per paper artifact. Every module exposes
+//! `pub fn report() -> String` that regenerates the artifact's rows/series.
+
+pub mod ablations;
+pub mod scenarios;
+
+pub mod fig01_perf_per_watt;
+pub mod fig02_triple_point_orders;
+pub mod fig03_zone_dofs;
+pub mod fig04_register_vs_local;
+pub mod fig05_tune_k3;
+pub mod fig06_kernel_breakdown;
+pub mod fig07_kernel_variants;
+pub mod fig08_bandwidth;
+pub mod fig11_speedup;
+pub mod fig12_weak_scaling;
+pub mod fig13_strong_scaling;
+pub mod fig14_cpu_power;
+pub mod fig15_gpu_power;
+pub mod fig16_cpu_power_offload;
+pub mod tab1_cpu_profile;
+pub mod tab3_matrix_shapes;
+pub mod tab4_batched_dgemv;
+pub mod tab5_autobalance;
+pub mod tab6_validation;
+pub mod tab7_greenup;
+
+/// Names of all registered experiments (for the `paper_report` binary and
+/// registry tests).
+pub fn all_experiment_names() -> Vec<&'static str> {
+    vec![
+        "fig01_perf_per_watt",
+        "fig02_triple_point_orders",
+        "fig03_zone_dofs",
+        "tab1_cpu_profile",
+        "fig04_register_vs_local",
+        "fig05_tune_k3",
+        "fig06_kernel_breakdown",
+        "fig07_kernel_variants",
+        "fig08_bandwidth",
+        "tab3_matrix_shapes",
+        "tab4_batched_dgemv",
+        "tab5_autobalance",
+        "tab6_validation",
+        "fig11_speedup",
+        "fig12_weak_scaling",
+        "fig13_strong_scaling",
+        "fig14_cpu_power",
+        "fig15_gpu_power",
+        "fig16_cpu_power_offload",
+        "tab7_greenup",
+    ]
+}
+
+/// Runs an experiment by name.
+pub fn run_by_name(name: &str) -> Option<String> {
+    Some(match name {
+        "fig01_perf_per_watt" => fig01_perf_per_watt::report(),
+        "fig02_triple_point_orders" => fig02_triple_point_orders::report(),
+        "fig03_zone_dofs" => fig03_zone_dofs::report(),
+        "tab1_cpu_profile" => tab1_cpu_profile::report(),
+        "fig04_register_vs_local" => fig04_register_vs_local::report(),
+        "fig05_tune_k3" => fig05_tune_k3::report(),
+        "fig06_kernel_breakdown" => fig06_kernel_breakdown::report(),
+        "fig07_kernel_variants" => fig07_kernel_variants::report(),
+        "fig08_bandwidth" => fig08_bandwidth::report(),
+        "tab3_matrix_shapes" => tab3_matrix_shapes::report(),
+        "tab4_batched_dgemv" => tab4_batched_dgemv::report(),
+        "tab5_autobalance" => tab5_autobalance::report(),
+        "tab6_validation" => tab6_validation::report(),
+        "fig11_speedup" => fig11_speedup::report(),
+        "fig12_weak_scaling" => fig12_weak_scaling::report(),
+        "fig13_strong_scaling" => fig13_strong_scaling::report(),
+        "fig14_cpu_power" => fig14_cpu_power::report(),
+        "fig15_gpu_power" => fig15_gpu_power::report(),
+        "fig16_cpu_power_offload" => fig16_cpu_power_offload::report(),
+        "tab7_greenup" => tab7_greenup::report(),
+        _ => return None,
+    })
+}

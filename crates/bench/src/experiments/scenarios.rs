@@ -1,0 +1,93 @@
+//! Shared scenario builders for the application-level experiments.
+//!
+//! Functional problem sizes are chosen so every experiment runs in seconds
+//! on a laptop while the *modeled* device times keep the paper's operand
+//! shapes (order, points-per-zone, batching) — see DESIGN.md on the
+//! functional/performance split.
+
+use std::sync::Arc;
+
+use blast_core::{ExecMode, Executor, Hydro, HydroConfig, HydroState, Sedov, TriplePoint};
+use gpu_sim::{CpuSpec, GpuDevice, GpuSpec};
+
+/// 3D Sedov on the E5-2670 + K20 single node of §4.2.
+pub fn sedov3d(
+    order: usize,
+    zones_axis: usize,
+    mode: ExecMode,
+) -> (Hydro<3>, HydroState) {
+    let gpu = match mode {
+        ExecMode::Gpu { .. } | ExecMode::Hybrid { .. } => {
+            Some(Arc::new(GpuDevice::new(GpuSpec::k20())))
+        }
+        _ => None,
+    };
+    let exec = Executor::new(mode, CpuSpec::e5_2670(), gpu);
+    let problem = Sedov::default();
+    let cfg = HydroConfig { order, ..Default::default() };
+    let hydro = Hydro::<3>::new(&problem, [zones_axis; 3], cfg, exec)
+        .expect("scenario fits the device");
+    let state = hydro.initial_state();
+    (hydro, state)
+}
+
+/// 2D Sedov (for the quicker 2D studies).
+pub fn sedov2d(order: usize, zones_axis: usize, mode: ExecMode) -> (Hydro<2>, HydroState) {
+    let gpu = match mode {
+        ExecMode::Gpu { .. } | ExecMode::Hybrid { .. } => {
+            Some(Arc::new(GpuDevice::new(GpuSpec::k20())))
+        }
+        _ => None,
+    };
+    let exec = Executor::new(mode, CpuSpec::e5_2670(), gpu);
+    let problem = Sedov::default();
+    let cfg = HydroConfig { order, ..Default::default() };
+    let hydro = Hydro::<2>::new(&problem, [zones_axis; 2], cfg, exec)
+        .expect("scenario fits the device");
+    let state = hydro.initial_state();
+    (hydro, state)
+}
+
+/// 2D triple point at a given order; `base_zones` scales the 7x3 domain.
+pub fn triple_point(
+    order: usize,
+    base_zones: usize,
+    mode: ExecMode,
+) -> (Hydro<2>, HydroState) {
+    triple_point_with_cfl(order, base_zones, mode, HydroConfig::default().cfl)
+}
+
+/// 2D triple point with an explicit CFL factor (strong shear on coarse
+/// Lagrangian meshes wants a conservative step).
+pub fn triple_point_with_cfl(
+    order: usize,
+    base_zones: usize,
+    mode: ExecMode,
+    cfl: f64,
+) -> (Hydro<2>, HydroState) {
+    let gpu = match mode {
+        ExecMode::Gpu { .. } | ExecMode::Hybrid { .. } => {
+            Some(Arc::new(GpuDevice::new(GpuSpec::k20())))
+        }
+        _ => None,
+    };
+    let exec = Executor::new(mode, CpuSpec::e5_2670(), gpu);
+    let problem = TriplePoint::default();
+    let cfg = HydroConfig { order, cfl, ..Default::default() };
+    let hydro = Hydro::<2>::new(&problem, [7 * base_zones, 3 * base_zones], cfg, exec)
+        .expect("scenario fits the device");
+    let state = hydro.initial_state();
+    (hydro, state)
+}
+
+/// Steps a hydro `n` times at a CFL-limited dt; returns the simulated wall
+/// time consumed by those steps.
+pub fn run_steps<const D: usize>(hydro: &mut Hydro<D>, state: &mut HydroState, n: usize) -> f64 {
+    let t0 = hydro.wall_time();
+    let mut dt = hydro.suggest_dt(state);
+    for _ in 0..n {
+        let out = hydro.step(state, dt);
+        dt = out.dt_est.min(1.02 * dt);
+    }
+    hydro.wall_time() - t0
+}

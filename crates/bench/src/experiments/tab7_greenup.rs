@@ -1,0 +1,103 @@
+//! Table 7 — greenup of the hybrid CPU-GPU solution over CPU-only for the
+//! 3D Sedov problem: `greenup = powerup x speedup`.
+//!
+//! Paper: Q2-Q1 -> 0.67 / 1.9 / 1.27; Q4-Q3 -> 0.57 / 2.5 / 1.42.
+
+use blast_core::ExecMode;
+use powermon::{CpuPowerModel, CpuPowerState, EnergyReport, Greenup};
+
+use crate::experiments::scenarios::{run_steps, sedov3d};
+use crate::table;
+
+/// Measures `(method, greenup triple)` per order, composing the powers the
+/// paper's way: "The CPU+GPU power we used in Table 7 is by adding data in
+/// Figure 15 and Figure 16 together" — i.e. the dual-package RAPL levels
+/// plus the GPU's steady active power.
+pub fn measure() -> Vec<(String, Greenup)> {
+    let rapl = CpuPowerModel::e5_2670();
+    let busy = rapl.read(CpuPowerState::Busy, 1.0);
+    let offload = rapl.read(CpuPowerState::GpuOffload, 1.0);
+    let p_cpu_node = 2.0 * (busy.pkg_watts + busy.dram_watts);
+
+    let mut out = Vec::new();
+    for (order, zones_axis) in [(2usize, 16usize), (4, 8)] {
+        let steps = 2;
+        // CPU-only: both packages busy (Fig. 14 levels).
+        let (mut hc, mut sc) = sedov3d(order, zones_axis, ExecMode::CpuParallel { threads: 8 });
+        let t_cpu = run_steps(&mut hc, &mut sc, steps);
+        let cpu = EnergyReport::new(t_cpu, p_cpu_node);
+
+        // Hybrid: 8 MPI on the shared K20, corner force accelerated.
+        // Node power = Fig. 16 CPU levels + Fig. 15 GPU active power.
+        let (mut hg, mut sg) = sedov3d(
+            order,
+            zones_axis,
+            ExecMode::Gpu { base: false, gpu_pcg: false, mpi_queues: 8 },
+        );
+        let t_gpu = run_steps(&mut hg, &mut sg, steps);
+        let p_gpu = hg
+            .executor()
+            .gpu
+            .as_ref()
+            .expect("gpu")
+            .power_trace()
+            .mean_active_power();
+        let p_hybrid_node = 2.0 * (offload.pkg_watts + offload.dram_watts) + p_gpu;
+        let hybrid = EnergyReport::new(t_gpu, p_hybrid_node);
+
+        out.push((format!("Q{}-Q{}", order, order - 1), Greenup::compare(cpu, hybrid)));
+    }
+    out
+}
+
+/// Regenerates Table 7.
+pub fn report() -> String {
+    let data = measure();
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|(m, g)| {
+            vec![
+                m.clone(),
+                format!("{:.2}", g.powerup),
+                format!("{:.2}", g.speedup),
+                format!("{:.2}", g.greenup),
+                table::pct(g.energy_saving_fraction()),
+            ]
+        })
+        .collect();
+    let mut out = table::render(
+        "Table 7 — CPU-GPU greenup over CPU (3D Sedov)",
+        &["method", "powerup", "speedup", "greenup", "energy saved"],
+        &rows,
+    );
+    out.push_str(
+        "\nPaper: Q2-Q1 0.67/1.9/1.27 and Q4-Q3 0.57/2.5/1.42 — the hybrid draws more \
+         instantaneous power (powerup < 1) but finishes enough faster to save 21-30% energy.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "hydro-scale experiment: run with --release")]
+    fn greenup_shape_matches_table7() {
+        let data = super::measure();
+        let q2 = &data[0].1;
+        let q4 = &data[1].1;
+        // Powerup below 1: the hybrid node draws more power (paper: 0.67
+        // and 0.57).
+        assert!(q2.powerup < 1.0 && q2.powerup > 0.45, "Q2 powerup {}", q2.powerup);
+        assert!(q4.powerup < 1.0 && q4.powerup > 0.40, "Q4 powerup {}", q4.powerup);
+        // Q4 draws at least as much relative node power as Q2 saves...
+        // Speedup above 1, larger for Q4.
+        assert!(q2.speedup > 1.3, "Q2 speedup {}", q2.speedup);
+        assert!(q4.speedup > q2.speedup, "orders inverted");
+        // Greenup above 1 for both, larger for Q4 (the paper's headline).
+        assert!(q2.greenup > 1.05, "Q2 greenup {}", q2.greenup);
+        assert!(q4.greenup > q2.greenup, "Q4 {} vs Q2 {}", q4.greenup, q2.greenup);
+        // Our speedups overshoot the paper's (see fig11), so greenups do
+        // too; cap at a sanity bound rather than the paper's 1.42.
+        assert!(q4.greenup < 4.5, "Q4 greenup {} implausibly high", q4.greenup);
+    }
+}

@@ -1,0 +1,89 @@
+//! Minimal fixed-width table formatting for the experiment reports.
+
+/// Renders a header + rows as a fixed-width text table.
+pub fn render(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row width mismatch in table '{title}'");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (cell, w) in cells.iter().zip(&widths) {
+            line.push_str(&format!("{cell:>w$}  ", w = w));
+        }
+        line.trim_end().to_string()
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * ncols));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with 3 significant-ish decimals.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.3}")
+    } else if x.abs() >= 1e-3 {
+        format!("{x:.5}")
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let out = render(
+            "Demo",
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        assert!(out.contains("== Demo =="));
+        assert!(out.contains("longer"));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn float_formatting_ranges() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(123.456), "123.5");
+        assert_eq!(f(1.23456), "1.235");
+        assert_eq!(f(0.012345), "0.01235");
+        assert_eq!(f(1.2e-5), "1.200e-5");
+        assert_eq!(pct(0.123), "12.3%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        render("x", &["a", "b"], &[vec!["1".into()]]);
+    }
+}

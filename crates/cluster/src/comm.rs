@@ -1,0 +1,251 @@
+//! A functional MPI-like runtime: ranks as threads, channels as the wire.
+//!
+//! This is the execution substrate for the distributed algorithms; the
+//! *cost* of communication is modeled separately in [`crate::netmodel`]
+//! (the two are decoupled exactly like the functional/performance split of
+//! the GPU simulator).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A message: raw `f64` payload plus a tag.
+#[derive(Clone, Debug)]
+struct Message {
+    from: usize,
+    tag: u64,
+    data: Vec<f64>,
+}
+
+/// Per-rank communicator handle.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    /// `senders[j]` delivers into rank j's inbox.
+    senders: Vec<Sender<Message>>,
+    inbox: Receiver<Message>,
+    /// Messages received but not yet matched by a `recv`.
+    stash: Vec<Message>,
+}
+
+impl Communicator {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Sends `data` to rank `to` under `tag` (non-blocking, buffered).
+    pub fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
+        assert!(to < self.size, "send to out-of-range rank {to}");
+        self.senders[to]
+            .send(Message { from: self.rank, tag, data })
+            .expect("receiver alive");
+    }
+
+    /// Receives the next message from `from` with `tag` (blocking,
+    /// out-of-order messages are stashed).
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        if let Some(pos) = self.stash.iter().position(|m| m.from == from && m.tag == tag) {
+            return self.stash.swap_remove(pos).data;
+        }
+        loop {
+            let msg = self.inbox.recv().expect("senders alive");
+            if msg.from == from && msg.tag == tag {
+                return msg.data;
+            }
+            self.stash.push(msg);
+        }
+    }
+
+    /// Reduction to rank 0 then broadcast — functionally exact; the
+    /// log-tree *cost* is modeled by
+    /// [`crate::netmodel::NetworkModel::allreduce_time`].
+    fn allreduce(&mut self, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        const TAG_GATHER: u64 = u64::MAX - 1;
+        const TAG_BCAST: u64 = u64::MAX - 2;
+        if self.rank == 0 {
+            let mut acc = value;
+            for r in 1..self.size {
+                let v = self.recv(r, TAG_GATHER);
+                acc = op(acc, v[0]);
+            }
+            for r in 1..self.size {
+                self.send(r, TAG_BCAST, vec![acc]);
+            }
+            acc
+        } else {
+            self.send(0, TAG_GATHER, vec![value]);
+            self.recv(0, TAG_BCAST)[0]
+        }
+    }
+
+    /// Global minimum — the paper's step 5: "An MPI reduction is used to
+    /// find the global minimum time step."
+    pub fn allreduce_min(&mut self, value: f64) -> f64 {
+        self.allreduce(value, f64::min)
+    }
+
+    /// Global sum (dot products of the distributed PCG).
+    pub fn allreduce_sum(&mut self, value: f64) -> f64 {
+        self.allreduce(value, |a, b| a + b)
+    }
+
+    /// Element-wise global sum of a vector (shared-DOF assembly).
+    pub fn allreduce_sum_vec(&mut self, values: &mut [f64]) {
+        const TAG_VGATHER: u64 = u64::MAX - 3;
+        const TAG_VBCAST: u64 = u64::MAX - 4;
+        if self.rank == 0 {
+            for r in 1..self.size {
+                let v = self.recv(r, TAG_VGATHER);
+                assert_eq!(v.len(), values.len(), "vector allreduce length mismatch");
+                for (a, b) in values.iter_mut().zip(v) {
+                    *a += b;
+                }
+            }
+            for r in 1..self.size {
+                self.send(r, TAG_VBCAST, values.to_vec());
+            }
+        } else {
+            self.send(0, TAG_VGATHER, values.to_vec());
+            let v = self.recv(0, TAG_VBCAST);
+            values.copy_from_slice(&v);
+        }
+    }
+
+    /// Barrier (allreduce of a dummy value).
+    pub fn barrier(&mut self) {
+        self.allreduce_sum(0.0);
+    }
+}
+
+/// Spawns `size` ranks, each running `body(comm)`, and returns their
+/// results in rank order.
+pub fn run_ranks<R: Send>(
+    size: usize,
+    body: impl Fn(Communicator) -> R + Sync,
+) -> Vec<R> {
+    assert!(size >= 1, "need at least one rank");
+    let mut senders = Vec::with_capacity(size);
+    let mut inboxes = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        inboxes.push(rx);
+    }
+    let body = &body;
+    let mut comms: Vec<Communicator> = inboxes
+        .into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| Communicator {
+            rank,
+            size,
+            senders: senders.clone(),
+            inbox,
+            stash: Vec::new(),
+        })
+        .collect();
+    drop(senders);
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(size);
+        for comm in comms.drain(..) {
+            handles.push(scope.spawn(move |_| body(comm)));
+        }
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+    .expect("scope")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_know_their_ids() {
+        let ids = run_ranks(4, |c| (c.rank(), c.size()));
+        assert_eq!(ids, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn ring_pass() {
+        // Each rank sends its id to the next; total received = sum of ids.
+        let got = run_ranks(5, |mut c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 7, vec![c.rank() as f64]);
+            c.recv(prev, 7)[0]
+        });
+        let sum: f64 = got.iter().sum();
+        assert_eq!(sum, 10.0);
+    }
+
+    #[test]
+    fn allreduce_min_finds_global_minimum() {
+        let results = run_ranks(6, |mut c| {
+            let local_dt = 0.1 + c.rank() as f64; // rank 0 has the minimum
+            c.allreduce_min(local_dt)
+        });
+        assert!(results.iter().all(|&v| v == 0.1));
+    }
+
+    #[test]
+    fn allreduce_sum_is_exactly_the_sum() {
+        let results = run_ranks(8, |mut c| c.allreduce_sum((c.rank() + 1) as f64));
+        assert!(results.iter().all(|&v| v == 36.0));
+    }
+
+    #[test]
+    fn vector_allreduce_assembles_contributions() {
+        let results = run_ranks(3, |mut c| {
+            let mut v = vec![0.0; 4];
+            v[c.rank()] = 1.0;
+            v[3] = c.rank() as f64;
+            c.allreduce_sum_vec(&mut v);
+            v
+        });
+        for v in results {
+            assert_eq!(v, vec![1.0, 1.0, 1.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn out_of_order_messages_are_stashed() {
+        let results = run_ranks(2, |mut c| {
+            if c.rank() == 0 {
+                // Send tag 2 first, then tag 1; receiver asks for 1 first.
+                c.send(1, 2, vec![2.0]);
+                c.send(1, 1, vec![1.0]);
+                0.0
+            } else {
+                let first = c.recv(0, 1)[0];
+                let second = c.recv(0, 2)[0];
+                first * 10.0 + second
+            }
+        });
+        assert_eq!(results[1], 12.0);
+    }
+
+    #[test]
+    fn single_rank_degenerates_gracefully() {
+        let r = run_ranks(1, |mut c| {
+            c.barrier();
+            c.allreduce_min(0.5)
+        });
+        assert_eq!(r, vec![0.5]);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        // No deadlock across repeated barriers.
+        let r = run_ranks(4, |mut c| {
+            for _ in 0..10 {
+                c.barrier();
+            }
+            c.rank()
+        });
+        assert_eq!(r.len(), 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! # cluster-sim
+//!
+//! The MPI level of the reproduction (§3.4 and §4.3).
+//!
+//! BLAST's MPI parallelism comes from MFEM: the domain is split into
+//! per-task subdomains (Fig. 9); finite element DOFs shared by several
+//! tasks are grouped, each group owned by a *master* task (Fig. 10); corner
+//! forces are local, while matrix assembly and the global minimum-timestep
+//! reduction need communication.
+//!
+//! Without a physical cluster, this crate provides:
+//!
+//! - [`comm`]: a functional message-passing runtime — one OS thread per
+//!   rank, crossbeam channels underneath — with `send`/`recv`,
+//!   `allreduce_min/sum`, `barrier`, used to *really execute* distributed
+//!   algorithms (the tests run a distributed corner-force assembly and
+//!   compare against the serial reference).
+//! - [`partition`]: structured domain splitting and the shared-DOF group
+//!   structure of Fig. 10.
+//! - [`netmodel`]: interconnect cost models (ORNL Titan's Gemini, SNL
+//!   Shannon's InfiniBand) for point-to-point and log-tree collectives.
+//! - [`scaling`]: the weak/strong scaling harness reproducing Figs. 12-13,
+//!   combining per-node compute costs from `gpu-sim` with the network
+//!   model.
+
+pub mod comm;
+pub mod netmodel;
+pub mod partition;
+pub mod scaling;
+
+pub use comm::{run_ranks, Communicator};
+pub use netmodel::{Machine, NetworkModel};
+pub use partition::Partition;
+pub use scaling::{strong_scaling, weak_scaling, ScalingPoint};

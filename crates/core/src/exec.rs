@@ -1,0 +1,218 @@
+//! Execution modes and the executor state (devices, balancer).
+
+use std::sync::Arc;
+
+use autotune::AutoBalancer;
+use gpu_sim::{CpuDevice, CpuSpec, GpuDevice, Traffic};
+
+use blast_kernels::base::MonolithicCornerForce;
+use blast_kernels::k7::FzKernel;
+use blast_kernels::k8_10::{EnergyRhsKernel, MomentumRhsKernel};
+use blast_kernels::ProblemShape;
+
+/// Fraction of CPU peak the corner-force inner loops sustain at low order
+/// (irregular, hard-to-vectorize per-quadrature-point code).
+pub const CF_CPU_EFF: f64 = 0.15;
+
+/// Order-dependent CPU corner-force efficiency: the higher-order corner
+/// force spends most of its time in larger dense batched products
+/// (e.g. 375x512 `A_z` tiles at Q4), which vectorize far better than the
+/// scalar-heavy SVD/eigenvalue work that dominates at Q2.
+pub fn cf_cpu_eff(order: usize) -> f64 {
+    match order {
+        0..=2 => CF_CPU_EFF,
+        3 => 0.22,
+        _ => 0.30,
+    }
+}
+
+/// Fraction of CPU peak the sparse CG solver sustains when compute-bound
+/// (it is memory-bound in practice; the roofline takes the max).
+pub const CG_CPU_EFF: f64 = 0.30;
+
+/// How the corner force (and optionally the momentum solve) executes.
+#[derive(Clone, Debug)]
+pub enum ExecMode {
+    /// Single-threaded CPU reference.
+    CpuSerial,
+    /// Rayon-parallel CPU (the OpenMP analog).
+    CpuParallel {
+        /// Worker threads (must not exceed the CPU's core count).
+        threads: u32,
+    },
+    /// Simulated GPU.
+    Gpu {
+        /// Use the monolithic base kernel instead of the optimized ones.
+        base: bool,
+        /// Solve the momentum system on the GPU (kernel 9) instead of the
+        /// host ("Whether the vector dv/dt after kernel 9 or the vector
+        /// -F·1 after kernel 8 is transferred to the host depends on
+        /// turning on/off the CUDA-PCG solver").
+        gpu_pcg: bool,
+        /// MPI ranks sharing the device through Hyper-Q.
+        mpi_queues: u32,
+    },
+    /// CPU + GPU with the §3.3 auto-balanced zone split.
+    Hybrid {
+        /// CPU worker threads for the OpenMP share.
+        threads: u32,
+    },
+}
+
+/// Executor state: devices and (for hybrid) the balancer.
+pub struct Executor {
+    /// The execution mode.
+    pub mode: ExecMode,
+    /// The host CPU (always present: integration and setup run here).
+    pub host: CpuDevice,
+    /// The GPU, when the mode uses one.
+    pub gpu: Option<Arc<GpuDevice>>,
+    /// The auto-balancer, for hybrid mode.
+    pub balancer: Option<AutoBalancer>,
+}
+
+impl Executor {
+    /// Builds an executor for `mode` with the given host CPU and optional
+    /// GPU.
+    pub fn new(mode: ExecMode, host_spec: CpuSpec, gpu: Option<Arc<GpuDevice>>) -> Self {
+        match &mode {
+            ExecMode::CpuSerial => {}
+            ExecMode::CpuParallel { threads } | ExecMode::Hybrid { threads } => {
+                assert!(
+                    *threads >= 1 && *threads <= host_spec.cores,
+                    "thread count {threads} out of range for {}",
+                    host_spec.name
+                );
+            }
+            ExecMode::Gpu { .. } => {}
+        }
+        let needs_gpu = matches!(mode, ExecMode::Gpu { .. } | ExecMode::Hybrid { .. });
+        assert!(
+            !needs_gpu || gpu.is_some(),
+            "mode {mode:?} requires a GPU device"
+        );
+        if let (ExecMode::Gpu { mpi_queues, .. }, Some(dev)) = (&mode, &gpu) {
+            dev.set_active_queues(*mpi_queues);
+        }
+        let balancer = matches!(mode, ExecMode::Hybrid { .. }).then(|| AutoBalancer::new(0.5));
+        Self { mode, host: CpuDevice::new(host_spec), gpu, balancer }
+    }
+
+    /// Threads used by CPU phases under this mode.
+    pub fn cpu_threads(&self) -> u32 {
+        match self.mode {
+            ExecMode::CpuSerial => 1,
+            ExecMode::CpuParallel { threads } | ExecMode::Hybrid { threads } => threads,
+            // In GPU mode every MPI rank keeps its own core busy with the
+            // non-accelerated phases (CG, integration) — "only corner force
+            // is accelerated on the GPU" (§4.2).
+            ExecMode::Gpu { mpi_queues, .. } => mpi_queues.max(1).min(self.host.spec().cores),
+        }
+    }
+}
+
+/// Aggregate corner-force traffic of one force evaluation (the A_z pipeline
+/// plus kernels 7, 8, 10) — used to cost the CPU path and the hybrid CPU
+/// share with the *same* operation counts as the GPU path.
+pub fn corner_force_traffic(shape: &ProblemShape) -> Traffic {
+    MonolithicCornerForce
+        .optimized_equivalent_traffic(shape)
+        .add(&FzKernel::tuned().traffic(shape))
+        .add(&MomentumRhsKernel.traffic(shape))
+        .add(&EnergyRhsKernel.traffic(shape))
+}
+
+/// Per-iteration CG traffic on the host: one *blocked* SpMV over the
+/// kinematic mass matrix (all `D` velocity components advance together, so
+/// the matrix streams once per iteration) plus the vector operations.
+///
+/// When the matrix fits the package's L3 (20 MB on the E5-2670), repeated
+/// iterations serve most of the stream from cache — this is why the 2D CG
+/// solves are comparatively cheap in Table 1.
+pub fn cg_iteration_traffic(nnz: usize, n: usize) -> Traffic {
+    let matrix_bytes = nnz as f64 * (8.0 + 4.0);
+    let l3_factor = if matrix_bytes < 16e6 { 0.25 } else { 1.0 };
+    Traffic {
+        flops: 2.0 * nnz as f64 + 10.0 * n as f64,
+        dram_bytes: matrix_bytes * l3_factor + 10.0 * n as f64 * 8.0,
+        ..Default::default()
+    }
+}
+
+/// Host-side integration traffic per RK2-average step (vector AXPYs over
+/// the full state, twice per step).
+pub fn integration_traffic(state_len: usize) -> Traffic {
+    Traffic {
+        flops: 6.0 * state_len as f64,
+        dram_bytes: 18.0 * state_len as f64 * 8.0,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuSpec;
+
+    #[test]
+    fn cpu_modes_need_no_gpu() {
+        let ex = Executor::new(ExecMode::CpuSerial, CpuSpec::e5_2670(), None);
+        assert_eq!(ex.cpu_threads(), 1);
+        let ex8 = Executor::new(
+            ExecMode::CpuParallel { threads: 8 },
+            CpuSpec::e5_2670(),
+            None,
+        );
+        assert_eq!(ex8.cpu_threads(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a GPU device")]
+    fn gpu_mode_without_device_panics() {
+        Executor::new(
+            ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 },
+            CpuSpec::e5_2670(),
+            None,
+        );
+    }
+
+    #[test]
+    fn gpu_mode_sets_queues() {
+        let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+        let _ex = Executor::new(
+            ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 8 },
+            CpuSpec::e5_2670(),
+            Some(dev.clone()),
+        );
+        assert_eq!(dev.active_queues(), 8);
+    }
+
+    #[test]
+    fn hybrid_gets_a_balancer() {
+        let dev = Arc::new(GpuDevice::new(GpuSpec::c2050()));
+        let ex = Executor::new(
+            ExecMode::Hybrid { threads: 6 },
+            CpuSpec::x5660(),
+            Some(dev),
+        );
+        assert!(ex.balancer.is_some());
+        assert_eq!(ex.cpu_threads(), 6);
+    }
+
+    #[test]
+    fn traffic_helpers_scale_with_size() {
+        let small = corner_force_traffic(&ProblemShape::new(3, 2, 64));
+        let big = corner_force_traffic(&ProblemShape::new(3, 2, 128));
+        assert!((big.flops / small.flops - 2.0).abs() < 0.01);
+        let cg = cg_iteration_traffic(1000, 100);
+        assert!(cg.flops > 0.0 && cg.dram_bytes > 0.0);
+        let it = integration_traffic(1000);
+        assert!(it.dram_bytes > it.flops);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn too_many_threads_rejected() {
+        Executor::new(ExecMode::CpuParallel { threads: 99 }, CpuSpec::x5660(), None);
+    }
+}

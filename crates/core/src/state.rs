@@ -1,0 +1,70 @@
+//! The Lagrangian hydrodynamic state `(v, e, x)` and energy diagnostics.
+
+/// The unknowns of the semi-discrete system.
+///
+/// `v` and `x` are component-major H1 vector fields (`dim * num_h1_dofs`);
+/// `e` is the L2 specific-internal-energy field (`zones * nthermo`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HydroState {
+    /// Velocity DOFs.
+    pub v: Vec<f64>,
+    /// Specific internal energy DOFs.
+    pub e: Vec<f64>,
+    /// Grid position DOFs (the mesh itself, in the Lagrangian frame).
+    pub x: Vec<f64>,
+    /// Simulation time.
+    pub t: f64,
+}
+
+impl HydroState {
+    /// Zero state with the given sizes.
+    pub fn zeros(vdofs: usize, edofs: usize) -> Self {
+        Self { v: vec![0.0; vdofs], e: vec![0.0; edofs], x: vec![0.0; vdofs], t: 0.0 }
+    }
+}
+
+/// Kinetic / internal / total energy at an instant — the quantities Table 6
+/// reports ("the total energy includes kinetic energy and internal
+/// energy").
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyBreakdown {
+    /// `½ v^T M_V v` (summed over components).
+    pub kinetic: f64,
+    /// `1^T M_E e`.
+    pub internal: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.kinetic + self.internal
+    }
+
+    /// Relative change against a reference breakdown (Table 6's "Total
+    /// Change" column, normalized).
+    pub fn relative_change(&self, reference: &EnergyBreakdown) -> f64 {
+        (self.total() - reference.total()) / reference.total().abs().max(f64::MIN_POSITIVE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_are_sized() {
+        let s = HydroState::zeros(10, 4);
+        assert_eq!(s.v.len(), 10);
+        assert_eq!(s.x.len(), 10);
+        assert_eq!(s.e.len(), 4);
+        assert_eq!(s.t, 0.0);
+    }
+
+    #[test]
+    fn energy_total_and_change() {
+        let a = EnergyBreakdown { kinetic: 0.504, internal: 9.546 };
+        let b = EnergyBreakdown { kinetic: 0.504, internal: 9.546 + 1e-12 };
+        assert!((a.total() - 10.05).abs() < 1e-12);
+        assert!(b.relative_change(&a).abs() < 2e-13);
+    }
+}

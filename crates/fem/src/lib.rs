@@ -1,0 +1,58 @@
+//! # blast-fem
+//!
+//! High-order finite elements for the BLAST reproduction.
+//!
+//! BLAST discretizes Lagrangian hydrodynamics with a *kinematic* space of
+//! continuous `Q_k` elements (velocity and positions) and a *thermodynamic*
+//! space of discontinuous `Q_{k-1}` elements (specific internal energy) on
+//! quadrilateral (2D) or hexahedral (3D) meshes — the `Q_k`-`Q_{k-1}` method
+//! of the paper's §2. This crate provides:
+//!
+//! - Gauss-Legendre quadrature (any order) and tensor-product rules,
+//! - 1D Lagrange bases on Gauss-Lobatto (H1) and Gauss-Legendre (L2) nodes,
+//! - tensor-product `Q_k` bases with tabulated values/gradients,
+//! - structured curvilinear meshes whose geometry is carried by the H1
+//!   kinematic space itself (the Lagrangian frame: mesh nodes move with the
+//!   fluid),
+//! - H1 (continuous, globally numbered) and L2 (discontinuous, zone-local)
+//!   scalar spaces,
+//! - density-weighted mass matrices: the global sparse kinematic `M_V` and
+//!   the block-diagonal thermodynamic `M_E`.
+//!
+//! The reference element is `[0,1]^D`; quadrature uses `2k` points per axis
+//! which matches the paper's reported operand shapes (e.g. `Q2`-`Q1` in 3D:
+//! 81 kinematic vector DOFs x 64 quadrature points).
+
+pub mod basis1d;
+pub mod geom;
+pub mod mass;
+pub mod mesh;
+pub mod quadrature;
+pub mod space;
+pub mod tensor_basis;
+
+pub use basis1d::Basis1d;
+pub use geom::GeomAtPoint;
+pub use mesh::CartMesh;
+pub use quadrature::{gauss_legendre, TensorRule};
+pub use space::{H1Space, L2Space};
+pub use tensor_basis::{BasisTable, TensorBasis};
+
+/// Number of quadrature points per axis used for a `Q_k`-`Q_{k-1}` method.
+///
+/// The paper's operand shapes imply `2k` 1D points (64 = 4^3 points for
+/// `Q2`-`Q1` in 3D, 512 = 8^3 for `Q4`-`Q3`).
+#[inline]
+pub fn quad_points_1d(order: usize) -> usize {
+    2 * order
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quad_points_match_paper_shapes() {
+        // Q2-Q1 3D: 4^3 = 64 points; Q4-Q3 3D: 8^3 = 512 points.
+        assert_eq!(super::quad_points_1d(2_usize).pow(3), 64);
+        assert_eq!(super::quad_points_1d(4_usize).pow(3), 512);
+    }
+}

@@ -1,0 +1,275 @@
+//! Gauss-Legendre quadrature on `[0,1]` and tensor-product rules.
+//!
+//! The corner-force integral (eq. 4) is evaluated with a tensor-product
+//! Gauss rule; every quadrature point carries an independent piece of the
+//! computation, which is exactly the parallelism the paper's kernels 1-4
+//! exploit ("independent operations are performed on each quadrature point
+//! (thread)").
+
+/// Evaluates the Legendre polynomial `P_n` and its derivative at `x` on
+/// `[-1, 1]` via the three-term recurrence.
+fn legendre(n: usize, x: f64) -> (f64, f64) {
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    let (mut p_prev, mut p) = (1.0, x);
+    for k in 1..n {
+        let kf = k as f64;
+        let p_next = ((2.0 * kf + 1.0) * x * p - kf * p_prev) / (kf + 1.0);
+        p_prev = p;
+        p = p_next;
+    }
+    // P'_n(x) = n (x P_n - P_{n-1}) / (x^2 - 1)
+    let dp = n as f64 * (x * p - p_prev) / (x * x - 1.0);
+    (p, dp)
+}
+
+/// Returns the `n`-point Gauss-Legendre nodes and weights on `[0, 1]`.
+///
+/// Exact for polynomials of degree `2n - 1`. Panics for `n == 0`.
+pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n >= 1, "quadrature rule needs at least one point");
+    let mut nodes = vec![0.0; n];
+    let mut weights = vec![0.0; n];
+    for i in 0..(n + 1) / 2 {
+        // Chebyshev-based initial guess for the i-th root of P_n.
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        // Newton iteration.
+        for _ in 0..100 {
+            let (p, dp) = legendre(n, x);
+            let dx = p / dp;
+            x -= dx;
+            if dx.abs() < 1e-16 {
+                break;
+            }
+        }
+        let (_, dp) = legendre(n, x);
+        let w = 2.0 / ((1.0 - x * x) * dp * dp);
+        // Map from [-1,1] to [0,1]: node (x+1)/2, weight w/2. Roots from the
+        // cosine guess come out descending in x, so mirror for ascending
+        // order on [0,1].
+        nodes[i] = (1.0 - x) / 2.0;
+        nodes[n - 1 - i] = (1.0 + x) / 2.0;
+        weights[i] = w / 2.0;
+        weights[n - 1 - i] = w / 2.0;
+    }
+    (nodes, weights)
+}
+
+/// Returns the `n`-point Gauss-Lobatto nodes on `[0, 1]` (endpoints
+/// included). Requires `n >= 2`.
+///
+/// These are the interpolation nodes of the continuous kinematic basis: the
+/// endpoint nodes make the basis continuous across zone faces.
+pub fn gauss_lobatto_nodes(n: usize) -> Vec<f64> {
+    assert!(n >= 2, "Gauss-Lobatto needs at least the two endpoints");
+    let mut nodes = vec![0.0; n];
+    nodes[0] = 0.0;
+    nodes[n - 1] = 1.0;
+    // Interior nodes are roots of P'_{n-1} on (-1, 1).
+    let m = n - 1; // degree of the Legendre polynomial whose derivative we root
+    for i in 1..n - 1 {
+        // Initial guess: Chebyshev-Lobatto points (exact for n<=3, close else).
+        let mut x = (std::f64::consts::PI * (m - i) as f64 / m as f64).cos();
+        for _ in 0..100 {
+            // Newton on f = P'_m. f' = P''_m from the Legendre ODE:
+            // (1-x^2) P''_m = 2x P'_m - m(m+1) P_m.
+            let (p, dp) = legendre(m, x);
+            let ddp = (2.0 * x * dp - (m * (m + 1)) as f64 * p) / (1.0 - x * x);
+            let dx = dp / ddp;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        nodes[i] = (1.0 + x) / 2.0;
+    }
+    nodes
+}
+
+/// A tensor-product quadrature rule on `[0,1]^D`.
+#[derive(Clone, Debug)]
+pub struct TensorRule<const D: usize> {
+    /// Quadrature points in reference coordinates.
+    pub points: Vec<[f64; D]>,
+    /// Quadrature weights (the `α_k` of eq. 4).
+    pub weights: Vec<f64>,
+}
+
+impl<const D: usize> TensorRule<D> {
+    /// Builds the tensor product of the `n`-point 1D Gauss-Legendre rule.
+    ///
+    /// Point ordering is lexicographic with axis 0 fastest, matching the
+    /// basis tabulation in [`crate::tensor_basis`].
+    pub fn gauss(n: usize) -> Self {
+        let (nodes, w1) = gauss_legendre(n);
+        let total = n.pow(D as u32);
+        let mut points = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        for flat in 0..total {
+            let mut p = [0.0; D];
+            let mut w = 1.0;
+            let mut rem = flat;
+            for d in 0..D {
+                let idx = rem % n;
+                rem /= n;
+                p[d] = nodes[idx];
+                w *= w1[idx];
+            }
+            points.push(p);
+            weights.push(w);
+        }
+        Self { points, weights }
+    }
+
+    /// Number of quadrature points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the rule is empty (never for `gauss(n>=1)`).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integrate_1d(n: usize, f: impl Fn(f64) -> f64) -> f64 {
+        let (x, w) = gauss_legendre(n);
+        x.iter().zip(&w).map(|(&xi, &wi)| wi * f(xi)).sum()
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for n in 1..=16 {
+            let (_, w) = gauss_legendre(n);
+            let s: f64 = w.iter().sum();
+            assert!((s - 1.0).abs() < 1e-14, "n={n}: {s}");
+        }
+    }
+
+    #[test]
+    fn nodes_inside_unit_interval_and_sorted() {
+        for n in 1..=16 {
+            let (x, _) = gauss_legendre(n);
+            for i in 0..n {
+                assert!(x[i] > 0.0 && x[i] < 1.0);
+                if i > 0 {
+                    assert!(x[i] > x[i - 1], "n={n} not sorted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exactness_degree_2n_minus_1() {
+        // Integral of x^p on [0,1] is 1/(p+1).
+        for n in 1..=10 {
+            for p in 0..=(2 * n - 1) {
+                let val = integrate_1d(n, |x| x.powi(p as i32));
+                let exact = 1.0 / (p as f64 + 1.0);
+                assert!(
+                    (val - exact).abs() < 1e-13,
+                    "n={n} p={p}: {val} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_2n_not_exact() {
+        // x^{2n} should NOT be integrated exactly (sanity on the exactness
+        // boundary).
+        let n = 3;
+        let val = integrate_1d(n, |x| x.powi(2 * n as i32));
+        let exact = 1.0 / (2.0 * n as f64 + 1.0);
+        assert!((val - exact).abs() > 1e-8);
+    }
+
+    #[test]
+    fn transcendental_convergence() {
+        // High-order rule nails smooth integrands: ∫₀¹ e^x = e - 1.
+        let val = integrate_1d(12, f64::exp);
+        assert!((val - (std::f64::consts::E - 1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn lobatto_nodes_include_endpoints() {
+        for n in 2..=10 {
+            let x = gauss_lobatto_nodes(n);
+            assert_eq!(x[0], 0.0);
+            assert_eq!(x[n - 1], 1.0);
+            for i in 1..n {
+                assert!(x[i] > x[i - 1], "n={n} not sorted: {x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lobatto_3_point_is_midpoint() {
+        let x = gauss_lobatto_nodes(3);
+        assert!((x[1] - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn lobatto_4_point_known_values() {
+        // Interior nodes at (1 ± 1/√5)/2 on [0,1].
+        let x = gauss_lobatto_nodes(4);
+        let a = (1.0 - 1.0 / 5.0f64.sqrt()) / 2.0;
+        assert!((x[1] - a).abs() < 1e-12, "{:?}", x);
+        assert!((x[2] - (1.0 - a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lobatto_symmetric() {
+        for n in 2..=9 {
+            let x = gauss_lobatto_nodes(n);
+            for i in 0..n {
+                assert!((x[i] + x[n - 1 - i] - 1.0).abs() < 1e-12, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_rule_2d_volume_and_moments() {
+        let rule = TensorRule::<2>::gauss(3);
+        assert_eq!(rule.len(), 9);
+        let vol: f64 = rule.weights.iter().sum();
+        assert!((vol - 1.0).abs() < 1e-14);
+        // ∫ x y^2 over unit square = 1/2 * 1/3.
+        let m: f64 = rule
+            .points
+            .iter()
+            .zip(&rule.weights)
+            .map(|(p, &w)| w * p[0] * p[1] * p[1])
+            .sum();
+        assert!((m - 1.0 / 6.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn tensor_rule_3d_axis0_fastest() {
+        let rule = TensorRule::<3>::gauss(2);
+        assert_eq!(rule.len(), 8);
+        // Point 1 differs from point 0 only along axis 0.
+        assert!(rule.points[1][0] > rule.points[0][0]);
+        assert_eq!(rule.points[1][1], rule.points[0][1]);
+        assert_eq!(rule.points[1][2], rule.points[0][2]);
+        // ∫ xyz over unit cube = 1/8.
+        let m: f64 = rule
+            .points
+            .iter()
+            .zip(&rule.weights)
+            .map(|(p, &w)| w * p[0] * p[1] * p[2])
+            .sum();
+        assert!((m - 0.125).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn zero_point_rule_panics() {
+        gauss_legendre(0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Tensor-product `Q_k` bases on `[0,1]^D` and their tabulations.
+//!
+//! The matrices the paper's kernels consume are tabulations of these bases:
+//! `B_jk = φ̂_j(q̂_k)` (thermodynamic values at quadrature points, eq. 6) and
+//! the gradient tables `∇̂ŵ_i(q̂_k)` entering `A_z` (eq. 5). Both are
+//! *constant in time* — computed once here and reused every timestep, on
+//! both the CPU and the simulated GPU (where they live in constant/texture
+//! memory).
+
+use blast_la::DMatrix;
+
+use crate::basis1d::Basis1d;
+
+/// Tensor-product basis: `Q_k` in `D` dimensions with `(k+1)^D` functions.
+///
+/// DOF ordering is lexicographic with axis 0 fastest, matching
+/// [`crate::quadrature::TensorRule`].
+#[derive(Clone, Debug)]
+pub struct TensorBasis<const D: usize> {
+    b1: Basis1d,
+}
+
+impl<const D: usize> TensorBasis<D> {
+    /// Builds from a 1D basis used along every axis.
+    pub fn new(b1: Basis1d) -> Self {
+        Self { b1 }
+    }
+
+    /// Continuous kinematic basis of order `k`.
+    pub fn h1(order: usize) -> Self {
+        Self::new(Basis1d::h1(order))
+    }
+
+    /// Discontinuous thermodynamic basis of order `k`.
+    pub fn l2(order: usize) -> Self {
+        Self::new(Basis1d::l2(order))
+    }
+
+    /// 1D factor basis.
+    pub fn basis_1d(&self) -> &Basis1d {
+        &self.b1
+    }
+
+    /// Nodes per axis.
+    pub fn nodes_per_axis(&self) -> usize {
+        self.b1.len()
+    }
+
+    /// Total number of scalar basis functions `(k+1)^D`.
+    pub fn ndof(&self) -> usize {
+        self.b1.len().pow(D as u32)
+    }
+
+    /// Decomposes a flat DOF index into per-axis indices (axis 0 fastest).
+    #[inline]
+    pub fn dof_multi_index(&self, mut flat: usize) -> [usize; D] {
+        let n = self.b1.len();
+        let mut idx = [0usize; D];
+        for d in 0..D {
+            idx[d] = flat % n;
+            flat /= n;
+        }
+        idx
+    }
+
+    /// Reference coordinates of the interpolation node of DOF `j`.
+    pub fn node(&self, j: usize) -> [f64; D] {
+        let mi = self.dof_multi_index(j);
+        let mut p = [0.0; D];
+        for d in 0..D {
+            p[d] = self.b1.nodes()[mi[d]];
+        }
+        p
+    }
+
+    /// Evaluates all basis values at reference point `x` into `out`
+    /// (length `ndof`).
+    pub fn eval_all(&self, x: &[f64; D], out: &mut [f64]) {
+        let n = self.b1.len();
+        debug_assert_eq!(out.len(), self.ndof());
+        // Per-axis 1D values.
+        let mut vals = [[0.0f64; 16]; D]; // supports order <= 15
+        assert!(n <= 16, "basis order too high for the stack buffer");
+        for d in 0..D {
+            self.b1.eval_all(x[d], &mut vals[d][..n]);
+        }
+        for (flat, o) in out.iter_mut().enumerate() {
+            let mut rem = flat;
+            let mut v = 1.0;
+            for d in 0..D {
+                v *= vals[d][rem % n];
+                rem /= n;
+            }
+            *o = v;
+        }
+    }
+
+    /// Evaluates all reference-space gradients at `x`.
+    ///
+    /// `out[d]` receives the `d`-component of each basis gradient; every
+    /// slice has length `ndof`.
+    pub fn eval_grad_all(&self, x: &[f64; D], out: &mut [Vec<f64>; D]) {
+        let n = self.b1.len();
+        let mut vals = [[0.0f64; 16]; D];
+        let mut ders = [[0.0f64; 16]; D];
+        assert!(n <= 16, "basis order too high for the stack buffer");
+        for d in 0..D {
+            self.b1.eval_all(x[d], &mut vals[d][..n]);
+            self.b1.eval_deriv_all(x[d], &mut ders[d][..n]);
+        }
+        for g in 0..D {
+            let slot = &mut out[g];
+            debug_assert_eq!(slot.len(), self.ndof());
+            for (flat, o) in slot.iter_mut().enumerate() {
+                let mut rem = flat;
+                let mut v = 1.0;
+                for d in 0..D {
+                    let i = rem % n;
+                    rem /= n;
+                    v *= if d == g { ders[d][i] } else { vals[d][i] };
+                }
+                *o = v;
+            }
+        }
+    }
+
+    /// Tabulates values and gradients at a list of points.
+    pub fn tabulate(&self, points: &[[f64; D]]) -> BasisTable<D> {
+        let ndof = self.ndof();
+        let npts = points.len();
+        let mut values = DMatrix::zeros(ndof, npts);
+        let mut grads = std::array::from_fn(|_| DMatrix::zeros(ndof, npts));
+        let mut vbuf = vec![0.0; ndof];
+        let mut gbuf: [Vec<f64>; D] = std::array::from_fn(|_| vec![0.0; ndof]);
+        for (k, p) in points.iter().enumerate() {
+            self.eval_all(p, &mut vbuf);
+            values.col_mut(k).copy_from_slice(&vbuf);
+            self.eval_grad_all(p, &mut gbuf);
+            for d in 0..D {
+                let g: &mut DMatrix = &mut grads[d];
+                g.col_mut(k).copy_from_slice(&gbuf[d]);
+            }
+        }
+        BasisTable { values, grads }
+    }
+}
+
+/// Tabulated basis values and gradients at a fixed point set.
+///
+/// `values` is exactly the paper's matrix `B` (eq. 6) when the basis is the
+/// thermodynamic one and the points are the quadrature rule: dimension
+/// "number of basis functions by number of quadrature points".
+#[derive(Clone, Debug)]
+pub struct BasisTable<const D: usize> {
+    /// `values[(j, k)] = φ̂_j(q̂_k)`, shape `ndof x npts`.
+    pub values: DMatrix,
+    /// `grads[d][(j, k)] = ∂_d ŵ_j(q̂_k)`, each `ndof x npts`.
+    pub grads: [DMatrix; D],
+}
+
+impl<const D: usize> BasisTable<D> {
+    /// Number of basis functions.
+    pub fn ndof(&self) -> usize {
+        self.values.rows()
+    }
+
+    /// Number of tabulation points.
+    pub fn npts(&self) -> usize {
+        self.values.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::TensorRule;
+
+    #[test]
+    fn ndof_counts() {
+        assert_eq!(TensorBasis::<2>::h1(2).ndof(), 9);
+        assert_eq!(TensorBasis::<3>::h1(2).ndof(), 27);
+        assert_eq!(TensorBasis::<3>::h1(4).ndof(), 125);
+        assert_eq!(TensorBasis::<3>::l2(1).ndof(), 8);
+        assert_eq!(TensorBasis::<3>::l2(3).ndof(), 64);
+    }
+
+    #[test]
+    fn paper_operand_shapes_q2q1_3d() {
+        // Q2 kinematic in 3D: 27 scalar => 81 vector DOFs; thermodynamic Q1:
+        // 8 DOFs; rule 4^3 = 64 points. "ŵ_i(q̂_k) is 81 x 64 for Q2-Q1".
+        let kin = TensorBasis::<3>::h1(2);
+        let thermo = TensorBasis::<3>::l2(1);
+        let rule = TensorRule::<3>::gauss(crate::quad_points_1d(2));
+        assert_eq!(3 * kin.ndof(), 81);
+        assert_eq!(thermo.ndof(), 8);
+        assert_eq!(rule.len(), 64);
+        let b = thermo.tabulate(&rule.points);
+        assert_eq!((b.ndof(), b.npts()), (8, 64));
+    }
+
+    #[test]
+    fn partition_of_unity_2d() {
+        let basis = TensorBasis::<2>::h1(3);
+        let mut buf = vec![0.0; basis.ndof()];
+        for &p in &[[0.1, 0.9], [0.5, 0.5], [0.0, 1.0]] {
+            basis.eval_all(&p, &mut buf);
+            let s: f64 = buf.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kronecker_property_at_nodes_3d() {
+        let basis = TensorBasis::<3>::h1(2);
+        let mut buf = vec![0.0; basis.ndof()];
+        for j in 0..basis.ndof() {
+            basis.eval_all(&basis.node(j), &mut buf);
+            for (i, &v) in buf.iter().enumerate() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-12, "node {j} fn {i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_2d() {
+        let basis = TensorBasis::<2>::h1(3);
+        let ndof = basis.ndof();
+        let p = [0.37, 0.68];
+        let h = 1e-6;
+        let mut g: [Vec<f64>; 2] = [vec![0.0; ndof], vec![0.0; ndof]];
+        basis.eval_grad_all(&p, &mut g);
+        let mut vp = vec![0.0; ndof];
+        let mut vm = vec![0.0; ndof];
+        for d in 0..2 {
+            let mut pp = p;
+            let mut pm = p;
+            pp[d] += h;
+            pm[d] -= h;
+            basis.eval_all(&pp, &mut vp);
+            basis.eval_all(&pm, &mut vm);
+            for j in 0..ndof {
+                let fd = (vp[j] - vm[j]) / (2.0 * h);
+                assert!(
+                    (fd - g[d][j]).abs() < 1e-5 * g[d][j].abs().max(1.0),
+                    "d={d} j={j}: fd {fd} vs {}",
+                    g[d][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        // Gradient of the constant interpolant vanishes.
+        let basis = TensorBasis::<3>::h1(2);
+        let ndof = basis.ndof();
+        let mut g: [Vec<f64>; 3] = std::array::from_fn(|_| vec![0.0; ndof]);
+        basis.eval_grad_all(&[0.3, 0.7, 0.2], &mut g);
+        for d in 0..3 {
+            let s: f64 = g[d].iter().sum();
+            assert!(s.abs() < 1e-10, "axis {d}: {s}");
+        }
+    }
+
+    #[test]
+    fn linear_reproduction_2d() {
+        // Q1 basis reproduces x and y exactly.
+        let basis = TensorBasis::<2>::h1(1);
+        let p = [0.3, 0.8];
+        let mut vals = vec![0.0; basis.ndof()];
+        basis.eval_all(&p, &mut vals);
+        for axis in 0..2 {
+            let interp: f64 = (0..basis.ndof())
+                .map(|j| basis.node(j)[axis] * vals[j])
+                .sum();
+            assert!((interp - p[axis]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn tabulation_matches_pointwise_eval() {
+        let basis = TensorBasis::<2>::l2(2);
+        let rule = TensorRule::<2>::gauss(4);
+        let table = basis.tabulate(&rule.points);
+        assert_eq!(table.ndof(), 9);
+        assert_eq!(table.npts(), 16);
+        let mut buf = vec![0.0; 9];
+        for (k, p) in rule.points.iter().enumerate() {
+            basis.eval_all(p, &mut buf);
+            for j in 0..9 {
+                assert_eq!(table.values[(j, k)], buf[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn dof_multi_index_roundtrip() {
+        let basis = TensorBasis::<3>::h1(2); // 3 nodes/axis
+        let mi = basis.dof_multi_index(26);
+        assert_eq!(mi, [2, 2, 2]);
+        let mi0 = basis.dof_multi_index(5); // 5 = 2 + 1*3
+        assert_eq!(mi0, [2, 1, 0]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the finite element machinery.
+
+use blast_fem::geom::{eval_h1_vector, zone_jacobians};
+use blast_fem::mass::assemble_kinematic_mass;
+use blast_fem::{gauss_legendre, Basis1d, CartMesh, H1Space, TensorBasis, TensorRule};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn quadrature_integrates_random_polynomials_exactly(
+        n in 1usize..9,
+        coeffs in proptest::collection::vec(-3.0..3.0f64, 1..8),
+    ) {
+        // Truncate the polynomial to the exactness degree 2n-1.
+        let deg = (2 * n - 1).min(coeffs.len() - 1);
+        let (x, w) = gauss_legendre(n);
+        let poly = |t: f64| -> f64 {
+            coeffs[..=deg].iter().enumerate().map(|(p, c)| c * t.powi(p as i32)).sum()
+        };
+        let quad: f64 = x.iter().zip(&w).map(|(&xi, &wi)| wi * poly(xi)).sum();
+        let exact: f64 = coeffs[..=deg]
+            .iter()
+            .enumerate()
+            .map(|(p, c)| c / (p as f64 + 1.0))
+            .sum();
+        prop_assert!((quad - exact).abs() < 1e-11 * exact.abs().max(1.0));
+    }
+
+    #[test]
+    fn basis_partition_of_unity_at_random_points(
+        order in 1usize..7,
+        x in 0.0..1.0f64,
+        y in 0.0..1.0f64,
+    ) {
+        let basis = TensorBasis::<2>::h1(order);
+        let mut vals = vec![0.0; basis.ndof()];
+        basis.eval_all(&[x, y], &mut vals);
+        let s: f64 = vals.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-11);
+        // Gradient of the constant interpolant is zero.
+        let mut g: [Vec<f64>; 2] = [vec![0.0; basis.ndof()], vec![0.0; basis.ndof()]];
+        basis.eval_grad_all(&[x, y], &mut g);
+        for d in 0..2 {
+            let gs: f64 = g[d].iter().sum();
+            prop_assert!(gs.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lagrange_interpolation_reproduces_its_nodes(
+        order in 1usize..8,
+        target in 0usize..8,
+        x in 0.0..1.0f64,
+    ) {
+        let basis = Basis1d::h1(order);
+        let j = target % basis.len();
+        // Interpolating the j-th nodal indicator returns the j-th basis fn.
+        let vals: Vec<f64> = (0..basis.len())
+            .map(|i| if i == j { 1.0 } else { 0.0 })
+            .collect();
+        let interp: f64 = (0..basis.len()).map(|i| vals[i] * basis.eval(i, x)).sum();
+        prop_assert!((interp - basis.eval(j, x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distorted_mesh_volume_matches_jacobian_integral(
+        amp in 0.0..0.15f64,
+        freq in 1.0..3.0f64,
+    ) {
+        // Smooth area-preserving-ish distortion x -> x + amp sin(f y):
+        // shear preserves |J| = 1 exactly, so total volume is invariant.
+        let mesh = CartMesh::<2>::unit(3);
+        let space = H1Space::new(mesh, 2);
+        let n = space.num_dofs();
+        let mut x = space.initial_coords();
+        for i in 0..n {
+            let yi = x[n + i];
+            x[i] += amp * (freq * yi).sin();
+        }
+        let rule = TensorRule::<2>::gauss(6);
+        let table = space.basis().tabulate(&rule.points);
+        let mut geom = Vec::new();
+        let mut vol = 0.0;
+        for z in 0..space.mesh().num_zones() {
+            zone_jacobians(&space, &table, &x, z, &mut geom);
+            for (g, &w) in geom.iter().zip(&rule.weights) {
+                vol += w * g.det;
+            }
+        }
+        prop_assert!((vol - 1.0).abs() < 1e-9, "volume {vol}");
+    }
+
+    #[test]
+    fn mass_matrix_spd_under_random_density(
+        rho in proptest::collection::vec(0.1..5.0f64, 4),
+        probe in proptest::collection::vec(-1.0..1.0f64, 25),
+    ) {
+        // 2x2 zones at Q2: per-zone constant densities.
+        let mesh = CartMesh::<2>::unit(2);
+        let space = H1Space::new(mesh.clone(), 2);
+        let rule = TensorRule::<2>::gauss(4);
+        let table = space.basis().tabulate(&rule.points);
+        let detj = 0.25;
+        let w: Vec<f64> = (0..4)
+            .flat_map(|z| std::iter::repeat(rho[z] * detj).take(rule.len()))
+            .collect();
+        let m = assemble_kinematic_mass(&space, &rule, &table, &w);
+        prop_assert!(m.asymmetry() < 1e-13);
+        let mx = m.spmv(&probe);
+        let quad: f64 = probe.iter().zip(&mx).map(|(a, b)| a * b).sum();
+        let pn: f64 = probe.iter().map(|v| v * v).sum();
+        if pn > 1e-6 {
+            prop_assert!(quad > 0.0, "x^T M x = {quad}");
+        }
+        // Total mass = sum of entries = sum rho_z * zone area.
+        let total: f64 = m.values().iter().sum();
+        let expect: f64 = rho.iter().map(|r| r * 0.25).sum();
+        prop_assert!((total - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn field_evaluation_is_linear(
+        a in -2.0..2.0f64,
+        b in -2.0..2.0f64,
+    ) {
+        // eval(a u + b w) == a eval(u) + b eval(w).
+        let mesh = CartMesh::<2>::unit(2);
+        let space = H1Space::new(mesh, 2);
+        let rule = TensorRule::<2>::gauss(3);
+        let table = space.basis().tabulate(&rule.points);
+        let n = space.num_dofs();
+        let u: Vec<f64> = (0..2 * n).map(|i| ((i * 7) as f64 * 0.13).sin()).collect();
+        let w: Vec<f64> = (0..2 * n).map(|i| ((i * 3) as f64 * 0.29).cos()).collect();
+        let combo: Vec<f64> = u.iter().zip(&w).map(|(x, y)| a * x + b * y).collect();
+        let mut vu = Vec::new();
+        let mut vw = Vec::new();
+        let mut vc = Vec::new();
+        for z in 0..space.mesh().num_zones() {
+            eval_h1_vector(&space, &table, &u, z, &mut vu);
+            eval_h1_vector(&space, &table, &w, z, &mut vw);
+            eval_h1_vector(&space, &table, &combo, z, &mut vc);
+            for k in 0..rule.len() {
+                for d in 0..2 {
+                    let expect = a * vu[k][d] + b * vw[k][d];
+                    prop_assert!((vc[k][d] - expect).abs() < 1e-11);
+                }
+            }
+        }
+    }
+}

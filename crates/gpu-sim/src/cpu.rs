@@ -1,0 +1,284 @@
+//! CPU cost model — the host side of the hybrid system.
+//!
+//! The paper's baselines run on Xeon X5660 (Westmere, Fermi clusters),
+//! Xeon E5-2670 (Sandy Bridge, single-node tests), and AMD Opteron
+//! (Titan). For apples-to-apples comparisons against the simulated GPU, CPU
+//! phases are costed with the same roofline approach: time is the max of
+//! compute time (scaled by the threads in use) and memory time (shared
+//! bandwidth), with an imperfect-parallel-scaling factor for the OpenMP
+//! analog.
+
+use parking_lot::Mutex;
+use powermon::{CpuPowerModel, CpuPowerState, PowerTrace};
+
+use crate::traffic::Traffic;
+
+/// Static description of a CPU socket (package).
+#[derive(Clone, Debug)]
+pub struct CpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Physical cores in the package.
+    pub cores: u32,
+    /// Peak double-precision GFLOP/s of the whole package.
+    pub peak_gflops_dp: f64,
+    /// Memory bandwidth of the package, GB/s.
+    pub dram_bw_gbs: f64,
+    /// Parallel efficiency at full thread count (memory contention, NUMA).
+    pub parallel_efficiency: f64,
+    /// RAPL-style power model.
+    pub power: CpuPowerModel,
+}
+
+impl CpuSpec {
+    /// Intel Xeon E5-2670: 8 cores, 2.6 GHz, AVX (8 DP flops/cycle/core).
+    pub fn e5_2670() -> Self {
+        Self {
+            name: "Xeon E5-2670",
+            cores: 8,
+            peak_gflops_dp: 166.4,
+            dram_bw_gbs: 51.2,
+            parallel_efficiency: 0.85,
+            power: CpuPowerModel::e5_2670(),
+        }
+    }
+
+    /// Intel Xeon X5660: 6 cores, 2.8 GHz, SSE (4 DP flops/cycle/core).
+    pub fn x5660() -> Self {
+        Self {
+            name: "Xeon X5660",
+            cores: 6,
+            peak_gflops_dp: 67.2,
+            dram_bw_gbs: 32.0,
+            parallel_efficiency: 0.82,
+            power: CpuPowerModel::x5660(),
+        }
+    }
+
+    /// AMD Opteron 6274 (Titan): 16 integer cores / 8 FP modules, 2.2 GHz.
+    pub fn opteron_6274() -> Self {
+        Self {
+            name: "Opteron 6274",
+            cores: 16,
+            peak_gflops_dp: 140.8,
+            dram_bw_gbs: 51.2,
+            parallel_efficiency: 0.78,
+            power: CpuPowerModel::opteron_6274(),
+        }
+    }
+
+    /// Roofline time for a phase run on `threads` cores. CPU code achieves a
+    /// fraction of peak well below 1 even when compute-bound; BLAST's corner
+    /// force sustains ~15% of peak on Xeon (unvectorized irregular inner
+    /// loops), which `flop_efficiency` captures.
+    pub fn phase_time(&self, traffic: &Traffic, threads: u32, flop_efficiency: f64) -> f64 {
+        assert!(threads >= 1 && threads <= self.cores, "thread count out of range");
+        let frac = threads as f64 / self.cores as f64;
+        let par_eff = if threads == 1 {
+            1.0
+        } else {
+            // Linear interpolation between perfect single-thread and
+            // `parallel_efficiency` at full package.
+            1.0 + (self.parallel_efficiency - 1.0) * (threads - 1) as f64
+                / (self.cores - 1) as f64
+        };
+        let gflops = self.peak_gflops_dp * frac * par_eff * flop_efficiency;
+        let t_flop = traffic.flops / (gflops * 1e9);
+        // Memory bandwidth is shared by the package; a single thread can
+        // drive roughly 40% of it.
+        let bw = self.dram_bw_gbs * (0.4 + 0.6 * frac);
+        let t_mem = traffic.total_dram_bytes() / (bw * 1e9);
+        t_flop.max(t_mem)
+    }
+}
+
+/// One recorded CPU phase.
+#[derive(Clone, Debug)]
+pub struct CpuEvent {
+    /// Phase name.
+    pub name: String,
+    /// Simulated start time.
+    pub start_s: f64,
+    /// Duration, seconds.
+    pub time_s: f64,
+    /// Package power during the phase, watts.
+    pub power_w: f64,
+}
+
+#[derive(Debug)]
+struct CpuState {
+    clock_s: f64,
+    trace: PowerTrace,
+    events: Vec<CpuEvent>,
+}
+
+/// A simulated CPU package with a timeline and power trace.
+#[derive(Debug)]
+pub struct CpuDevice {
+    spec: CpuSpec,
+    state: Mutex<CpuState>,
+}
+
+impl CpuDevice {
+    /// Creates a device from a spec.
+    pub fn new(spec: CpuSpec) -> Self {
+        let idle = spec.power.idle_pkg_w + spec.power.idle_dram_w;
+        Self {
+            spec,
+            state: Mutex::new(CpuState {
+                clock_s: 0.0,
+                trace: PowerTrace::new(idle),
+                events: Vec::new(),
+            }),
+        }
+    }
+
+    /// Device specification.
+    pub fn spec(&self) -> &CpuSpec {
+        &self.spec
+    }
+
+    /// Runs a phase: `body` executes for real; the modeled time/power are
+    /// recorded and the simulated clock advances. Returns the body's result
+    /// and the modeled time.
+    pub fn run_phase<R>(
+        &self,
+        name: &str,
+        traffic: &Traffic,
+        threads: u32,
+        flop_efficiency: f64,
+        state: CpuPowerState,
+        body: impl FnOnce() -> R,
+    ) -> (R, f64) {
+        let result = body();
+        let time_s = self.spec.phase_time(traffic, threads, flop_efficiency);
+        let util = threads as f64 / self.spec.cores as f64;
+        let reading = self.spec.power.read(state, util);
+        let power_w = reading.pkg_watts + reading.dram_watts;
+        let mut st = self.state.lock();
+        let start = st.clock_s;
+        st.trace.push(start, time_s, power_w);
+        st.events.push(CpuEvent { name: name.to_string(), start_s: start, time_s, power_w });
+        st.clock_s += time_s;
+        (result, time_s)
+    }
+
+    /// Advances the clock through an idle / waiting gap.
+    pub fn idle(&self, seconds: f64) {
+        assert!(seconds >= 0.0);
+        self.state.lock().clock_s += seconds;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.state.lock().clock_s
+    }
+
+    /// Snapshot of the power trace.
+    pub fn power_trace(&self) -> PowerTrace {
+        self.state.lock().trace.clone()
+    }
+
+    /// Snapshot of recorded events.
+    pub fn events(&self) -> Vec<CpuEvent> {
+        self.state.lock().events.clone()
+    }
+
+    /// Total energy since t = 0, joules.
+    pub fn energy_joules(&self) -> f64 {
+        let st = self.state.lock();
+        st.trace.energy(0.0, st.clock_s)
+    }
+
+    /// Clears the timeline.
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        st.clock_s = 0.0;
+        st.trace = PowerTrace::new(self.spec.power.idle_pkg_w + self.spec.power.idle_dram_w);
+        st.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_threads_is_faster_but_sublinear() {
+        let s = CpuSpec::e5_2670();
+        let t = Traffic::compute(1e10);
+        let t1 = s.phase_time(&t, 1, 0.5);
+        let t8 = s.phase_time(&t, 8, 0.5);
+        assert!(t8 < t1);
+        let speedup = t1 / t8;
+        assert!(speedup > 5.0 && speedup < 8.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn memory_bound_phase_limited_by_bandwidth() {
+        let s = CpuSpec::e5_2670();
+        let t = Traffic { flops: 1e6, dram_bytes: 5.12e9, ..Default::default() };
+        let time = s.phase_time(&t, 8, 0.5);
+        // 5.12 GB at 51.2 GB/s = 0.1 s.
+        assert!((time - 0.1).abs() < 1e-6, "{time}");
+    }
+
+    #[test]
+    fn phase_recording_advances_clock() {
+        let dev = CpuDevice::new(CpuSpec::e5_2670());
+        let (v, t) =
+            dev.run_phase("corner_force", &Traffic::compute(1e9), 8, 0.2, CpuPowerState::Busy, || 7);
+        assert_eq!(v, 7);
+        assert!(t > 0.0);
+        assert!((dev.now() - t).abs() < 1e-15);
+        assert_eq!(dev.events().len(), 1);
+    }
+
+    #[test]
+    fn busy_power_matches_rapl_model() {
+        let dev = CpuDevice::new(CpuSpec::e5_2670());
+        dev.run_phase("cf", &Traffic::compute(1e9), 8, 0.2, CpuPowerState::Busy, || ());
+        let p = dev.events()[0].power_w;
+        // Fully busy E5-2670: 95 W pkg + 15 W DRAM.
+        assert!((p - 110.0).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn offload_power_lower_than_busy() {
+        let dev = CpuDevice::new(CpuSpec::e5_2670());
+        dev.run_phase("cf", &Traffic::compute(1e9), 8, 0.2, CpuPowerState::Busy, || ());
+        dev.run_phase("cf_gpu", &Traffic::compute(1e9), 8, 0.2, CpuPowerState::GpuOffload, || ());
+        let ev = dev.events();
+        assert!(ev[1].power_w < ev[0].power_w);
+    }
+
+    #[test]
+    fn energy_accumulates_across_phases() {
+        let dev = CpuDevice::new(CpuSpec::x5660());
+        dev.run_phase("a", &Traffic::compute(1e9), 6, 0.3, CpuPowerState::Busy, || ());
+        dev.idle(0.5);
+        dev.run_phase("b", &Traffic::compute(1e9), 6, 0.3, CpuPowerState::Busy, || ());
+        let e = dev.energy_joules();
+        assert!(e > 0.0);
+        // Idle gap billed at idle power.
+        let ev = dev.events();
+        let active: f64 = ev.iter().map(|e| e.power_w * e.time_s).sum();
+        let idle_e = 0.5 * (dev.spec().power.idle_pkg_w + dev.spec().power.idle_dram_w);
+        assert!((e - active - idle_e).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count out of range")]
+    fn too_many_threads_panics() {
+        CpuSpec::x5660().phase_time(&Traffic::compute(1.0), 12, 0.5);
+    }
+
+    #[test]
+    fn presets_have_sane_ratios() {
+        // Sandy Bridge has ~2.5x the DP peak of Westmere (paper context for
+        // the single-node speedups).
+        let snb = CpuSpec::e5_2670();
+        let wsm = CpuSpec::x5660();
+        assert!(snb.peak_gflops_dp / wsm.peak_gflops_dp > 2.0);
+    }
+}

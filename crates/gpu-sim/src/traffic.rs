@@ -1,0 +1,98 @@
+//! Kernel traffic profiles: the inputs to the timing and power models.
+//!
+//! Each simulated kernel declares exactly how much work it does and how many
+//! bytes it moves at each level of the memory hierarchy. The `blast-kernels`
+//! crate computes these from the operand shapes (zones, quadrature points,
+//! basis sizes), so optimization variants differ *only* in where their bytes
+//! go — e.g. the register-array variant of kernel 2 moves its workspace
+//! traffic to registers (free), while the local-memory variant pays DRAM for
+//! every spill (Fig. 4).
+
+/// Work and memory traffic of one kernel launch.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Traffic {
+    /// Double-precision floating-point operations.
+    pub flops: f64,
+    /// Bytes moved to/from device memory (DRAM), including uncoalesced
+    /// replay overhead.
+    pub dram_bytes: f64,
+    /// Bytes that hit in L2 (beyond what went to DRAM).
+    pub l2_bytes: f64,
+    /// Bytes moved through shared memory / L1.
+    pub shared_bytes: f64,
+    /// Local-memory bytes (register spills) — physically DRAM traffic, kept
+    /// separate so Fig. 4 can report it.
+    pub local_bytes: f64,
+}
+
+impl Traffic {
+    /// Pure-compute traffic.
+    pub fn compute(flops: f64) -> Self {
+        Self { flops, ..Self::default() }
+    }
+
+    /// Total bytes that reach the DRAM interface (device + spills).
+    pub fn total_dram_bytes(&self) -> f64 {
+        self.dram_bytes + self.local_bytes
+    }
+
+    /// Arithmetic intensity against DRAM traffic, flops/byte.
+    pub fn intensity(&self) -> f64 {
+        let b = self.total_dram_bytes();
+        if b > 0.0 {
+            self.flops / b
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Component-wise sum (for aggregating a kernel sequence).
+    pub fn add(&self, other: &Traffic) -> Traffic {
+        Traffic {
+            flops: self.flops + other.flops,
+            dram_bytes: self.dram_bytes + other.dram_bytes,
+            l2_bytes: self.l2_bytes + other.l2_bytes,
+            shared_bytes: self.shared_bytes + other.shared_bytes,
+            local_bytes: self.local_bytes + other.local_bytes,
+        }
+    }
+
+    /// Scales all components (for batching multiples of a unit workload).
+    pub fn scale(&self, s: f64) -> Traffic {
+        Traffic {
+            flops: self.flops * s,
+            dram_bytes: self.dram_bytes * s,
+            l2_bytes: self.l2_bytes * s,
+            shared_bytes: self.shared_bytes * s,
+            local_bytes: self.local_bytes * s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_counts_spills() {
+        let t = Traffic { flops: 100.0, dram_bytes: 10.0, local_bytes: 10.0, ..Default::default() };
+        assert_eq!(t.intensity(), 5.0);
+        assert_eq!(t.total_dram_bytes(), 20.0);
+    }
+
+    #[test]
+    fn compute_only_has_infinite_intensity() {
+        assert_eq!(Traffic::compute(1e9).intensity(), f64::INFINITY);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Traffic { flops: 1.0, dram_bytes: 2.0, l2_bytes: 3.0, shared_bytes: 4.0, local_bytes: 5.0 };
+        let b = a.scale(2.0);
+        assert_eq!(b.flops, 2.0);
+        assert_eq!(b.local_bytes, 10.0);
+        let c = a.add(&b);
+        assert_eq!(c.dram_bytes, 6.0);
+        assert_eq!(c.shared_bytes, 12.0);
+    }
+}

@@ -1,0 +1,463 @@
+//! Kernel 2 — `kernel_loop_grad_v`: equation of state and total stress
+//! tensor `σ̂(q̂_k)` at every quadrature point.
+//!
+//! This is the physics kernel: ideal-gas EOS, sound speed, and the tensor
+//! artificial viscosity of Dobrev-Kolev-Rieben (the paper's reference \[1\]), which
+//! needs the eigendecomposition of the symmetrized velocity gradient at each
+//! point — the "Eigval" work the paper highlights. It also produces the
+//! per-point timestep control `inv_dt` whose global maximum bounds the CFL
+//! step (step 5 of the algorithm: "find minimum time step").
+//!
+//! Viscosity model (following the reference implementation of BLAST's
+//! method, as in the Laghos miniapp):
+//!
+//! ```text
+//! ε      = sym(∇v)                          (spatial velocity gradient)
+//! μ, s   = smallest eigenpair of ε          (maximal compression)
+//! h      = h0 |J J0^{-1} s|                 (length scale in that direction)
+//! q      = 2 ρ h^2 |μ| + 0.5 ρ h c_s step(-μ)
+//! σ      = -p I + q ε
+//! inv_dt = c_s / h_min + 2.5 q / (ρ h_min^2),  h_min = σ_min(J)/k
+//! ```
+
+use blast_la::{sym_eig2, sym_eig3, BatchedMats, DMatrix, SmallMat};
+use gpu_sim::{GpuDevice, KernelStats, LaunchConfig, Traffic};
+use rayon::prelude::*;
+
+use crate::k1::POINT_KERNEL_BLOCK;
+use crate::shapes::ProblemShape;
+use crate::Workspace;
+
+/// Per-zone material/geometry constants consumed by the stress kernel.
+#[derive(Clone, Debug)]
+pub struct ZoneConstants {
+    /// Adiabatic index `γ` per zone (triple-point uses two materials).
+    pub gamma: Vec<f64>,
+    /// Initial directional length scale `h0` per zone (min initial zone
+    /// extent divided by the kinematic order).
+    pub h0: Vec<f64>,
+    /// Diagonal of `J_0^{-1}` per zone (`zones * dim`; the initial mesh is
+    /// axis-aligned so `J_0` is diagonal).
+    pub j0inv_diag: Vec<f64>,
+}
+
+/// Kernel 2: EOS + artificial viscosity -> total stress per point.
+#[derive(Clone, Copy, Debug)]
+pub struct StressKernel {
+    /// Workspace placement (Fig. 4 ablation; the paper reports a 4x speedup
+    /// for this kernel from register arrays on Kepler).
+    pub workspace: Workspace,
+    /// Artificial viscosity on/off (off reduces to pure ideal-gas flow —
+    /// useful for the Taylor-Green smooth-flow validation).
+    pub use_viscosity: bool,
+}
+
+/// Smooth step that is 0 below 0 and 1 above `eps` (C1 transition) — the
+/// reference implementation's differentiable "if compressing" switch.
+#[inline]
+fn smooth_step_01(x: f64, eps: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else if x >= eps {
+        1.0
+    } else {
+        let y = x / eps;
+        y * y * (3.0 - 2.0 * y)
+    }
+}
+
+impl StressKernel {
+    /// Kernel name as in Table 2.
+    pub const NAME: &'static str = "kernel_loop_grad_v";
+
+    /// Launch configuration for `shape`.
+    pub fn config(&self, shape: &ProblemShape) -> LaunchConfig {
+        let count = shape.total_points() as u32;
+        let grid = count.div_ceil(POINT_KERNEL_BLOCK);
+        let regs = match (self.workspace, shape.dim) {
+            (Workspace::Registers, 2) => 56,
+            (Workspace::Registers, _) => 128,
+            (Workspace::LocalMemory, 2) => 30,
+            (Workspace::LocalMemory, _) => 32,
+        };
+        LaunchConfig::new(grid, POINT_KERNEL_BLOCK, 0, regs)
+    }
+
+    /// Declared traffic for `shape`.
+    pub fn traffic(&self, shape: &ProblemShape) -> Traffic {
+        let n = shape.total_points() as f64;
+        let d = shape.dim as f64;
+        let d2 = d * d;
+        // Physics flops per point: EOS ~15, eig ~(40 | 260), viscosity ~60,
+        // energy interpolation 2*nthermo.
+        let eig = if shape.dim == 2 { 40.0 } else { 260.0 };
+        let flops_per_pt = 15.0 + eig + 60.0 + 2.0 * shape.nthermo as f64;
+        // Reads: L, J, adj (3 d^2 mats), det + hmin + rho0detj0 (24 B);
+        // writes: sigma (d^2) + inv_dt (8 B). e-coefficients and the B table
+        // are block-cached: count them as L2.
+        let dram = n * (3.0 * d2 * 8.0 + 24.0 + d2 * 8.0 + 8.0);
+        let l2 = n * (shape.nthermo as f64 * 8.0);
+        let local = match self.workspace {
+            Workspace::Registers => 0.0,
+            // Workspace: eps, eigen-vectors, sigma accumulator (~4 matrices
+            // x ~5 round trips past the L1). The paper measured 4x slowdown
+            // on this kernel from the spills.
+            Workspace::LocalMemory => n * 4.0 * d2 * 8.0 * 5.0,
+        };
+        Traffic { flops: n * flops_per_pt, dram_bytes: dram, l2_bytes: l2, local_bytes: local, ..Default::default() }
+    }
+
+    /// Pure computation.
+    ///
+    /// Inputs (all per point unless stated): `e_coeffs` (L2 energy DOFs,
+    /// zone-major), `thermo_vals` (`B` table, `nthermo x npts`), `grad_v`
+    /// (spatial velocity gradient from kernels 3+5), `jac`, `det`, `hmin`
+    /// (from kernels 3/1), `rho0detj0` (frozen mass density x volume),
+    /// zone constants. Outputs: `sigma` per point, `inv_dt` per point.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute(
+        &self,
+        shape: &ProblemShape,
+        e_coeffs: &[f64],
+        thermo_vals: &DMatrix,
+        grad_v: &BatchedMats,
+        jac: &BatchedMats,
+        det: &[f64],
+        hmin: &[f64],
+        rho0detj0: &[f64],
+        consts: &ZoneConstants,
+        sigma: &mut BatchedMats,
+        inv_dt: &mut [f64],
+    ) {
+        let d = shape.dim;
+        let npts = shape.npts;
+        let nthermo = shape.nthermo;
+        let total = shape.total_points();
+        assert_eq!(e_coeffs.len(), shape.zones * nthermo);
+        assert_eq!(thermo_vals.shape(), (nthermo, npts));
+        assert_eq!(grad_v.count(), total);
+        assert_eq!(jac.count(), total);
+        assert_eq!(det.len(), total);
+        assert_eq!(hmin.len(), total);
+        assert_eq!(rho0detj0.len(), total);
+        assert_eq!(consts.gamma.len(), shape.zones);
+        assert_eq!(consts.h0.len(), shape.zones);
+        assert_eq!(consts.j0inv_diag.len(), shape.zones * d);
+        assert_eq!(sigma.count(), total);
+        assert_eq!(inv_dt.len(), total);
+
+        let stride = d * d;
+        let use_visc = self.use_viscosity;
+        let order = shape.order as f64;
+        sigma
+            .as_mut_slice()
+            .par_chunks_exact_mut(stride)
+            .zip(inv_dt.par_iter_mut())
+            .enumerate()
+            .for_each(|(p, (sig_p, invdt_p))| {
+                let z = p / npts;
+                let k = p % npts;
+                let gamma = consts.gamma[z];
+                let h0 = consts.h0[z];
+                let j0inv = &consts.j0inv_diag[z * d..(z + 1) * d];
+
+                // Thermodynamic state.
+                let mut e_pt = 0.0;
+                for l in 0..nthermo {
+                    e_pt += e_coeffs[z * nthermo + l] * thermo_vals[(l, k)];
+                }
+                let e_pt = e_pt.max(0.0);
+                let rho = rho0detj0[p] / det[p];
+                let p_eos = (gamma - 1.0) * rho * e_pt;
+                let cs = (gamma * (gamma - 1.0) * e_pt).sqrt();
+
+                if d == 2 {
+                    stress_at_point::<2>(
+                        use_visc, gamma, h0, j0inv, rho, p_eos, cs, grad_v.mat(p), jac.mat(p),
+                        hmin[p], order, sig_p, invdt_p,
+                    );
+                } else {
+                    stress_at_point::<3>(
+                        use_visc, gamma, h0, j0inv, rho, p_eos, cs, grad_v.mat(p), jac.mat(p),
+                        hmin[p], order, sig_p, invdt_p,
+                    );
+                }
+            });
+    }
+
+    /// Launches the kernel on the simulated device.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &self,
+        dev: &GpuDevice,
+        shape: &ProblemShape,
+        e_coeffs: &[f64],
+        thermo_vals: &DMatrix,
+        grad_v: &BatchedMats,
+        jac: &BatchedMats,
+        det: &[f64],
+        hmin: &[f64],
+        rho0detj0: &[f64],
+        consts: &ZoneConstants,
+        sigma: &mut BatchedMats,
+        inv_dt: &mut [f64],
+    ) -> KernelStats {
+        let cfg = self.config(shape);
+        let traffic = self.traffic(shape);
+        let (_, stats) = dev.launch(Self::NAME, &cfg, &traffic, || {
+            self.compute(
+                shape, e_coeffs, thermo_vals, grad_v, jac, det, hmin, rho0detj0, consts, sigma,
+                inv_dt,
+            );
+        });
+        stats
+    }
+}
+
+/// The per-point stress/viscosity computation, monomorphic in `D`.
+#[allow(clippy::too_many_arguments)]
+fn stress_at_point<const D: usize>(
+    use_visc: bool,
+    _gamma: f64,
+    h0: f64,
+    j0inv: &[f64],
+    rho: f64,
+    p_eos: f64,
+    cs: f64,
+    grad_v_slice: &[f64],
+    jac_slice: &[f64],
+    hmin_jac: f64,
+    order: f64,
+    sig_out: &mut [f64],
+    invdt_out: &mut f64,
+) {
+    let l = SmallMat::<D>::from_col_slice(grad_v_slice);
+    let mut sigma = SmallMat::<D>::zeros();
+    for i in 0..D {
+        sigma[(i, i)] = -p_eos;
+    }
+
+    let mut visc_coeff = 0.0;
+    if use_visc {
+        let eps_t = l.sym();
+        // Smallest eigenpair = maximal compression.
+        let (mu, dir) = if D == 2 {
+            let m = SmallMat::<2>::from_fn(|i, j| eps_t[(i, j)]);
+            let e = sym_eig2(&m);
+            let mut v = [0.0; D];
+            for i in 0..D {
+                v[i] = e.vectors[(i, 1)];
+            }
+            (e.values[1], v)
+        } else {
+            let m = SmallMat::<3>::from_fn(|i, j| eps_t[(i, j)]);
+            let e = sym_eig3(&m);
+            let mut v = [0.0; D];
+            for i in 0..D {
+                v[i] = e.vectors[(i, 2)];
+            }
+            (e.values[2], v)
+        };
+        // Directional length scale h = h0 |J J0^{-1} dir|.
+        let jac = SmallMat::<D>::from_col_slice(jac_slice);
+        let jpi = SmallMat::<D>::from_fn(|i, c| jac[(i, c)] * j0inv[c]);
+        let ph = jpi.mul_vec(&dir);
+        let h = h0 * ph.iter().map(|x| x * x).sum::<f64>().sqrt();
+        visc_coeff = 2.0 * rho * h * h * mu.abs();
+        // Linear term only under compression (smooth switch).
+        let eps_sw = 1e-12;
+        visc_coeff += 0.5 * rho * h * cs * (1.0 - smooth_step_01(mu - 2.0 * eps_sw, eps_sw));
+        for j in 0..D {
+            for i in 0..D {
+                sigma[(i, j)] += visc_coeff * eps_t[(i, j)];
+            }
+        }
+    }
+    sigma.write_col_slice(sig_out);
+
+    // Per-point timestep control.
+    let h_min = (hmin_jac / order).max(1e-300);
+    *invdt_out = cs / h_min + 2.5 * visc_coeff / (rho * h_min * h_min);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_setup(dim: usize, zones: usize) -> (ProblemShape, ZoneConstants) {
+        let shape = ProblemShape::new(dim, 2, zones);
+        let consts = ZoneConstants {
+            gamma: vec![1.4; zones],
+            h0: vec![0.1; zones],
+            j0inv_diag: vec![1.0; zones * dim],
+        };
+        (shape, consts)
+    }
+
+    fn run_compute(
+        shape: &ProblemShape,
+        consts: &ZoneConstants,
+        kernel: &StressKernel,
+        e_val: f64,
+        grad_v: &BatchedMats,
+    ) -> (BatchedMats, Vec<f64>) {
+        let d = shape.dim;
+        let total = shape.total_points();
+        let e_coeffs = vec![e_val; shape.zones * shape.nthermo];
+        // Constant-1 "basis": partition of unity collapses to single dof
+        // semantics when all coefficients are equal.
+        let thermo_vals = DMatrix::from_fn(shape.nthermo, shape.npts, |_, _| {
+            1.0 / shape.nthermo as f64
+        });
+        let jac = BatchedMats::from_fn(d, d, total, |_, i, j| if i == j { 1.0 } else { 0.0 });
+        let det = vec![1.0; total];
+        let hmin = vec![1.0; total];
+        let rho0detj0 = vec![1.0; total]; // rho = 1 everywhere
+        let mut sigma = BatchedMats::zeros(d, d, total);
+        let mut inv_dt = vec![0.0; total];
+        kernel.compute(
+            shape, &e_coeffs, &thermo_vals, grad_v, &jac, &det, &hmin, &rho0detj0, consts,
+            &mut sigma, &mut inv_dt,
+        );
+        (sigma, inv_dt)
+    }
+
+    #[test]
+    fn static_gas_gives_pure_pressure() {
+        // No motion: sigma = -p I with p = (gamma-1) rho e.
+        let (shape, consts) = uniform_setup(2, 3);
+        let k = StressKernel { workspace: Workspace::Registers, use_viscosity: true };
+        let grad_v = BatchedMats::zeros(2, 2, shape.total_points());
+        let (sigma, inv_dt) = run_compute(&shape, &consts, &k, 2.5, &grad_v);
+        let p_expect = 0.4 * 1.0 * 2.5;
+        for pt in 0..shape.total_points() {
+            let s = sigma.mat(pt);
+            assert!((s[0] + p_expect).abs() < 1e-12);
+            assert!((s[3] + p_expect).abs() < 1e-12);
+            assert!(s[1].abs() < 1e-12 && s[2].abs() < 1e-12);
+        }
+        // inv_dt = cs/h_min + 2.5 q_lin/(rho h_min^2): at mu = 0 the smooth
+        // compression switch is fully on (matching the reference
+        // implementation), so the linear viscosity enters the dt control
+        // even though sigma is untouched (it multiplies sym(grad v) = 0).
+        let cs = (1.4 * 0.4 * 2.5_f64).sqrt();
+        let h_min = 1.0 / shape.order as f64;
+        let q_lin = 0.5 * 1.0 * 0.1 * cs; // 0.5 rho h0 cs
+        let expect = cs / h_min + 2.5 * q_lin / (h_min * h_min);
+        for &v in &inv_dt {
+            assert!((v - expect).abs() < 1e-10, "{v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn uniform_compression_activates_viscosity() {
+        // grad v = -I (isotropic compression): mu < 0, both q1 and q2 terms
+        // fire, sigma gains a negative (compressive) viscous part.
+        let (shape, consts) = uniform_setup(2, 2);
+        let k = StressKernel { workspace: Workspace::Registers, use_viscosity: true };
+        let grad_v = BatchedMats::from_fn(2, 2, shape.total_points(), |_, i, j| {
+            if i == j { -1.0 } else { 0.0 }
+        });
+        let (sigma, _) = run_compute(&shape, &consts, &k, 1.0, &grad_v);
+        let p_eos = 0.4;
+        for pt in 0..shape.total_points() {
+            let s = sigma.mat(pt);
+            // sigma_xx = -p + q * (-1) < -p.
+            assert!(s[0] < -p_eos, "sigma_xx {} should include viscosity", s[0]);
+        }
+    }
+
+    #[test]
+    fn expansion_has_no_linear_viscosity() {
+        // grad v = +I (expansion): mu > 0, linear term off; only the
+        // quadratic |mu| term remains (small for small h).
+        let (shape, consts) = uniform_setup(2, 2);
+        let k = StressKernel { workspace: Workspace::Registers, use_viscosity: true };
+        let grad_v = BatchedMats::from_fn(2, 2, shape.total_points(), |_, i, j| {
+            if i == j { 1.0 } else { 0.0 }
+        });
+        let (sigma, _) = run_compute(&shape, &consts, &k, 1.0, &grad_v);
+        // Quadratic term: q = 2 rho h^2 |mu| = 2 * 1 * 0.01 * 1 = 0.02.
+        let p_eos = 0.4;
+        for pt in 0..shape.total_points() {
+            let s = sigma.mat(pt);
+            assert!((s[0] - (-p_eos + 0.02)).abs() < 1e-10, "{}", s[0]);
+        }
+    }
+
+    #[test]
+    fn viscosity_off_reduces_to_eos() {
+        let (shape, consts) = uniform_setup(3, 1);
+        let k = StressKernel { workspace: Workspace::Registers, use_viscosity: false };
+        let grad_v = BatchedMats::from_fn(3, 3, shape.total_points(), |p, i, j| {
+            ((p + i * 3 + j) as f64 * 0.1).sin()
+        });
+        let (sigma, _) = run_compute(&shape, &consts, &k, 1.0, &grad_v);
+        for pt in 0..shape.total_points() {
+            let s = sigma.mat(pt);
+            for i in 0..3 {
+                for j in 0..3 {
+                    let expect = if i == j { -0.4 } else { 0.0 };
+                    assert!((s[i + j * 3] - expect).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negative_energy_clamped() {
+        let (shape, consts) = uniform_setup(2, 1);
+        let k = StressKernel { workspace: Workspace::Registers, use_viscosity: false };
+        let grad_v = BatchedMats::zeros(2, 2, shape.total_points());
+        let (sigma, inv_dt) = run_compute(&shape, &consts, &k, -5.0, &grad_v);
+        for pt in 0..shape.total_points() {
+            assert_eq!(sigma.mat(pt)[0], 0.0, "pressure must clamp at e = 0");
+        }
+        // cs = 0 and no viscosity -> inv_dt = 0 (no wave speed).
+        assert!(inv_dt.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn shear_flow_viscosity_is_symmetric() {
+        // Pure shear: sigma must remain symmetric (viscosity uses sym(L)).
+        let (shape, consts) = uniform_setup(3, 1);
+        let k = StressKernel { workspace: Workspace::Registers, use_viscosity: true };
+        let grad_v = BatchedMats::from_fn(3, 3, shape.total_points(), |_, i, j| {
+            if i == 0 && j == 1 { 2.0 } else { 0.0 }
+        });
+        let (sigma, _) = run_compute(&shape, &consts, &k, 1.0, &grad_v);
+        for pt in 0..shape.total_points() {
+            let s = sigma.mat(pt);
+            for i in 0..3 {
+                for j in 0..3 {
+                    assert!((s[i + j * 3] - s[j + i * 3]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stronger_compression_raises_inv_dt() {
+        let (shape, consts) = uniform_setup(2, 1);
+        let k = StressKernel { workspace: Workspace::Registers, use_viscosity: true };
+        let weak = BatchedMats::from_fn(2, 2, shape.total_points(), |_, i, j| {
+            if i == j { -0.5 } else { 0.0 }
+        });
+        let strong = BatchedMats::from_fn(2, 2, shape.total_points(), |_, i, j| {
+            if i == j { -5.0 } else { 0.0 }
+        });
+        let (_, dt_weak) = run_compute(&shape, &consts, &k, 1.0, &weak);
+        let (_, dt_strong) = run_compute(&shape, &consts, &k, 1.0, &strong);
+        assert!(dt_strong[0] > dt_weak[0]);
+    }
+
+    #[test]
+    fn smooth_step_properties() {
+        assert_eq!(smooth_step_01(-1.0, 1e-12), 0.0);
+        assert_eq!(smooth_step_01(1.0, 1e-12), 1.0);
+        let eps = 1.0;
+        let mid = smooth_step_01(0.5, eps);
+        assert!(mid > 0.0 && mid < 1.0);
+        assert!((smooth_step_01(0.5, eps) - 0.5).abs() < 1e-12); // odd symmetry at midpoint
+    }
+}

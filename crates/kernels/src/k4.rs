@@ -1,0 +1,255 @@
+//! Kernel 4 — `kernel_Phi_sigma_hat_z`: assembles the columns of `A_z`
+//! from the transformed stress.
+//!
+//! With `S_{z,k} = σ̂(q̂_k) adj(J_z(q̂_k))^T` (from kernel 6; note
+//! `|J| J^{-T} = adj(J)^T`), eq. (5) becomes, for the vector basis function
+//! with component `c` and scalar index `m`:
+//!
+//! ```text
+//! (A_z)_{(c,m), k} = α_k (S_{z,k} Ĝ_{m,k})_c
+//! ```
+//!
+//! where `Ĝ_{m,k} = ∇̂ŵ_m(q̂_k)` comes from the constant gradient table.
+//! Table 3: num A = zones * points (the `S` matrices), num B = points (the
+//! gradient-table blocks), num C = zones * points (the `A_z` columns). The
+//! variant/tuning story mirrors kernel 3.
+
+use blast_la::{BatchedMats, DMatrix};
+use gpu_sim::{GpuDevice, KernelStats, LaunchConfig, Traffic};
+use rayon::prelude::*;
+
+use crate::shapes::ProblemShape;
+use crate::GemmVariant;
+
+/// Kernel 4: `A_z` column assembly.
+#[derive(Clone, Copy, Debug)]
+pub struct AzKernel {
+    /// Optimization variant (v1 global, v2 shared, v3 tuned multi-`A`).
+    pub variant: GemmVariant,
+    /// Points packed per thread block (v3 tuning knob).
+    pub pts_per_block: u32,
+}
+
+impl AzKernel {
+    /// Table 2 kernel name.
+    pub const NAME: &'static str = "kernel_Phi_sigma_hat_z";
+
+    /// Tuned default.
+    pub fn tuned() -> Self {
+        Self { variant: GemmVariant::V3, pts_per_block: 8 }
+    }
+
+    fn pts_per_block(&self) -> u32 {
+        match self.variant {
+            GemmVariant::V1 | GemmVariant::V2 => 1,
+            GemmVariant::V3 => self.pts_per_block.max(1),
+        }
+    }
+
+    /// Launch configuration.
+    pub fn config(&self, shape: &ProblemShape) -> LaunchConfig {
+        let np = self.pts_per_block();
+        let grid = (shape.total_points() as u32).div_ceil(np);
+        let threads = (np * 64).clamp(64, 512);
+        let shared = match self.variant {
+            GemmVariant::V1 => 0,
+            GemmVariant::V2 | GemmVariant::V3 => {
+                // S matrices for the block + one gradient-table chunk.
+                np * (shape.dim * shape.dim * 8) as u32
+                    + (shape.nkin * shape.dim * 8) as u32
+            }
+        };
+        LaunchConfig::new(grid, threads, shared, 36)
+    }
+
+    /// Declared traffic.
+    pub fn traffic(&self, shape: &ProblemShape) -> Traffic {
+        let n = shape.total_points() as f64;
+        let d = shape.dim as f64;
+        let nkin = shape.nkin as f64;
+        let flops = n * nkin * 2.0 * d * d;
+        let s_read = n * d * d * 8.0;
+        let az_write = n * d * nkin * 8.0;
+        let table = (shape.nkin * shape.dim * shape.npts * 8) as f64;
+        let blocks = (shape.total_points() as f64 / self.pts_per_block() as f64).ceil();
+        match self.variant {
+            // v1: gradient table re-read from global memory by every block.
+            GemmVariant::V1 => Traffic {
+                flops,
+                dram_bytes: s_read + az_write + table * (1.0 + 0.4 * (blocks / shape.npts as f64)),
+                l2_bytes: table * 0.6 * (blocks / shape.npts as f64),
+                ..Default::default()
+            },
+            GemmVariant::V2 | GemmVariant::V3 => Traffic {
+                flops,
+                dram_bytes: s_read + az_write + table,
+                l2_bytes: table * (blocks / shape.npts as f64),
+                shared_bytes: flops * 8.0 * 0.5,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Pure computation.
+    ///
+    /// `s` holds `S_{z,k}` per point, `grads[g]` the `nkin x npts` gradient
+    /// tables, `alpha` the quadrature weights. Output `az` is a batch of
+    /// `nvdof x npts` matrices, one per zone, with component-major row
+    /// indexing `i = c * nkin + m`.
+    pub fn compute(
+        shape: &ProblemShape,
+        s: &BatchedMats,
+        grads: &[DMatrix],
+        alpha: &[f64],
+        az: &mut BatchedMats,
+    ) {
+        let d = shape.dim;
+        let nkin = shape.nkin;
+        let npts = shape.npts;
+        assert_eq!(s.count(), shape.total_points());
+        assert_eq!(s.shape(), (d, d));
+        assert_eq!(grads.len(), d);
+        assert_eq!(alpha.len(), npts);
+        assert_eq!(az.count(), shape.zones);
+        assert_eq!(az.shape(), (shape.nvdof(), npts));
+
+        let stride = d * d;
+        az.par_mats_mut().for_each(|(z, az_z)| {
+            let nvdof = d * nkin;
+            for k in 0..npts {
+                let sp = &s.as_slice()[(z * npts + k) * stride..(z * npts + k + 1) * stride];
+                let ak = alpha[k];
+                for m in 0..nkin {
+                    // g_vec = Ĝ_{m,k}; y = S g_vec.
+                    let mut y = [0.0f64; 3];
+                    for c in 0..d {
+                        let mut acc = 0.0;
+                        for g in 0..d {
+                            acc += sp[c + g * d] * grads[g][(m, k)];
+                        }
+                        y[c] = acc;
+                    }
+                    for c in 0..d {
+                        az_z[(c * nkin + m) + k * nvdof] = ak * y[c];
+                    }
+                }
+            }
+        });
+    }
+
+    /// Launches on the simulated device.
+    pub fn run(
+        &self,
+        dev: &GpuDevice,
+        shape: &ProblemShape,
+        s: &BatchedMats,
+        grads: &[DMatrix],
+        alpha: &[f64],
+        az: &mut BatchedMats,
+    ) -> KernelStats {
+        let cfg = self.config(shape);
+        let traffic = self.traffic(shape);
+        let (_, stats) = dev.launch(Self::NAME, &cfg, &traffic, || {
+            Self::compute(shape, s, grads, alpha, az);
+        });
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuSpec;
+
+    fn setup(dim: usize) -> (ProblemShape, BatchedMats, Vec<DMatrix>, Vec<f64>) {
+        let shape = ProblemShape::new(dim, 1, 3);
+        let s = BatchedMats::from_fn(dim, dim, shape.total_points(), |z, i, j| {
+            ((z + i * 2 + j) as f64 * 0.31).cos()
+        });
+        let grads: Vec<DMatrix> = (0..dim)
+            .map(|g| {
+                DMatrix::from_fn(shape.nkin, shape.npts, |m, k| {
+                    ((g * 13 + m * 5 + k) as f64 * 0.17).sin()
+                })
+            })
+            .collect();
+        let alpha: Vec<f64> = (0..shape.npts).map(|k| 0.1 + 0.01 * k as f64).collect();
+        (shape, s, grads, alpha)
+    }
+
+    #[test]
+    fn matches_direct_formula_2d() {
+        let (shape, s, grads, alpha) = setup(2);
+        let mut az = BatchedMats::zeros(shape.nvdof(), shape.npts, shape.zones);
+        AzKernel::compute(&shape, &s, &grads, &alpha, &mut az);
+        let d = 2;
+        for z in 0..shape.zones {
+            for k in 0..shape.npts {
+                let sp = s.mat(z * shape.npts + k);
+                for m in 0..shape.nkin {
+                    for c in 0..d {
+                        let mut expect = 0.0;
+                        for g in 0..d {
+                            expect += sp[c + g * d] * grads[g][(m, k)];
+                        }
+                        expect *= alpha[k];
+                        let got = az.get(z, c * shape.nkin + m, k);
+                        assert!((got - expect).abs() < 1e-13, "z={z} k={k} m={m} c={c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_stress_projects_gradients() {
+        // S = I: A_z entries are alpha_k * Ĝ components.
+        let (shape, _, grads, alpha) = setup(3);
+        let s = BatchedMats::from_fn(3, 3, shape.total_points(), |_, i, j| {
+            if i == j { 1.0 } else { 0.0 }
+        });
+        let mut az = BatchedMats::zeros(shape.nvdof(), shape.npts, shape.zones);
+        AzKernel::compute(&shape, &s, &grads, &alpha, &mut az);
+        for k in 0..shape.npts {
+            for m in 0..shape.nkin {
+                for c in 0..3 {
+                    let got = az.get(0, c * shape.nkin + m, k);
+                    let expect = alpha[k] * grads[c][(m, k)];
+                    assert!((got - expect).abs() < 1e-13);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variants_identical_and_ordered() {
+        let (shape, s, grads, alpha) = setup(2);
+        let dev = GpuDevice::new(GpuSpec::k20());
+        let mut results = Vec::new();
+        let mut times = Vec::new();
+        for k in [
+            AzKernel { variant: GemmVariant::V1, pts_per_block: 1 },
+            AzKernel { variant: GemmVariant::V2, pts_per_block: 1 },
+            AzKernel::tuned(),
+        ] {
+            let mut az = BatchedMats::zeros(shape.nvdof(), shape.npts, shape.zones);
+            k.run(&dev, &shape, &s, &grads, &alpha, &mut az);
+            results.push(az);
+            // Model at realistic scale for the ordering check.
+            let big = ProblemShape::new(3, 2, 4096);
+            times.push(dev.model_kernel(&k.config(&big), &k.traffic(&big)).time_s);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+        assert!(times[1] < times[0], "v2 {} !< v1 {}", times[1], times[0]);
+        assert!(times[2] <= times[1], "v3 {} !<= v2 {}", times[2], times[1]);
+    }
+
+    #[test]
+    fn az_shape_matches_paper() {
+        // Q2-Q1 3D: A_z is 81 x 64 per zone.
+        let shape = ProblemShape::new(3, 2, 10);
+        let az = BatchedMats::zeros(shape.nvdof(), shape.npts, shape.zones);
+        assert_eq!(az.shape(), (81, 64));
+    }
+}

@@ -1,0 +1,270 @@
+//! Symmetric eigendecomposition of 2x2 and 3x3 matrices.
+//!
+//! The tensor artificial viscosity in BLAST needs, at *every quadrature
+//! point*, the eigenvalues and eigenvectors of the symmetrized velocity
+//! gradient — this is the "Eigval" work inside the paper's kernel 1/2. The
+//! 2x2 case is closed-form; the 3x3 case uses cyclic Jacobi rotations, which
+//! are unconditionally stable and branch-light (important for the GPU port,
+//! where each thread runs one decomposition).
+
+use crate::small::SmallMat;
+
+/// Eigendecomposition `A = V diag(λ) V^T` of a symmetric matrix.
+///
+/// Eigenvalues are sorted in **descending** order; `vectors` holds the
+/// corresponding unit eigenvectors as columns.
+#[derive(Clone, Copy, Debug)]
+pub struct SymEig<const D: usize> {
+    /// Eigenvalues, descending.
+    pub values: [f64; D],
+    /// Unit eigenvectors, column `k` pairs with `values[k]`.
+    pub vectors: SmallMat<D>,
+}
+
+impl<const D: usize> SymEig<D> {
+    /// Reconstructs `V diag(λ) V^T` (for validation).
+    pub fn reconstruct(&self) -> SmallMat<D> {
+        let mut a = SmallMat::zeros();
+        for k in 0..D {
+            let mut col = [0.0; D];
+            for i in 0..D {
+                col[i] = self.vectors[(i, k)];
+            }
+            a.add_outer(self.values[k], &col, &col);
+        }
+        a
+    }
+}
+
+/// Eigendecomposition of a symmetric 2x2 matrix (closed form).
+///
+/// Only the lower triangle of `a` is read; the matrix is assumed symmetric.
+pub fn sym_eig2(a: &SmallMat<2>) -> SymEig<2> {
+    let (p, q, r) = (a[(0, 0)], a[(1, 0)], a[(1, 1)]);
+    let tr = p + r;
+    let diff = p - r;
+    let disc = (diff * diff * 0.25 + q * q).sqrt();
+    let l0 = 0.5 * tr + disc;
+    let l1 = 0.5 * tr - disc;
+
+    let mut v = SmallMat::<2>::zeros();
+    if q.abs() > f64::EPSILON * tr.abs().max(1.0) {
+        // Eigenvector for l0: (l0 - r, q) normalized.
+        let (x0, y0) = (l0 - r, q);
+        let n0 = (x0 * x0 + y0 * y0).sqrt();
+        v[(0, 0)] = x0 / n0;
+        v[(1, 0)] = y0 / n0;
+        // Orthogonal complement.
+        v[(0, 1)] = -v[(1, 0)];
+        v[(1, 1)] = v[(0, 0)];
+    } else {
+        // Already diagonal; order columns to match the sorted eigenvalues.
+        if p >= r {
+            v = SmallMat::identity();
+        } else {
+            v[(0, 1)] = 1.0;
+            v[(1, 0)] = 1.0;
+        }
+    }
+    SymEig { values: [l0, l1], vectors: v }
+}
+
+/// Eigendecomposition of a symmetric 3x3 matrix by cyclic Jacobi sweeps.
+///
+/// Converges quadratically; 8 sweeps reach machine precision for any input.
+/// Only the lower triangle of `a` is read.
+pub fn sym_eig3(a: &SmallMat<3>) -> SymEig<3> {
+    // Work on a full symmetric copy.
+    let mut m = SmallMat::<3>::from_fn(|i, j| if i >= j { a[(i, j)] } else { a[(j, i)] });
+    let mut v = SmallMat::<3>::identity();
+
+    for _sweep in 0..12 {
+        let off = m[(1, 0)].abs() + m[(2, 0)].abs() + m[(2, 1)].abs();
+        if off < 1e-300 || off < 1e-15 * m.norm().max(1.0) {
+            break;
+        }
+        for &(p, q) in &[(0usize, 1usize), (0, 2), (1, 2)] {
+            let apq = m[(p, q)];
+            if apq == 0.0 {
+                continue;
+            }
+            let app = m[(p, p)];
+            let aqq = m[(q, q)];
+            let theta = 0.5 * (aqq - app) / apq;
+            // tan of the rotation angle, the numerically stable formula.
+            let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
+            let c = 1.0 / (1.0 + t * t).sqrt();
+            let s = t * c;
+            // Apply the Givens rotation G(p,q,θ) on both sides of m.
+            for k in 0..3 {
+                let mkp = m[(k, p)];
+                let mkq = m[(k, q)];
+                m[(k, p)] = c * mkp - s * mkq;
+                m[(k, q)] = s * mkp + c * mkq;
+            }
+            for k in 0..3 {
+                let mpk = m[(p, k)];
+                let mqk = m[(q, k)];
+                m[(p, k)] = c * mpk - s * mqk;
+                m[(q, k)] = s * mpk + c * mqk;
+            }
+            // Accumulate eigenvectors.
+            for k in 0..3 {
+                let vkp = v[(k, p)];
+                let vkq = v[(k, q)];
+                v[(k, p)] = c * vkp - s * vkq;
+                v[(k, q)] = s * vkp + c * vkq;
+            }
+        }
+    }
+
+    // Sort eigenpairs descending.
+    let mut order = [0usize, 1, 2];
+    let vals = [m[(0, 0)], m[(1, 1)], m[(2, 2)]];
+    order.sort_by(|&i, &j| vals[j].partial_cmp(&vals[i]).expect("NaN eigenvalue"));
+    let values = [vals[order[0]], vals[order[1]], vals[order[2]]];
+    let vectors = SmallMat::<3>::from_fn(|i, k| v[(i, order[k])]);
+    SymEig { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn sym2(p: f64, q: f64, r: f64) -> SmallMat<2> {
+        SmallMat::from_fn(|i, j| [[p, q], [q, r]][i][j])
+    }
+
+    fn sym3(rows: [[f64; 3]; 3]) -> SmallMat<3> {
+        SmallMat::from_fn(|i, j| rows[i][j])
+    }
+
+    fn check_reconstruct<const D: usize>(a: &SmallMat<D>, e: &SymEig<D>, tol: f64) {
+        let r = e.reconstruct();
+        for i in 0..D {
+            for j in 0..D {
+                assert!(
+                    approx_eq(r[(i, j)], a[(i, j)], tol),
+                    "({i},{j}): {} vs {}",
+                    r[(i, j)],
+                    a[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eig2_diagonal() {
+        let a = sym2(3.0, 0.0, -1.0);
+        let e = sym_eig2(&a);
+        assert_eq!(e.values, [3.0, -1.0]);
+        check_reconstruct(&a, &e, 1e-14);
+    }
+
+    #[test]
+    fn eig2_diagonal_swapped_order() {
+        let a = sym2(-1.0, 0.0, 3.0);
+        let e = sym_eig2(&a);
+        assert_eq!(e.values, [3.0, -1.0]);
+        check_reconstruct(&a, &e, 1e-14);
+    }
+
+    #[test]
+    fn eig2_known_offdiagonal() {
+        // [[2,1],[1,2]] has eigenvalues 3, 1 with vectors (1,1)/√2, (-1,1)/√2.
+        let a = sym2(2.0, 1.0, 2.0);
+        let e = sym_eig2(&a);
+        assert!(approx_eq(e.values[0], 3.0, 1e-14));
+        assert!(approx_eq(e.values[1], 1.0, 1e-14));
+        check_reconstruct(&a, &e, 1e-14);
+        let v0 = [e.vectors[(0, 0)], e.vectors[(1, 0)]];
+        assert!(approx_eq(v0[0].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-14));
+    }
+
+    #[test]
+    fn eig2_vectors_orthonormal() {
+        let a = sym2(4.0, -2.5, 1.0);
+        let e = sym_eig2(&a);
+        let v = e.vectors;
+        let g = v.transpose() * v;
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx_eq(g[(i, j)], if i == j { 1.0 } else { 0.0 }, 1e-13));
+            }
+        }
+    }
+
+    #[test]
+    fn eig3_diagonal() {
+        let a = sym3([[5.0, 0.0, 0.0], [0.0, -2.0, 0.0], [0.0, 0.0, 1.0]]);
+        let e = sym_eig3(&a);
+        assert!(approx_eq(e.values[0], 5.0, 1e-14));
+        assert!(approx_eq(e.values[1], 1.0, 1e-14));
+        assert!(approx_eq(e.values[2], -2.0, 1e-14));
+        check_reconstruct(&a, &e, 1e-13);
+    }
+
+    #[test]
+    fn eig3_known_matrix() {
+        // Classic: [[2,1,0],[1,2,1],[0,1,2]] has eigenvalues 2±√2, 2.
+        let a = sym3([[2.0, 1.0, 0.0], [1.0, 2.0, 1.0], [0.0, 1.0, 2.0]]);
+        let e = sym_eig3(&a);
+        let s2 = std::f64::consts::SQRT_2;
+        assert!(approx_eq(e.values[0], 2.0 + s2, 1e-12));
+        assert!(approx_eq(e.values[1], 2.0, 1e-12));
+        assert!(approx_eq(e.values[2], 2.0 - s2, 1e-12));
+        check_reconstruct(&a, &e, 1e-12);
+    }
+
+    #[test]
+    fn eig3_vectors_orthonormal() {
+        let a = sym3([[1.0, 2.0, 3.0], [2.0, -4.0, 0.5], [3.0, 0.5, 7.0]]);
+        let e = sym_eig3(&a);
+        let g = e.vectors.transpose() * e.vectors;
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    approx_eq(g[(i, j)], if i == j { 1.0 } else { 0.0 }, 1e-12),
+                    "({i},{j}) = {}",
+                    g[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eig3_trace_and_det_invariants() {
+        let a = sym3([[3.0, 1.0, 0.2], [1.0, 2.0, -0.7], [0.2, -0.7, 5.0]]);
+        let e = sym_eig3(&a);
+        let sum: f64 = e.values.iter().sum();
+        let prod: f64 = e.values.iter().product();
+        assert!(approx_eq(sum, a.trace(), 1e-12));
+        assert!(approx_eq(prod, a.det(), 1e-11));
+    }
+
+    #[test]
+    fn eig3_repeated_eigenvalues() {
+        // 2 I with a rank-one bump: eigenvalues 3, 2, 2.
+        let mut a = SmallMat::<3>::identity();
+        a.scale(2.0);
+        a.add_outer(1.0, &[1.0, 0.0, 0.0], &[1.0, 0.0, 0.0]);
+        let e = sym_eig3(&a);
+        assert!(approx_eq(e.values[0], 3.0, 1e-13));
+        assert!(approx_eq(e.values[1], 2.0, 1e-13));
+        assert!(approx_eq(e.values[2], 2.0, 1e-13));
+        check_reconstruct(&a, &e, 1e-12);
+    }
+
+    #[test]
+    fn eig2_zero_matrix() {
+        let e = sym_eig2(&SmallMat::zeros());
+        assert_eq!(e.values, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn eig3_zero_matrix() {
+        let e = sym_eig3(&SmallMat::zeros());
+        assert_eq!(e.values, [0.0, 0.0, 0.0]);
+    }
+}

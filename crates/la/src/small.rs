@@ -1,0 +1,403 @@
+//! Fixed-size `DIM x DIM` matrices (`DIM` = 2 or 3).
+//!
+//! The corner-force evaluation works almost entirely on tiny matrices: the
+//! zone Jacobian `J_z(q̂_k)`, its inverse/adjugate, the velocity gradient,
+//! and the total stress tensor `σ̂(q̂_k)` are all `DIM x DIM`. The paper's
+//! kernels 1, 2, 5 and 6 batch-process millions of these. On the GPU each
+//! thread keeps one such matrix in a *register array* (the optimization of
+//! Fig. 4), which is exactly what a `[[f64; D]; D]` by-value struct models in
+//! Rust: the compiler keeps it in registers when it fits.
+
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
+
+/// Stack-allocated column-major `D x D` matrix.
+///
+/// `m[(i, j)]` is row `i`, column `j`. Stored as `cols[j][i]` so that
+/// flattening matches the column-major convention of [`crate::DMatrix`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SmallMat<const D: usize> {
+    cols: [[f64; D]; D],
+}
+
+impl<const D: usize> Default for SmallMat<D> {
+    fn default() -> Self {
+        Self::zeros()
+    }
+}
+
+impl<const D: usize> SmallMat<D> {
+    /// The zero matrix.
+    #[inline]
+    pub fn zeros() -> Self {
+        Self { cols: [[0.0; D]; D] }
+    }
+
+    /// The identity matrix.
+    #[inline]
+    pub fn identity() -> Self {
+        let mut m = Self::zeros();
+        for i in 0..D {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a closure over `(row, col)`.
+    #[inline]
+    pub fn from_fn(mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros();
+        for j in 0..D {
+            for i in 0..D {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Reads a matrix from a column-major slice of length `D*D`.
+    #[inline]
+    pub fn from_col_slice(s: &[f64]) -> Self {
+        debug_assert_eq!(s.len(), D * D);
+        Self::from_fn(|i, j| s[i + j * D])
+    }
+
+    /// Writes the matrix into a column-major slice of length `D*D`.
+    #[inline]
+    pub fn write_col_slice(&self, s: &mut [f64]) {
+        debug_assert_eq!(s.len(), D * D);
+        for j in 0..D {
+            for i in 0..D {
+                s[i + j * D] = self[(i, j)];
+            }
+        }
+    }
+
+    /// Transpose.
+    #[inline]
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(|i, j| self[(j, i)])
+    }
+
+    /// Matrix-vector product.
+    #[inline]
+    pub fn mul_vec(&self, x: &[f64; D]) -> [f64; D] {
+        let mut y = [0.0; D];
+        for j in 0..D {
+            for i in 0..D {
+                y[i] += self[(i, j)] * x[j];
+            }
+        }
+        y
+    }
+
+    /// Double contraction `A : B = sum_ij A_ij B_ij` (used in eq. (5): the
+    /// stress tensor is contracted with the transformed basis gradient).
+    #[inline]
+    pub fn ddot(&self, other: &Self) -> f64 {
+        let mut s = 0.0;
+        for j in 0..D {
+            for i in 0..D {
+                s += self[(i, j)] * other[(i, j)];
+            }
+        }
+        s
+    }
+
+    /// Symmetric part `(A + A^T) / 2` (the rate-of-deformation tensor used by
+    /// the artificial viscosity).
+    #[inline]
+    pub fn sym(&self) -> Self {
+        Self::from_fn(|i, j| 0.5 * (self[(i, j)] + self[(j, i)]))
+    }
+
+    /// Trace.
+    #[inline]
+    pub fn trace(&self) -> f64 {
+        (0..D).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.ddot(self).sqrt()
+    }
+
+    /// Scales in place.
+    #[inline]
+    pub fn scale(&mut self, alpha: f64) {
+        for j in 0..D {
+            for i in 0..D {
+                self[(i, j)] *= alpha;
+            }
+        }
+    }
+
+    /// Rank-one update `self += alpha * x y^T` (builds e.g. viscosity tensors
+    /// from eigenvectors).
+    #[inline]
+    pub fn add_outer(&mut self, alpha: f64, x: &[f64; D], y: &[f64; D]) {
+        for j in 0..D {
+            for i in 0..D {
+                self[(i, j)] += alpha * x[i] * y[j];
+            }
+        }
+    }
+}
+
+impl SmallMat<2> {
+    /// Determinant (2x2).
+    #[inline]
+    pub fn det(&self) -> f64 {
+        self[(0, 0)] * self[(1, 1)] - self[(0, 1)] * self[(1, 0)]
+    }
+
+    /// Adjugate (transpose of the cofactor matrix): `A * adj(A) = det(A) I`.
+    ///
+    /// Kernel 1 of the paper computes this for every quadrature point because
+    /// `J^{-1} = adj(J) / det(J)` avoids dividing until the determinant is
+    /// also needed for `|J|`.
+    #[inline]
+    pub fn adjugate(&self) -> Self {
+        let mut m = Self::zeros();
+        m[(0, 0)] = self[(1, 1)];
+        m[(0, 1)] = -self[(0, 1)];
+        m[(1, 0)] = -self[(1, 0)];
+        m[(1, 1)] = self[(0, 0)];
+        m
+    }
+
+    /// Inverse. Panics (debug) on exactly singular input.
+    #[inline]
+    pub fn inverse(&self) -> Self {
+        let d = self.det();
+        debug_assert!(d != 0.0, "singular 2x2 matrix");
+        let mut m = self.adjugate();
+        m.scale(1.0 / d);
+        m
+    }
+}
+
+impl SmallMat<3> {
+    /// Determinant (3x3) by cofactor expansion.
+    #[inline]
+    pub fn det(&self) -> f64 {
+        let m = self;
+        m[(0, 0)] * (m[(1, 1)] * m[(2, 2)] - m[(1, 2)] * m[(2, 1)])
+            - m[(0, 1)] * (m[(1, 0)] * m[(2, 2)] - m[(1, 2)] * m[(2, 0)])
+            + m[(0, 2)] * (m[(1, 0)] * m[(2, 1)] - m[(1, 1)] * m[(2, 0)])
+    }
+
+    /// Adjugate (3x3): `A * adj(A) = det(A) I`.
+    #[inline]
+    pub fn adjugate(&self) -> Self {
+        let m = self;
+        let cof = |i: usize, j: usize| -> f64 {
+            // 2x2 minor with row i, column j removed, with sign.
+            let r = [(i + 1) % 3, (i + 2) % 3];
+            let c = [(j + 1) % 3, (j + 2) % 3];
+            // Using cyclic indices keeps the sign pattern implicit.
+            m[(r[0], c[0])] * m[(r[1], c[1])] - m[(r[0], c[1])] * m[(r[1], c[0])]
+        };
+        // adj(A)_ij = cofactor_ji; with cyclic minors cof(j, i) already
+        // carries the checkerboard sign.
+        Self::from_fn(|i, j| cof(j, i))
+    }
+
+    /// Inverse. Panics (debug) on exactly singular input.
+    #[inline]
+    pub fn inverse(&self) -> Self {
+        let d = self.det();
+        debug_assert!(d != 0.0, "singular 3x3 matrix");
+        let mut m = self.adjugate();
+        m.scale(1.0 / d);
+        m
+    }
+}
+
+impl<const D: usize> Index<(usize, usize)> for SmallMat<D> {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.cols[j][i]
+    }
+}
+
+impl<const D: usize> IndexMut<(usize, usize)> for SmallMat<D> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.cols[j][i]
+    }
+}
+
+impl<const D: usize> Mul for SmallMat<D> {
+    type Output = SmallMat<D>;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        let mut c = Self::zeros();
+        for j in 0..D {
+            for p in 0..D {
+                let b = rhs[(p, j)];
+                for i in 0..D {
+                    c[(i, j)] += self[(i, p)] * b;
+                }
+            }
+        }
+        c
+    }
+}
+
+impl<const D: usize> Add for SmallMat<D> {
+    type Output = SmallMat<D>;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::from_fn(|i, j| self[(i, j)] + rhs[(i, j)])
+    }
+}
+
+impl<const D: usize> Sub for SmallMat<D> {
+    type Output = SmallMat<D>;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::from_fn(|i, j| self[(i, j)] - rhs[(i, j)])
+    }
+}
+
+impl<const D: usize> AddAssign for SmallMat<D> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        for j in 0..D {
+            for i in 0..D {
+                self[(i, j)] += rhs[(i, j)];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn m2(a: f64, b: f64, c: f64, d: f64) -> SmallMat<2> {
+        // Row-major convenience: [a b; c d].
+        SmallMat::from_fn(|i, j| [[a, b], [c, d]][i][j])
+    }
+
+    fn m3(rows: [[f64; 3]; 3]) -> SmallMat<3> {
+        SmallMat::from_fn(|i, j| rows[i][j])
+    }
+
+    #[test]
+    fn det2_known() {
+        assert_eq!(m2(1.0, 2.0, 3.0, 4.0).det(), -2.0);
+    }
+
+    #[test]
+    fn adjugate2_identity_relation() {
+        let a = m2(3.0, 1.0, -2.0, 5.0);
+        let prod = a * a.adjugate();
+        let d = a.det();
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { d } else { 0.0 };
+                assert!(approx_eq(prod[(i, j)], expect, 1e-14));
+            }
+        }
+    }
+
+    #[test]
+    fn inverse2_roundtrip() {
+        let a = m2(3.0, 1.0, -2.0, 5.0);
+        let p = a * a.inverse();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx_eq(p[(i, j)], if i == j { 1.0 } else { 0.0 }, 1e-14));
+            }
+        }
+    }
+
+    #[test]
+    fn det3_known() {
+        let a = m3([[2.0, 0.0, 1.0], [1.0, 3.0, 2.0], [1.0, 1.0, 1.0]]);
+        // det = 2*(3-2) - 0 + 1*(1-3) = 0
+        assert_eq!(a.det(), 0.0);
+        let b = m3([[1.0, 2.0, 3.0], [0.0, 1.0, 4.0], [5.0, 6.0, 0.0]]);
+        assert_eq!(b.det(), 1.0);
+    }
+
+    #[test]
+    fn adjugate3_identity_relation() {
+        let a = m3([[1.0, 2.0, 3.0], [0.0, 1.0, 4.0], [5.0, 6.0, 0.0]]);
+        let prod = a * a.adjugate();
+        let d = a.det();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { d } else { 0.0 };
+                assert!(approx_eq(prod[(i, j)], expect, 1e-12), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse3_known() {
+        // This matrix has det 1 and an integer inverse.
+        let a = m3([[1.0, 2.0, 3.0], [0.0, 1.0, 4.0], [5.0, 6.0, 0.0]]);
+        let inv = a.inverse();
+        let expect = m3([[-24.0, 18.0, 5.0], [20.0, -15.0, -4.0], [-5.0, 4.0, 1.0]]);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(approx_eq(inv[(i, j)], expect[(i, j)], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = m2(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), [3.0, 7.0]);
+    }
+
+    #[test]
+    fn ddot_is_frobenius_inner_product() {
+        let a = m2(1.0, 2.0, 3.0, 4.0);
+        let b = m2(5.0, 6.0, 7.0, 8.0);
+        assert_eq!(a.ddot(&b), 5.0 + 12.0 + 21.0 + 32.0);
+    }
+
+    #[test]
+    fn sym_is_symmetric_and_preserves_trace() {
+        let a = m3([[1.0, 5.0, 0.0], [2.0, 2.0, 7.0], [4.0, 1.0, 3.0]]);
+        let s = a.sym();
+        assert_eq!(s, s.transpose());
+        assert_eq!(s.trace(), a.trace());
+    }
+
+    #[test]
+    fn outer_product_accumulates() {
+        let mut a = SmallMat::<2>::zeros();
+        a.add_outer(2.0, &[1.0, 0.0], &[0.0, 1.0]);
+        assert_eq!(a[(0, 1)], 2.0);
+        assert_eq!(a[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn col_slice_roundtrip() {
+        let a = m3([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]);
+        let mut buf = [0.0; 9];
+        a.write_col_slice(&mut buf);
+        assert_eq!(SmallMat::<3>::from_col_slice(&buf), a);
+        // Column-major flattening: first 3 entries are column 0.
+        assert_eq!(&buf[..3], &[1.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn add_sub_addassign() {
+        let a = m2(1.0, 2.0, 3.0, 4.0);
+        let b = m2(4.0, 3.0, 2.0, 1.0);
+        assert_eq!((a + b).trace(), 10.0);
+        assert_eq!((a - a).norm(), 0.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c[(0, 0)], 5.0);
+    }
+}

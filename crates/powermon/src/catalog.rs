@@ -1,0 +1,126 @@
+//! Hardware catalog for Fig. 1: double-precision GFLOPS per watt of NVIDIA
+//! GPUs versus Intel CPUs, using theoretical peak FLOPS and TDP — exactly
+//! the paper's methodology ("we use the theoretical peak performance as the
+//! FLOPS and TDP as watts").
+//!
+//! Entries cover the 2008-2013 generations surrounding the paper.
+
+/// Processor vendor class for the Fig. 1 series split.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Vendor {
+    /// NVIDIA GPUs.
+    NvidiaGpu,
+    /// Intel server CPUs.
+    IntelCpu,
+}
+
+/// One catalog entry.
+#[derive(Clone, Debug)]
+pub struct Part {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Vendor class.
+    pub vendor: Vendor,
+    /// Release year.
+    pub year: u32,
+    /// Theoretical peak double-precision GFLOP/s.
+    pub peak_gflops_dp: f64,
+    /// Thermal design power, watts.
+    pub tdp_w: f64,
+}
+
+impl Part {
+    /// GFLOPS per watt in double precision — Fig. 1's y-axis.
+    pub fn gflops_per_watt(&self) -> f64 {
+        self.peak_gflops_dp / self.tdp_w
+    }
+}
+
+/// The catalog behind Fig. 1.
+pub fn catalog() -> Vec<Part> {
+    use Vendor::*;
+    vec![
+        // NVIDIA Tesla line (DP peak, board TDP).
+        Part { name: "Tesla C1060", vendor: NvidiaGpu, year: 2008, peak_gflops_dp: 78.0, tdp_w: 188.0 },
+        Part { name: "Tesla C2050", vendor: NvidiaGpu, year: 2010, peak_gflops_dp: 515.0, tdp_w: 238.0 },
+        Part { name: "Tesla M2090", vendor: NvidiaGpu, year: 2011, peak_gflops_dp: 665.0, tdp_w: 225.0 },
+        Part { name: "Tesla K10", vendor: NvidiaGpu, year: 2012, peak_gflops_dp: 190.0, tdp_w: 225.0 },
+        Part { name: "Tesla K20", vendor: NvidiaGpu, year: 2012, peak_gflops_dp: 1170.0, tdp_w: 225.0 },
+        Part { name: "Tesla K20X", vendor: NvidiaGpu, year: 2013, peak_gflops_dp: 1310.0, tdp_w: 235.0 },
+        // Intel Xeon line.
+        Part { name: "Xeon X5482 (Harpertown)", vendor: IntelCpu, year: 2008, peak_gflops_dp: 51.2, tdp_w: 150.0 },
+        Part { name: "Xeon X5570 (Nehalem)", vendor: IntelCpu, year: 2009, peak_gflops_dp: 46.9, tdp_w: 95.0 },
+        Part { name: "Xeon X5660 (Westmere)", vendor: IntelCpu, year: 2010, peak_gflops_dp: 67.2, tdp_w: 95.0 },
+        Part { name: "Xeon E5-2670 (Sandy Bridge)", vendor: IntelCpu, year: 2012, peak_gflops_dp: 166.4, tdp_w: 115.0 },
+        Part { name: "Xeon E5-2697v2 (Ivy Bridge)", vendor: IntelCpu, year: 2013, peak_gflops_dp: 216.0, tdp_w: 130.0 },
+    ]
+}
+
+/// The Fig. 1 series: `(year, gflops/W)` points per vendor, year-sorted.
+pub fn fig1_series(vendor: Vendor) -> Vec<(u32, f64)> {
+    let mut pts: Vec<(u32, f64)> = catalog()
+        .iter()
+        .filter(|p| p.vendor == vendor)
+        .map(|p| (p.year, p.gflops_per_watt()))
+        .collect();
+    pts.sort_by_key(|&(y, _)| y);
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k20_beats_3_gflops_per_watt() {
+        // Green500 context in §1: "the most efficient systems powered by K20
+        // surpassed 3 GFLOPS per watt" — the bare part exceeds that too.
+        let cat = catalog();
+        let k20 = cat.iter().find(|p| p.name == "Tesla K20").unwrap();
+        assert!(k20.gflops_per_watt() > 3.0);
+    }
+
+    #[test]
+    fn gpus_dominate_cpus_per_generation_after_fermi() {
+        // Fig. 1's message: from Fermi on, GPU DP GFLOPS/W exceeds
+        // contemporary CPUs by a wide margin.
+        let gpus = fig1_series(Vendor::NvidiaGpu);
+        let cpus = fig1_series(Vendor::IntelCpu);
+        let best_cpu = cpus.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+        // 2012 has two GPU entries (K10, K20); take the flagship DP part.
+        let k20 = gpus
+            .iter()
+            .filter(|&&(y, _)| y == 2012)
+            .map(|&(_, v)| v)
+            .fold(0.0, f64::max);
+        assert!(k20 > 2.0 * best_cpu, "K20 {k20} vs best CPU {best_cpu}");
+    }
+
+    #[test]
+    fn series_are_year_sorted_and_nonempty() {
+        for v in [Vendor::NvidiaGpu, Vendor::IntelCpu] {
+            let s = fig1_series(v);
+            assert!(s.len() >= 4);
+            for w in s.windows(2) {
+                assert!(w[0].0 <= w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_trend_is_upward_overall() {
+        let s = fig1_series(Vendor::IntelCpu);
+        assert!(s.last().unwrap().1 > s.first().unwrap().1);
+    }
+
+    #[test]
+    fn k10_is_the_dp_outlier() {
+        // K10 is a single-precision part; its DP GFLOPS/W sits far below
+        // K20 — worth keeping in the catalog since the paper ran on K10
+        // clusters with CUDA+OpenMP.
+        let cat = catalog();
+        let k10 = cat.iter().find(|p| p.name == "Tesla K10").unwrap();
+        let k20 = cat.iter().find(|p| p.name == "Tesla K20").unwrap();
+        assert!(k20.gflops_per_watt() > 5.0 * k10.gflops_per_watt());
+    }
+}

@@ -1,0 +1,14 @@
+//! Workspace root crate for the BLAST CPU-GPU reproduction.
+//!
+//! This crate only re-exports the member crates so that the workspace-level
+//! `examples/` and `tests/` can use a single dependency. The actual library
+//! lives in the `crates/` members; see `DESIGN.md` for the inventory.
+
+pub use autotune;
+pub use blast_core;
+pub use blast_fem;
+pub use blast_kernels;
+pub use blast_la;
+pub use cluster_sim;
+pub use gpu_sim;
+pub use powermon;

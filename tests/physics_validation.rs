@@ -1,0 +1,135 @@
+//! Physics validation of the hydro solver against known properties of the
+//! Euler equations: strong-shock compression limits, Sedov similarity
+//! scaling, symmetry preservation, and Galilean invariance of the internal
+//! energy evolution.
+
+use blast_repro::blast_core::{ExecMode, Executor, Hydro, HydroConfig, Sedov};
+use blast_repro::gpu_sim::CpuSpec;
+
+fn cpu_exec() -> Executor {
+    Executor::new(ExecMode::CpuParallel { threads: 8 }, CpuSpec::e5_2670(), None)
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "hydro-scale experiment: run with --release")]
+fn shock_compression_bounded_by_rankine_hugoniot() {
+    // A single shock in a gamma = 1.4 gas compresses at most
+    // (gamma+1)/(gamma-1) = 6; with reflections and numerical overshoot a
+    // modest margin applies, but 10x would be unphysical.
+    let problem = Sedov::default();
+    let mut hydro =
+        Hydro::<2>::new(&problem, [10, 10], HydroConfig::default(), cpu_exec()).unwrap();
+    let mut state = hydro.initial_state();
+    hydro.run_to(&mut state, 0.25, 1000);
+    let (max_compr, min_det, _) = hydro.density_diagnostics(&state);
+    assert!(min_det > 0.0, "mesh remained valid");
+    assert!(max_compr > 1.5, "a shock should compress: {max_compr}");
+    assert!(max_compr < 8.0, "compression {max_compr} beyond physical limit");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "hydro-scale experiment: run with --release")]
+fn sedov_expansion_decelerates() {
+    // Sedov similarity: r ~ t^{2/(nu+2)} -> the shock decelerates; the
+    // blast kinetic energy saturates rather than growing without bound.
+    let problem = Sedov::default();
+    let mut hydro =
+        Hydro::<2>::new(&problem, [10, 10], HydroConfig::default(), cpu_exec()).unwrap();
+    let mut state = hydro.initial_state();
+
+    hydro.run_to(&mut state, 0.1, 1000);
+    let ke1 = hydro.energies(&state).kinetic;
+    let r1 = blast_radius(&hydro, &state);
+    hydro.run_to(&mut state, 0.3, 1000);
+    let ke2 = hydro.energies(&state).kinetic;
+    let r2 = blast_radius(&hydro, &state);
+
+    assert!(r2 > r1, "shock advanced: {r1} -> {r2}");
+    // Deceleration: growth far slower than linear in t (3x the time,
+    // sub-2x the radius for the 2D similarity exponent 1/2).
+    assert!(r2 / r1 < 2.5, "r grew too fast: {r1} -> {r2}");
+    // Kinetic energy approaches its self-similar share without diverging.
+    assert!(ke2 < 3.0 * ke1 + 0.1, "KE diverging: {ke1} -> {ke2}");
+}
+
+/// Mean radius of the strongest density jump: approximated by the radius of
+/// the node with the largest outward displacement.
+fn blast_radius(hydro: &Hydro<2>, state: &blast_repro::blast_core::HydroState) -> f64 {
+    let n = hydro.kin_space().num_dofs();
+    let x0 = hydro.kin_space().initial_coords();
+    let mut best = (0.0, 0.0);
+    for i in 0..n {
+        let r0 = (x0[i].powi(2) + x0[n + i].powi(2)).sqrt();
+        let r1 = (state.x[i].powi(2) + state.x[n + i].powi(2)).sqrt();
+        let disp = r1 - r0;
+        if disp > best.0 {
+            best = (disp, r1);
+        }
+    }
+    best.1
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "hydro-scale experiment: run with --release")]
+fn diagonal_symmetry_preserved() {
+    // The Sedov setup is symmetric under x <-> y; the discrete solution on
+    // a symmetric mesh must preserve that symmetry exactly (up to solver
+    // tolerance).
+    let problem = Sedov::default();
+    let mut hydro =
+        Hydro::<2>::new(&problem, [8, 8], HydroConfig::default(), cpu_exec()).unwrap();
+    let mut state = hydro.initial_state();
+    hydro.run_to(&mut state, 0.1, 500);
+
+    let space = hydro.kin_space();
+    let n = space.num_dofs();
+    let [nx, _ny] = space.nodes_per_axis();
+    // Node (i, j) mirrors to (j, i): vx(i,j) == vy(j,i).
+    for i in 0..nx {
+        for j in 0..nx {
+            let a = j * nx + i;
+            let b = i * nx + j;
+            let vx_a = state.v[a];
+            let vy_b = state.v[n + b];
+            assert!(
+                (vx_a - vy_b).abs() < 1e-8 * vx_a.abs().max(1.0),
+                "symmetry broken at ({i},{j}): {vx_a} vs {vy_b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn total_mass_is_exactly_conserved() {
+    // Strong mass conservation: rho |J| is frozen, so total mass never
+    // changes — by construction, but the diagnostics must agree.
+    let problem = Sedov::default();
+    let mut hydro =
+        Hydro::<2>::new(&problem, [6, 6], HydroConfig::default(), cpu_exec()).unwrap();
+    let m0 = hydro.total_mass();
+    let mut state = hydro.initial_state();
+    hydro.run_to(&mut state, 0.1, 300);
+    assert_eq!(hydro.total_mass(), m0);
+    // Volume integral of |J| equals the deformed domain volume; with
+    // reflecting walls the domain volume is invariant.
+    let (_, min_det, max_det) = hydro.density_diagnostics(&state);
+    assert!(min_det > 0.0 && max_det < 10.0 * min_det.max(1e-3));
+}
+
+#[test]
+fn energy_conservation_holds_across_orders() {
+    for order in [1usize, 2, 3] {
+        let problem = Sedov::default();
+        let cfg = HydroConfig { order, ..Default::default() };
+        let mut hydro = Hydro::<2>::new(&problem, [4, 4], cfg, cpu_exec()).unwrap();
+        let mut state = hydro.initial_state();
+        let e0 = hydro.energies(&state);
+        hydro.run_to(&mut state, 0.05, 200);
+        let e1 = hydro.energies(&state);
+        assert!(
+            e1.relative_change(&e0).abs() < 1e-10,
+            "order {order}: drift {}",
+            e1.relative_change(&e0)
+        );
+    }
+}
