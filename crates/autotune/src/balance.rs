@@ -90,6 +90,16 @@ impl AutoBalancer {
         self.ratio
     }
 
+    /// Pins the ratio to `ratio` and freezes the balancer (subsequent
+    /// `record_period` calls are no-ops). Used by the fault-recovery path
+    /// to force the whole workload onto one side — `force_ratio(0.0)`
+    /// moves every zone to the CPU after a persistent GPU fault.
+    pub fn force_ratio(&mut self, ratio: f64) {
+        assert!((0.0..=1.0).contains(&ratio), "ratio out of [0,1]");
+        self.ratio = ratio;
+        self.converged_at = Some(self.periods);
+    }
+
     /// Splits `zones` into a `(gpu, cpu)` zone-count pair at the current
     /// ratio.
     pub fn split(&self, zones: usize) -> (usize, usize) {
@@ -117,6 +127,17 @@ mod tests {
             }
         }
         (bal.ratio(), bal.convergence_periods().expect("must converge"))
+    }
+
+    #[test]
+    fn force_ratio_pins_and_freezes() {
+        let mut bal = AutoBalancer::new(0.5);
+        bal.force_ratio(0.0);
+        assert_eq!(bal.ratio(), 0.0);
+        assert!(bal.is_converged());
+        // Subsequent periods no longer move the ratio.
+        bal.record_period(1e-3, 1e-3);
+        assert_eq!(bal.ratio(), 0.0);
     }
 
     #[test]

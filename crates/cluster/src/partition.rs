@@ -130,7 +130,7 @@ fn smallest_prime_factor(n: usize) -> usize {
     debug_assert!(n >= 2);
     let mut p = 2;
     while p * p <= n {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return p;
         }
         p += 1;

@@ -55,7 +55,7 @@ fn distributed_rhs_assembly_matches_serial() {
             }
         }
         // Group-sum the shared DOFs (MFEM's local-to-global translation).
-        comm.allreduce_sum_vec(&mut local);
+        comm.allreduce_sum_vec(&mut local).expect("healthy group");
         local
     });
 
@@ -74,7 +74,8 @@ fn distributed_min_dt_matches_serial_min() {
     // Step 5 of the algorithm: after the corner force, an MPI reduction
     // finds the global minimum time step.
     let local_dts = [0.013, 0.0071, 0.019, 0.0093];
-    let results = run_ranks(4, |mut comm| comm.allreduce_min(local_dts[comm.rank()]));
+    let results =
+        run_ranks(4, |mut comm| comm.allreduce_min(local_dts[comm.rank()]).expect("healthy group"));
     let expect = local_dts.iter().cloned().fold(f64::INFINITY, f64::min);
     assert!(results.iter().all(|&v| v == expect));
 }

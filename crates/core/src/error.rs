@@ -1,0 +1,120 @@
+//! Typed solver errors and their recovery classification.
+//!
+//! The solver distinguishes three failure families:
+//!
+//! - **Device faults** ([`HydroError::Gpu`]): the simulated GPU exhausted
+//!   its retry budget (or is out of memory). At setup these abort; mid-run
+//!   the solver degrades to the CPU path and continues (§"Fault model &
+//!   recovery semantics" in DESIGN.md).
+//! - **Numerical breakdowns** (`NonFinite`, `PcgBreakdown`, `MeshTangled`):
+//!   the step produced something unusable. These are *recoverable by
+//!   rollback* — `try_run_to` restores the checkpointed state and redoes
+//!   the step with a halved dt.
+//! - Everything else is a bug and stays a panic (documented invariant
+//!   asserts on operand shapes).
+
+use gpu_sim::GpuError;
+
+/// A typed failure from setup, a force evaluation, or a time step.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HydroError {
+    /// The simulated device failed past its retry budget (or OOM'd).
+    Gpu(GpuError),
+    /// A state or derived field picked up a NaN/Inf.
+    NonFinite {
+        /// Which field went non-finite (e.g. `"accel"`, `"de/dt"`).
+        what: &'static str,
+        /// First offending index.
+        index: usize,
+    },
+    /// The momentum PCG failed to converge (stall or indefinite operator).
+    PcgBreakdown {
+        /// Residual at the point of breakdown.
+        residual: f64,
+        /// Iterations spent.
+        iterations: usize,
+    },
+    /// A zone Jacobian determinant went non-positive (mesh inversion).
+    MeshTangled {
+        /// Quadrature point index (global).
+        point: usize,
+        /// Zone owning the point.
+        zone: usize,
+        /// The offending determinant.
+        detj: f64,
+    },
+}
+
+impl HydroError {
+    /// Whether rolling the step back and halving dt can plausibly clear
+    /// the failure. Device faults are not dt-related: those are handled by
+    /// degrading to the CPU path instead.
+    pub fn recoverable_by_rollback(&self) -> bool {
+        matches!(
+            self,
+            HydroError::NonFinite { .. }
+                | HydroError::PcgBreakdown { .. }
+                | HydroError::MeshTangled { .. }
+        )
+    }
+}
+
+impl From<GpuError> for HydroError {
+    fn from(e: GpuError) -> Self {
+        HydroError::Gpu(e)
+    }
+}
+
+impl std::fmt::Display for HydroError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HydroError::Gpu(e) => write!(f, "{e}"),
+            HydroError::NonFinite { what, index } => {
+                write!(f, "non-finite value in {what} at index {index}")
+            }
+            HydroError::PcgBreakdown { residual, iterations } => write!(
+                f,
+                "momentum PCG broke down after {iterations} iterations (residual {residual:.3e})"
+            ),
+            HydroError::MeshTangled { point, zone, detj } => write!(
+                f,
+                "mesh tangled: |J| = {detj} at point {point} (zone {zone}) — reduce the CFL"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HydroError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::TransferDir;
+
+    #[test]
+    fn rollback_classification() {
+        assert!(HydroError::NonFinite { what: "accel", index: 3 }.recoverable_by_rollback());
+        assert!(HydroError::PcgBreakdown { residual: 1.0, iterations: 9 }
+            .recoverable_by_rollback());
+        assert!(HydroError::MeshTangled { point: 0, zone: 0, detj: -0.1 }
+            .recoverable_by_rollback());
+        let gpu = HydroError::Gpu(GpuError::Transfer {
+            direction: TransferDir::H2d,
+            bytes: 64,
+            attempts: 4,
+        });
+        assert!(!gpu.recoverable_by_rollback());
+    }
+
+    #[test]
+    fn display_keeps_oom_phrase() {
+        // Callers match on the canonical "out of device memory" phrase.
+        let e = HydroError::Gpu(GpuError::Oom {
+            device: "K20".into(),
+            requested: 10,
+            in_use: 0,
+            capacity: 5,
+        });
+        assert!(e.to_string().contains("out of device memory"));
+    }
+}

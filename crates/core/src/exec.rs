@@ -1,9 +1,11 @@
 //! Execution modes and the executor state (devices, balancer).
 
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 use autotune::AutoBalancer;
 use gpu_sim::{CpuDevice, CpuSpec, GpuDevice, Traffic};
+use powermon::ResilienceReport;
 
 use blast_kernels::base::MonolithicCornerForce;
 use blast_kernels::k7::FzKernel;
@@ -69,6 +71,10 @@ pub struct Executor {
     pub gpu: Option<Arc<GpuDevice>>,
     /// The auto-balancer, for hybrid mode.
     pub balancer: Option<AutoBalancer>,
+    /// Whether a persistent device fault forced execution onto the CPU.
+    degraded: Cell<bool>,
+    /// Human-readable cause of the degradation, when it happened.
+    degraded_reason: RefCell<Option<String>>,
 }
 
 impl Executor {
@@ -95,7 +101,58 @@ impl Executor {
             dev.set_active_queues(*mpi_queues);
         }
         let balancer = matches!(mode, ExecMode::Hybrid { .. }).then(|| AutoBalancer::new(0.5));
-        Self { mode, host: CpuDevice::new(host_spec), gpu, balancer }
+        Self {
+            mode,
+            host: CpuDevice::new(host_spec),
+            gpu,
+            balancer,
+            degraded: Cell::new(false),
+            degraded_reason: RefCell::new(None),
+        }
+    }
+
+    /// Whether a persistent device fault has forced all execution onto the
+    /// CPU path for the rest of the run.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.get()
+    }
+
+    /// Why the executor degraded, if it did.
+    pub fn degraded_reason(&self) -> Option<String> {
+        self.degraded_reason.borrow().clone()
+    }
+
+    /// Marks the executor as degraded: every subsequent force evaluation
+    /// and energy solve runs on the CPU, regardless of `mode`. Idempotent —
+    /// only the first call's reason is kept (and logged).
+    pub fn degrade_to_cpu(&self, reason: impl Into<String>) {
+        if self.degraded.replace(true) {
+            return;
+        }
+        let reason = reason.into();
+        eprintln!("blast-core: GPU fault persisted past retries, degrading to CPU: {reason}");
+        *self.degraded_reason.borrow_mut() = Some(reason);
+    }
+
+    /// Assembles the resilience report for a finished (or in-flight) run:
+    /// the device's fault counters, the retry backoff charged as idle-power
+    /// energy, and whether the run degraded to the CPU path.
+    /// `steps_redone` is the solver's rollback counter
+    /// (`RunStats::retries`).
+    pub fn resilience_report(&self, steps_redone: usize) -> ResilienceReport {
+        let stats = self.gpu.as_ref().map(|g| g.fault_stats()).unwrap_or_default();
+        let idle_w = self.gpu.as_ref().map(|g| g.spec().idle_w).unwrap_or(0.0);
+        ResilienceReport {
+            faults_injected: stats.injected,
+            retries: stats.retries,
+            recovered: stats.recovered,
+            exhausted: stats.failed,
+            steps_redone,
+            backoff_s: stats.backoff_s,
+            backoff_energy_j: stats.backoff_s * idle_w,
+            degraded_to_cpu: self.is_degraded(),
+            degraded_reason: self.degraded_reason(),
+        }
     }
 
     /// Threads used by CPU phases under this mode.
@@ -208,6 +265,20 @@ mod tests {
         assert!(cg.flops > 0.0 && cg.dram_bytes > 0.0);
         let it = integration_traffic(1000);
         assert!(it.dram_bytes > it.flops);
+    }
+
+    #[test]
+    fn degradation_is_sticky_and_keeps_first_reason() {
+        let ex = Executor::new(ExecMode::CpuSerial, CpuSpec::e5_2670(), None);
+        assert!(!ex.is_degraded());
+        assert_eq!(ex.degraded_reason(), None);
+        ex.degrade_to_cpu("kernel launch failed after 4 attempts");
+        ex.degrade_to_cpu("second fault");
+        assert!(ex.is_degraded());
+        assert_eq!(
+            ex.degraded_reason().as_deref(),
+            Some("kernel launch failed after 4 attempts")
+        );
     }
 
     #[test]

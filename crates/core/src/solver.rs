@@ -22,12 +22,18 @@ use blast_la::{
 use gpu_sim::LaunchConfig;
 use powermon::CpuPowerState;
 
+use crate::error::HydroError;
 use crate::exec::{
     cf_cpu_eff, cg_iteration_traffic, corner_force_traffic, integration_traffic, ExecMode,
     Executor, CG_CPU_EFF,
 };
 use crate::problems::Problem;
 use crate::state::{EnergyBreakdown, HydroState};
+
+/// Consecutive rollback-and-halve redo attempts `try_run_to` makes on one
+/// step before giving up (each redo halves dt, so 8 tries covers a 256x
+/// reduction).
+pub const MAX_STEP_REDOS: usize = 8;
 
 /// Solver configuration knobs.
 #[derive(Clone, Copy, Debug)]
@@ -141,7 +147,7 @@ impl<const D: usize> Hydro<D> {
         zones_per_axis: [usize; D],
         config: HydroConfig,
         exec: Executor,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, HydroError> {
         let order = config.order;
         assert!(order >= 1, "Q_k-Q_{{k-1}} needs k >= 1");
         let (dmin, dmax) = problem.domain();
@@ -377,34 +383,73 @@ impl<const D: usize> Hydro<D> {
 
     /// Suggested CFL dt for a state (runs one force evaluation; this is
     /// step 3 of the paper's algorithm, "compute initial time step").
+    ///
+    /// Panics on unrecoverable solver errors; see [`Self::try_suggest_dt`].
     pub fn suggest_dt(&mut self, state: &HydroState) -> f64 {
-        let ev = self.eval_force(&state.v, &state.e, &state.x);
-        self.cfl / ev.max_inv_dt.max(1e-300)
+        self.try_suggest_dt(state).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::suggest_dt`].
+    pub fn try_suggest_dt(&mut self, state: &HydroState) -> Result<f64, HydroError> {
+        let ev = self.eval_force(&state.v, &state.e, &state.x)?;
+        Ok(self.cfl / ev.max_inv_dt.max(1e-300))
     }
 
     // ----------------------------------------------------------------
     // Force evaluation (the corner-force hot spot), per execution mode.
     // ----------------------------------------------------------------
 
-    fn eval_force(&mut self, v: &[f64], e: &[f64], x: &[f64]) -> ForceEval {
-        match self.exec.mode {
-            ExecMode::CpuSerial | ExecMode::CpuParallel { .. } => self.eval_force_cpu(v, e, x),
+    /// Dispatches the force evaluation. Persistent device faults surfacing
+    /// from the GPU or hybrid path degrade the executor to CPU-only and
+    /// re-evaluate there: fault injection fires *before* a kernel's
+    /// functional body runs, so the failed evaluation never produced
+    /// partial physics and the CPU redo is bit-identical to a pure-CPU run.
+    fn eval_force(&mut self, v: &[f64], e: &[f64], x: &[f64]) -> Result<ForceEval, HydroError> {
+        if self.exec.is_degraded() {
+            return self.eval_force_cpu(v, e, x);
+        }
+        let attempt = match self.exec.mode {
+            ExecMode::CpuSerial | ExecMode::CpuParallel { .. } => {
+                return self.eval_force_cpu(v, e, x)
+            }
             ExecMode::Gpu { base, gpu_pcg, .. } => self.eval_force_gpu(v, e, x, base, gpu_pcg),
             ExecMode::Hybrid { .. } => self.eval_force_hybrid(v, e, x),
+        };
+        match attempt {
+            Err(HydroError::Gpu(g)) => {
+                self.exec.degrade_to_cpu(g.to_string());
+                if let Some(b) = &mut self.exec.balancer {
+                    b.force_ratio(0.0);
+                }
+                self.eval_force_cpu(v, e, x)
+            }
+            other => other,
         }
     }
 
-    fn check_mesh(&self, detj: &[f64]) {
+    fn check_mesh(&self, detj: &[f64]) -> Result<(), HydroError> {
         for (p, &d) in detj.iter().enumerate() {
-            assert!(
-                d > 0.0,
-                "mesh tangled: |J| = {d} at point {p} (zone {}) — reduce the CFL",
-                p / self.shape.npts
-            );
+            // `<= 0` or NaN both mean the zone geometry is unusable.
+            if d <= 0.0 || d.is_nan() {
+                return Err(HydroError::MeshTangled {
+                    point: p,
+                    zone: p / self.shape.npts,
+                    detj: d,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// NaN/Inf guard over a freshly computed field.
+    fn check_finite(what: &'static str, field: &[f64]) -> Result<(), HydroError> {
+        match field.iter().position(|v| !v.is_finite()) {
+            Some(index) => Err(HydroError::NonFinite { what, index }),
+            None => Ok(()),
         }
     }
 
-    fn eval_force_cpu(&mut self, v: &[f64], e: &[f64], x: &[f64]) -> ForceEval {
+    fn eval_force_cpu(&mut self, v: &[f64], e: &[f64], x: &[f64]) -> Result<ForceEval, HydroError> {
         let n = self.kin.num_dofs();
         let threads = self.exec.cpu_threads();
         let traffic = corner_force_traffic(&self.shape);
@@ -441,16 +486,21 @@ impl<const D: usize> Hydro<D> {
         if let Some(g) = &self.exec.gpu {
             g.idle(_t);
         }
-        self.check_mesh(&pipe.detj);
+        self.check_mesh(&pipe.detj)?;
         self.project_constraints(&mut rhs);
-        let (accel, iters) = self.solve_momentum_cpu(&rhs);
+        let (accel, iters) = self.solve_momentum_cpu(&rhs)?;
+        Self::check_finite("accel", &accel)?;
         let max_inv_dt = pipe.inv_dt.iter().cloned().fold(0.0, f64::max);
-        ForceEval { fz, accel, max_inv_dt, cg_iterations: iters }
+        Ok(ForceEval { fz, accel, max_inv_dt, cg_iterations: iters })
     }
 
     /// CPU momentum solve: one constrained PCG per velocity component,
     /// charged to the host timeline with per-iteration SpMV traffic.
-    fn solve_momentum_cpu(&self, rhs: &[f64]) -> (Vec<f64>, usize) {
+    ///
+    /// A stalled PCG is reported as [`HydroError::PcgBreakdown`] (the
+    /// warm-start cache is only updated on full success, so a failed solve
+    /// leaves no partial state behind for the rollback path).
+    fn solve_momentum_cpu(&self, rhs: &[f64]) -> Result<(Vec<f64>, usize), HydroError> {
         struct ConstrainedOp<'a> {
             a: &'a CsrMatrix,
             mask: &'a [bool],
@@ -491,7 +541,12 @@ impl<const D: usize> Hydro<D> {
                 &mut xk,
                 &self.pcg_opts,
             );
-            assert!(res.converged, "momentum PCG stalled (residual {})", res.residual);
+            if !res.converged {
+                return Err(HydroError::PcgBreakdown {
+                    residual: res.residual,
+                    iterations: res.iterations,
+                });
+            }
             total_iters += res.iterations;
             max_iters = max_iters.max(res.iterations);
             accel[c * n..(c + 1) * n].copy_from_slice(&xk);
@@ -512,7 +567,7 @@ impl<const D: usize> Hydro<D> {
         if let Some(g) = &self.exec.gpu {
             g.idle(t);
         }
-        (accel, total_iters)
+        Ok((accel, total_iters))
     }
 
     fn eval_force_gpu(
@@ -522,7 +577,8 @@ impl<const D: usize> Hydro<D> {
         x: &[f64],
         base: bool,
         gpu_pcg: bool,
-    ) -> ForceEval {
+    ) -> Result<ForceEval, HydroError> {
+        // Invariant: Executor::new rejects GPU/Hybrid modes without a device.
         let gpu = self.exec.gpu.as_ref().expect("GPU mode has a device").clone();
         let n = self.kin.num_dofs();
         let shape = self.shape;
@@ -531,7 +587,7 @@ impl<const D: usize> Hydro<D> {
         let t0 = gpu.now();
 
         // Ship (v, e, x) to the device (§3.1.2).
-        gpu.h2d((2 * D * n + self.thermo.num_dofs()) * 8);
+        gpu.h2d((2 * D * n + self.thermo.num_dofs()) * 8)?;
 
         let (az, inv_dt, detj);
         if base {
@@ -549,7 +605,7 @@ impl<const D: usize> Hydro<D> {
                 &self.rho0detj0,
                 &self.consts,
                 self.use_viscosity,
-            );
+            )?;
             az = pipe.az;
             inv_dt = pipe.inv_dt;
             detj = pipe.detj;
@@ -557,19 +613,19 @@ impl<const D: usize> Hydro<D> {
             // The optimized kernel pipeline (Table 2 / Fig. 6 right).
             let k3 = CoefGradKernel::tuned();
             let mut jac = BatchedMats::zeros(d, d, total);
-            k3.run(&gpu, &shape, x, n, &self.zone_dofs, &self.kin_table.grads, &mut jac);
+            k3.run(&gpu, &shape, x, n, &self.zone_dofs, &self.kin_table.grads, &mut jac)?;
             let mut gvref = BatchedMats::zeros(d, d, total);
-            k3.run(&gpu, &shape, v, n, &self.zone_dofs, &self.kin_table.grads, &mut gvref);
+            k3.run(&gpu, &shape, v, n, &self.zone_dofs, &self.kin_table.grads, &mut gvref)?;
 
             let k1 = AdjugateDetKernel { workspace: Workspace::Registers };
             let mut adj = BatchedMats::zeros(d, d, total);
             let mut det = vec![0.0; total];
             let mut hmin = vec![0.0; total];
-            k1.run(&gpu, &shape, &jac, &mut adj, &mut det, &mut hmin);
+            k1.run(&gpu, &shape, &jac, &mut adj, &mut det, &mut hmin)?;
 
             let inv_det: Vec<f64> = det.iter().map(|&x| 1.0 / x).collect();
             let mut gradv = BatchedMats::zeros(d, d, total);
-            BatchedDimGemm::nn_tuned().run(&gpu, &gvref, &adj, Some(&inv_det), &mut gradv);
+            BatchedDimGemm::nn_tuned().run(&gpu, &gvref, &adj, Some(&inv_det), &mut gradv)?;
 
             let k2 = StressKernel {
                 workspace: Workspace::Registers,
@@ -590,20 +646,20 @@ impl<const D: usize> Hydro<D> {
                 &self.consts,
                 &mut sigma,
                 &mut idt,
-            );
+            )?;
 
             let mut s = BatchedMats::zeros(d, d, total);
-            BatchedDimGemm::nt_tuned().run(&gpu, &sigma, &adj, None, &mut s);
+            BatchedDimGemm::nt_tuned().run(&gpu, &sigma, &adj, None, &mut s)?;
 
             let k4 = AzKernel::tuned();
             let mut az_b = BatchedMats::zeros(shape.nvdof(), shape.npts, shape.zones);
-            k4.run(&gpu, &shape, &s, &self.kin_table.grads, &self.rule.weights, &mut az_b);
+            k4.run(&gpu, &shape, &s, &self.kin_table.grads, &self.rule.weights, &mut az_b)?;
 
             az = az_b;
             inv_dt = idt;
             detj = det;
         }
-        self.check_mesh(&detj);
+        self.check_mesh(&detj)?;
 
         // Kernel 7: F_z, and kernel 8: the momentum RHS.
         let k7 = if base {
@@ -612,10 +668,10 @@ impl<const D: usize> Hydro<D> {
             FzKernel::tuned()
         };
         let mut fz = BatchedMats::zeros(shape.nvdof(), shape.nthermo, shape.zones);
-        k7.run(&gpu, &shape, &az, &self.thermo_table.values, &mut fz);
+        k7.run(&gpu, &shape, &az, &self.thermo_table.values, &mut fz)?;
 
         let mut rhs = vec![0.0; D * n];
-        MomentumRhsKernel.run(&gpu, &shape, &fz, &self.zone_dofs, n, &mut rhs);
+        MomentumRhsKernel.run(&gpu, &shape, &fz, &self.zone_dofs, n, &mut rhs)?;
         self.project_constraints(&mut rhs);
 
         let (accel, iters) = if gpu_pcg {
@@ -633,33 +689,50 @@ impl<const D: usize> Hydro<D> {
                     &rhs[c * n..(c + 1) * n],
                     &self.constrained[c],
                     &mut xk,
-                );
-                assert!(res.converged, "GPU momentum PCG stalled");
+                )?;
+                if !res.converged {
+                    return Err(HydroError::PcgBreakdown {
+                        residual: res.residual,
+                        iterations: res.iterations,
+                    });
+                }
                 iters += res.iterations;
                 accel[c * n..(c + 1) * n].copy_from_slice(&xk);
             }
+            // Ship dv/dt back *before* committing the warm-start cache: if
+            // the transfer fails, the host never saw the solution and the
+            // CPU redo must start from the previous step's cache.
+            gpu.d2h(D * n * 8)?;
             self.accel_prev.borrow_mut().copy_from_slice(&accel);
-            gpu.d2h(D * n * 8);
             (accel, iters)
         } else {
             // Ship -F·1 back and solve on the host.
-            gpu.d2h(D * n * 8);
+            gpu.d2h(D * n * 8)?;
             let host_wait = gpu.now() - t0;
             self.exec.host.idle(host_wait);
-            let out = self.solve_momentum_cpu(&rhs);
+            let out = self.solve_momentum_cpu(&rhs)?;
+            Self::check_finite("accel", &out.0)?;
             let max_inv_dt = inv_dt.iter().cloned().fold(0.0, f64::max);
-            return ForceEval { fz, accel: out.0, max_inv_dt, cg_iterations: out.1 };
+            return Ok(ForceEval { fz, accel: out.0, max_inv_dt, cg_iterations: out.1 });
         };
 
         // Host waited on the device for the whole evaluation.
         let host_wait = gpu.now() - t0;
         self.exec.host.idle(host_wait);
 
+        Self::check_finite("accel", &accel)?;
         let max_inv_dt = inv_dt.iter().cloned().fold(0.0, f64::max);
-        ForceEval { fz, accel, max_inv_dt, cg_iterations: iters }
+        Ok(ForceEval { fz, accel, max_inv_dt, cg_iterations: iters })
     }
 
-    fn eval_force_hybrid(&mut self, v: &[f64], e: &[f64], x: &[f64]) -> ForceEval {
+    fn eval_force_hybrid(
+        &mut self,
+        v: &[f64],
+        e: &[f64],
+        x: &[f64],
+    ) -> Result<ForceEval, HydroError> {
+        // Invariant: Executor::new rejects GPU/Hybrid modes without a device,
+        // and always pairs Hybrid with a balancer.
         let gpu = self.exec.gpu.as_ref().expect("hybrid mode has a device").clone();
         let n = self.kin.num_dofs();
         let shape = self.shape;
@@ -676,7 +749,7 @@ impl<const D: usize> Hydro<D> {
         let gpu_zones = ((shape.zones as f64) * ratio).round().max(1.0) as u32;
         let cfg = LaunchConfig::new(gpu_zones, 256, 8 * 1024, 48);
 
-        gpu.h2d(((2 * D * n + self.thermo.num_dofs()) as f64 * 8.0 * ratio) as usize);
+        gpu.h2d(((2 * D * n + self.thermo.num_dofs()) as f64 * 8.0 * ratio) as usize)?;
         let t0g = gpu.now();
         let ((pipe, fz, mut rhs), _stats) = gpu.launch("corner_force(hybrid)", &cfg, &gpu_traffic, || {
             let pipe = compute_az_pipeline(
@@ -698,7 +771,7 @@ impl<const D: usize> Hydro<D> {
             let mut rhs = vec![0.0; D * n];
             MomentumRhsKernel::compute(&shape, &fz, &self.zone_dofs, n, &mut rhs);
             (pipe, fz, rhs)
-        });
+        })?;
         let t_gpu = gpu.now() - t0g;
 
         let threads = self.exec.cpu_threads();
@@ -722,54 +795,89 @@ impl<const D: usize> Hydro<D> {
             b.record_period(t_gpu, t_cpu);
         }
 
-        self.check_mesh(&pipe.detj);
+        self.check_mesh(&pipe.detj)?;
         self.project_constraints(&mut rhs);
-        let (accel, iters) = self.solve_momentum_cpu(&rhs);
+        let (accel, iters) = self.solve_momentum_cpu(&rhs)?;
+        Self::check_finite("accel", &accel)?;
         let max_inv_dt = pipe.inv_dt.iter().cloned().fold(0.0, f64::max);
-        ForceEval { fz, accel, max_inv_dt, cg_iterations: iters }
+        Ok(ForceEval { fz, accel, max_inv_dt, cg_iterations: iters })
     }
 
-    /// Energy rate `de/dt = M_E^{-1} F^T v_avg` (kernels 10 + 11).
-    fn energy_rate(&self, fz: &BatchedMats, v_avg: &[f64]) -> Vec<f64> {
+    /// Energy rate `de/dt = M_E^{-1} F^T v_avg` (kernels 10 + 11). A
+    /// persistent device fault here degrades the executor and recomputes on
+    /// the CPU into fresh buffers (the faulted attempt's partial output is
+    /// discarded), so the result is bit-identical to a pure-CPU evaluation.
+    fn energy_rate(&self, fz: &BatchedMats, v_avg: &[f64]) -> Result<Vec<f64>, HydroError> {
+        if !self.exec.is_degraded() {
+            if let (ExecMode::Gpu { .. }, Some(gpu)) = (&self.exec.mode, &self.exec.gpu) {
+                match self.energy_rate_gpu(gpu, fz, v_avg) {
+                    Err(HydroError::Gpu(g)) => self.exec.degrade_to_cpu(g.to_string()),
+                    other => return other,
+                }
+            }
+        }
+        self.energy_rate_cpu(fz, v_avg)
+    }
+
+    fn energy_rate_gpu(
+        &self,
+        gpu: &std::sync::Arc<gpu_sim::GpuDevice>,
+        fz: &BatchedMats,
+        v_avg: &[f64],
+    ) -> Result<Vec<f64>, HydroError> {
         let n = self.kin.num_dofs();
         let shape = &self.shape;
         let mut rhs_e = vec![0.0; self.thermo.num_dofs()];
         let mut de = vec![0.0; self.thermo.num_dofs()];
-        match (&self.exec.mode, &self.exec.gpu) {
-            (ExecMode::Gpu { .. }, Some(gpu)) => {
-                let t0 = gpu.now();
-                EnergyRhsKernel.run(gpu, shape, fz, v_avg, &self.zone_dofs, n, &mut rhs_e);
-                SpmvKernel.run(gpu, &self.me_inv_csr, &rhs_e, &mut de);
-                gpu.d2h(de.len() * 8);
-                self.exec.host.idle(gpu.now() - t0);
-            }
-            _ => {
-                let traffic = EnergyRhsKernel.traffic(shape).add(&SpmvKernel.traffic(&self.me_inv_csr));
-                let threads = self.exec.cpu_threads();
-                let (_, t) = self.exec.host.run_phase(
-                    "energy_solve",
-                    &traffic,
-                    threads,
-                    CG_CPU_EFF,
-                    CpuPowerState::Busy,
-                    || {
-                        EnergyRhsKernel::compute(shape, fz, v_avg, &self.zone_dofs, n, &mut rhs_e);
-                        self.me_inv.apply(&rhs_e, &mut de);
-                    },
-                );
-                if let Some(g) = &self.exec.gpu {
-                    g.idle(t);
-                }
-            }
+        let t0 = gpu.now();
+        EnergyRhsKernel.run(gpu, shape, fz, v_avg, &self.zone_dofs, n, &mut rhs_e)?;
+        SpmvKernel.run(gpu, &self.me_inv_csr, &rhs_e, &mut de)?;
+        gpu.d2h(de.len() * 8)?;
+        self.exec.host.idle(gpu.now() - t0);
+        Self::check_finite("de/dt", &de)?;
+        Ok(de)
+    }
+
+    fn energy_rate_cpu(&self, fz: &BatchedMats, v_avg: &[f64]) -> Result<Vec<f64>, HydroError> {
+        let n = self.kin.num_dofs();
+        let shape = &self.shape;
+        let mut rhs_e = vec![0.0; self.thermo.num_dofs()];
+        let mut de = vec![0.0; self.thermo.num_dofs()];
+        let traffic = EnergyRhsKernel.traffic(shape).add(&SpmvKernel.traffic(&self.me_inv_csr));
+        let threads = self.exec.cpu_threads();
+        let (_, t) = self.exec.host.run_phase(
+            "energy_solve",
+            &traffic,
+            threads,
+            CG_CPU_EFF,
+            CpuPowerState::Busy,
+            || {
+                EnergyRhsKernel::compute(shape, fz, v_avg, &self.zone_dofs, n, &mut rhs_e);
+                self.me_inv.apply(&rhs_e, &mut de);
+            },
+        );
+        if let Some(g) = &self.exec.gpu {
+            g.idle(t);
         }
-        de
+        Self::check_finite("de/dt", &de)?;
+        Ok(de)
     }
 
     /// One RK2-average step (the energy-conserving scheme of the BLAST
     /// reference implementation): each sub-step evaluates the force, then
     /// updates the energy with the *midpoint* velocity and moves the mesh
     /// with the same velocity.
+    ///
+    /// Panics on unrecoverable solver errors; see [`Self::try_step`].
     pub fn step(&mut self, state: &mut HydroState, dt: f64) -> StepOutcome {
+        self.try_step(state, dt).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::step`]. On error, `state` is left
+    /// exactly as it was — all failures surface before the state vectors
+    /// are written — so the caller can roll back by simply retrying with a
+    /// smaller dt (which is what [`Self::try_run_to`] does).
+    pub fn try_step(&mut self, state: &mut HydroState, dt: f64) -> Result<StepOutcome, HydroError> {
         assert!(dt > 0.0, "dt must be positive");
         let n = self.kin.num_dofs();
         let vlen = D * n;
@@ -777,11 +885,11 @@ impl<const D: usize> Hydro<D> {
         let mut cg_total = 0;
 
         // -- Stage 1: evaluate at S0, advance to the midpoint.
-        let ev1 = self.eval_force(&s0.v, &s0.e, &s0.x);
+        let ev1 = self.eval_force(&s0.v, &s0.e, &s0.x)?;
         cg_total += ev1.cg_iterations;
         let mut v_half = s0.v.clone();
         blast_la::dense::axpy(0.5 * dt, &ev1.accel, &mut v_half);
-        let de1 = self.energy_rate(&ev1.fz, &v_half);
+        let de1 = self.energy_rate(&ev1.fz, &v_half)?;
         let mut e_half = s0.e.clone();
         blast_la::dense::axpy(0.5 * dt, &de1, &mut e_half);
         let mut x_half = s0.x.clone();
@@ -789,11 +897,11 @@ impl<const D: usize> Hydro<D> {
 
         // -- Stage 2: evaluate at the midpoint, take the full step with the
         // averaged velocity (v0 + v_new)/2 = v0 + dt/2 * accel2.
-        let ev2 = self.eval_force(&v_half, &e_half, &x_half);
+        let ev2 = self.eval_force(&v_half, &e_half, &x_half)?;
         cg_total += ev2.cg_iterations;
         let mut v_avg = s0.v.clone();
         blast_la::dense::axpy(0.5 * dt, &ev2.accel, &mut v_avg);
-        let de2 = self.energy_rate(&ev2.fz, &v_avg);
+        let de2 = self.energy_rate(&ev2.fz, &v_avg)?;
 
         state.v.copy_from_slice(&s0.v);
         blast_la::dense::axpy(dt, &ev2.accel, &mut state.v);
@@ -823,24 +931,54 @@ impl<const D: usize> Hydro<D> {
             g.idle(t);
         }
 
-        StepOutcome {
+        Ok(StepOutcome {
             dt_used: dt,
             dt_est: self.cfl / ev2.max_inv_dt.max(1e-300),
             cg_iterations: cg_total,
-        }
+        })
     }
 
     /// Runs until `t_final` (or `max_steps`), with adaptive dt: grow by 2%
     /// per accepted step, redo a step at 85% of the estimate if it
     /// overshoots the CFL bound discovered mid-step.
+    ///
+    /// Panics on unrecoverable solver errors; see [`Self::try_run_to`].
     pub fn run_to(&mut self, state: &mut HydroState, t_final: f64, max_steps: usize) -> RunStats {
-        let mut dt = self.suggest_dt(state);
+        self.try_run_to(state, t_final, max_steps).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::run_to`] with checkpointed rollback: a
+    /// step that fails recoverably (mesh inversion, PCG breakdown, NaN/Inf)
+    /// is rolled back to the pre-step state and redone with dt halved, up
+    /// to [`MAX_STEP_REDOS`] consecutive times before the error is
+    /// returned. Redone steps count into [`RunStats::retries`] alongside
+    /// CFL-overshoot redos. Persistent GPU faults never surface here —
+    /// `eval_force` degrades to the CPU path internally and continues.
+    pub fn try_run_to(
+        &mut self,
+        state: &mut HydroState,
+        t_final: f64,
+        max_steps: usize,
+    ) -> Result<RunStats, HydroError> {
+        let mut dt = self.try_suggest_dt(state)?;
         let mut steps = 0;
         let mut retries = 0;
+        let mut redos_this_step = 0;
         while state.t < t_final - 1e-14 && steps < max_steps {
             dt = dt.min(t_final - state.t);
             let saved = state.clone();
-            let out = self.step(state, dt);
+            let out = match self.try_step(state, dt) {
+                Ok(out) => out,
+                Err(e) if e.recoverable_by_rollback() && redos_this_step < MAX_STEP_REDOS => {
+                    // Roll back to the checkpoint and redo with half the dt.
+                    *state = saved;
+                    dt *= 0.5;
+                    retries += 1;
+                    redos_this_step += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             if out.dt_est < dt * 0.999 && retries < max_steps {
                 // Overshot the CFL bound: redo with a safer dt.
                 *state = saved;
@@ -849,9 +987,10 @@ impl<const D: usize> Hydro<D> {
                 continue;
             }
             steps += 1;
+            redos_this_step = 0;
             dt = out.dt_est.min(1.02 * dt);
         }
-        RunStats { steps, retries, t: state.t, wall_s: self.exec.host.now() }
+        Ok(RunStats { steps, retries, t: state.t, wall_s: self.exec.host.now() })
     }
 
     /// Host-phase profile: `(name, total_seconds, calls)` aggregated over
@@ -1163,6 +1302,8 @@ mod tests {
         let problem = Sedov::default();
         let res = Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), exec);
         assert!(res.is_err());
-        assert!(res.err().unwrap().contains("out of device memory"));
+        let err = res.err().unwrap();
+        assert!(matches!(err, crate::error::HydroError::Gpu(_)), "unexpected error: {err:?}");
+        assert!(err.to_string().contains("out of device memory"));
     }
 }

@@ -31,7 +31,7 @@ pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
     assert!(n >= 1, "quadrature rule needs at least one point");
     let mut nodes = vec![0.0; n];
     let mut weights = vec![0.0; n];
-    for i in 0..(n + 1) / 2 {
+    for i in 0..n.div_ceil(2) {
         // Chebyshev-based initial guess for the i-th root of P_n.
         let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
         // Newton iteration.

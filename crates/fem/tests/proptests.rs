@@ -102,7 +102,7 @@ proptest! {
         let table = space.basis().tabulate(&rule.points);
         let detj = 0.25;
         let w: Vec<f64> = (0..4)
-            .flat_map(|z| std::iter::repeat(rho[z] * detj).take(rule.len()))
+            .flat_map(|z| std::iter::repeat_n(rho[z] * detj, rule.len()))
             .collect();
         let m = assemble_kinematic_mass(&space, &rule, &table, &w);
         prop_assert!(m.asymmetry() < 1e-13);

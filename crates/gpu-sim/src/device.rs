@@ -3,6 +3,7 @@
 use parking_lot::Mutex;
 use powermon::PowerTrace;
 
+use crate::fault::{FaultKind, FaultPlan, FaultStats, GpuError, RetryPolicy, TransferDir};
 use crate::occupancy::{occupancy, LaunchConfig, Occupancy};
 use crate::spec::GpuSpec;
 use crate::traffic::Traffic;
@@ -48,6 +49,11 @@ struct DeviceState {
     events: Vec<KernelEvent>,
     active_queues: u32,
     allocated: usize,
+    faults: FaultPlan,
+    retry: RetryPolicy,
+    /// Per-site operation counters driving the deterministic fault draws.
+    fault_ops: [u64; crate::fault::NUM_FAULT_KINDS],
+    fault_stats: FaultStats,
 }
 
 /// A simulated CUDA device.
@@ -74,6 +80,10 @@ impl GpuDevice {
                 events: Vec::new(),
                 active_queues: 1,
                 allocated: 0,
+                faults: FaultPlan::none(),
+                retry: RetryPolicy::default(),
+                fault_ops: [0; crate::fault::NUM_FAULT_KINDS],
+                fault_stats: FaultStats::default(),
             }),
         }
     }
@@ -97,16 +107,99 @@ impl GpuDevice {
         self.state.lock().active_queues
     }
 
+    /// Installs a fault-injection plan (and resets the per-site operation
+    /// counters, so scheduled faults count from this moment).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        let mut st = self.state.lock();
+        st.faults = plan;
+        st.fault_ops = [0; crate::fault::NUM_FAULT_KINDS];
+    }
+
+    /// Sets the retry policy applied to transient faults.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.state.lock().retry = policy;
+    }
+
+    /// Cumulative fault/recovery counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.state.lock().fault_stats
+    }
+
+    /// Runs the fault/retry protocol for one operation checked against
+    /// `kinds`. Returns `Ok` when the operation may proceed; on a fault,
+    /// retries up to the policy bound with exponential backoff charged to
+    /// the simulated clock (the trace bills those gaps at idle power).
+    fn fault_gate(
+        &self,
+        kinds: &[FaultKind],
+        err: impl Fn(FaultKind, u32) -> GpuError,
+    ) -> Result<(), GpuError> {
+        let mut st = self.state.lock();
+        if !st.faults.is_active() {
+            return Ok(());
+        }
+        let ops: Vec<u64> = kinds
+            .iter()
+            .map(|k| {
+                let i = st.fault_ops[k.index()];
+                st.fault_ops[k.index()] += 1;
+                i
+            })
+            .collect();
+        let mut attempt: u32 = 0;
+        loop {
+            let hit = kinds
+                .iter()
+                .zip(&ops)
+                .find(|(k, &op)| st.faults.injects(**k, op, attempt))
+                .map(|(k, _)| *k);
+            match hit {
+                None => {
+                    if attempt > 0 {
+                        st.fault_stats.recovered += 1;
+                    }
+                    return Ok(());
+                }
+                Some(kind) => {
+                    st.fault_stats.injected += 1;
+                    if attempt >= st.retry.max_retries {
+                        st.fault_stats.failed += 1;
+                        return Err(err(kind, attempt + 1));
+                    }
+                    let backoff = st.retry.backoff_s(attempt);
+                    st.clock_s += backoff;
+                    st.fault_stats.backoff_s += backoff;
+                    st.fault_stats.retries += 1;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
     /// Allocates device memory; fails when capacity is exceeded (the paper
     /// hit exactly this: 16^3 was "the maximum size we were able to allocate
-    /// with Q4-Q3 elements because of memory limitation for K20").
-    pub fn alloc(&self, bytes: usize) -> Result<(), String> {
+    /// with Q4-Q3 elements because of memory limitation for K20") or when
+    /// the fault plan injects an allocator OOM. OOM is never retried — the
+    /// memory is simply not there.
+    pub fn alloc(&self, bytes: usize) -> Result<(), GpuError> {
         let mut st = self.state.lock();
+        let oom = |st: &DeviceState| GpuError::Oom {
+            device: self.spec.name.to_string(),
+            requested: bytes,
+            in_use: st.allocated,
+            capacity: self.spec.dram_capacity,
+        };
+        if st.faults.is_active() {
+            let op = st.fault_ops[FaultKind::AllocOom.index()];
+            st.fault_ops[FaultKind::AllocOom.index()] += 1;
+            if st.faults.injects(FaultKind::AllocOom, op, 0) {
+                st.fault_stats.injected += 1;
+                st.fault_stats.failed += 1;
+                return Err(oom(&st));
+            }
+        }
         if st.allocated + bytes > self.spec.dram_capacity {
-            return Err(format!(
-                "out of device memory on {}: requested {} B with {} of {} B in use",
-                self.spec.name, bytes, st.allocated, self.spec.dram_capacity
-            ));
+            return Err(oom(&st));
         }
         st.allocated += bytes;
         Ok(())
@@ -187,13 +280,25 @@ impl GpuDevice {
     /// Launches a kernel: runs `body` (the real computation), records the
     /// modeled event, advances the simulated clock, and returns the body's
     /// result alongside the stats.
+    ///
+    /// Fault injection happens *before* the body runs — a failed launch
+    /// never executed, so transient faults retried here and persistent
+    /// faults recovered by a CPU fallback both leave the numerics
+    /// bit-identical to a fault-free run. Errors surface only once the
+    /// retry policy is exhausted.
     pub fn launch<R>(
         &self,
         name: &str,
         cfg: &LaunchConfig,
         traffic: &Traffic,
         body: impl FnOnce() -> R,
-    ) -> (R, KernelStats) {
+    ) -> Result<(R, KernelStats), GpuError> {
+        self.fault_gate(&[FaultKind::LaunchFail, FaultKind::EccError], |kind, attempts| {
+            match kind {
+                FaultKind::EccError => GpuError::Ecc { kernel: name.to_string(), attempts },
+                _ => GpuError::LaunchFailed { kernel: name.to_string(), attempts },
+            }
+        })?;
         let result = body();
         let stats = self.model_kernel(cfg, traffic);
         let mut st = self.state.lock();
@@ -207,10 +312,23 @@ impl GpuDevice {
             config: *cfg,
         });
         st.clock_s += stats.time_s;
-        (result, stats)
+        Ok((result, stats))
     }
 
-    fn transfer(&self, name: &str, bytes: usize) -> f64 {
+    fn transfer(&self, dir: TransferDir, bytes: usize) -> Result<f64, GpuError> {
+        let kind = match dir {
+            TransferDir::H2d => FaultKind::H2dFail,
+            TransferDir::D2h => FaultKind::D2hFail,
+        };
+        self.fault_gate(&[kind], |_, attempts| GpuError::Transfer {
+            direction: dir,
+            bytes,
+            attempts,
+        })?;
+        let name = match dir {
+            TransferDir::H2d => "memcpy_h2d",
+            TransferDir::D2h => "memcpy_d2h",
+        };
         let s = &self.spec;
         let time_s = s.pcie_latency_us * 1e-6 + bytes as f64 / (s.pcie_bw_gbs * 1e9);
         // Transfers keep the board awake but exercise little silicon.
@@ -240,21 +358,22 @@ impl GpuDevice {
             config: LaunchConfig::new(0, 0, 0, 0),
         });
         st.clock_s += time_s;
-        time_s
+        Ok(time_s)
     }
 
     /// Host-to-device copy over PCIe; returns the transfer time. "This leads
     /// to significant reduction in the amount of data transferred between
     /// the CPU and GPU via the relatively slow PCI-E bus" (§3.1.2) — the
     /// hydro GPU path ships only `(v, e, x)` down and the RHS vectors up,
-    /// never the full matrix `F`.
-    pub fn h2d(&self, bytes: usize) -> f64 {
-        self.transfer("memcpy_h2d", bytes)
+    /// never the full matrix `F`. Fails only when the fault plan injects a
+    /// persistent PCIe error (transient ones are retried internally).
+    pub fn h2d(&self, bytes: usize) -> Result<f64, GpuError> {
+        self.transfer(TransferDir::H2d, bytes)
     }
 
     /// Device-to-host copy over PCIe; returns the transfer time.
-    pub fn d2h(&self, bytes: usize) -> f64 {
-        self.transfer("memcpy_d2h", bytes)
+    pub fn d2h(&self, bytes: usize) -> Result<f64, GpuError> {
+        self.transfer(TransferDir::D2h, bytes)
     }
 
     /// Advances the simulated clock through an idle gap (host-side work).
@@ -369,7 +488,7 @@ mod tests {
     fn launch_executes_body_and_advances_clock() {
         let dev = k20();
         let t = Traffic::compute(1e9);
-        let (value, stats) = dev.launch("k_test", &full_cfg(1000), &t, || 41 + 1);
+        let (value, stats) = dev.launch("k_test", &full_cfg(1000), &t, || 41 + 1).unwrap();
         assert_eq!(value, 42);
         assert!(stats.time_s > 0.0);
         assert!((dev.now() - stats.time_s).abs() < 1e-15);
@@ -444,11 +563,11 @@ mod tests {
     #[test]
     fn transfers_take_pcie_time() {
         let dev = k20();
-        let t = dev.h2d(6_000_000_000usize.min(600_000_000)); // 0.6 GB
+        let t = dev.h2d(600_000_000).unwrap(); // 0.6 GB
         // 0.6 GB at 6 GB/s = 0.1 s (+latency).
         assert!((t - 0.1).abs() < 1e-3, "{t}");
         assert!(dev.now() >= t);
-        let back = dev.d2h(600_000_000);
+        let back = dev.d2h(600_000_000).unwrap();
         assert!((back - 0.1).abs() < 1e-3);
         assert_eq!(dev.events().len(), 2);
     }
@@ -458,7 +577,8 @@ mod tests {
         let dev = k20();
         assert!(dev.alloc(4 * 1024 * 1024 * 1024).is_ok());
         let err = dev.alloc(2 * 1024 * 1024 * 1024).unwrap_err();
-        assert!(err.contains("out of device memory"));
+        assert!(err.to_string().contains("out of device memory"));
+        assert!(!err.is_retryable());
         dev.free(4 * 1024 * 1024 * 1024);
         assert!(dev.alloc(1024).is_ok());
     }
@@ -469,9 +589,9 @@ mod tests {
         let cfg = full_cfg(1000);
         let big = Traffic::compute(1e9);
         let small = Traffic::compute(1e7);
-        dev.launch("small", &cfg, &small, || ());
-        dev.launch("big", &cfg, &big, || ());
-        dev.launch("small", &cfg, &small, || ());
+        dev.launch("small", &cfg, &small, || ()).unwrap();
+        dev.launch("big", &cfg, &big, || ()).unwrap();
+        dev.launch("small", &cfg, &small, || ()).unwrap();
         let summary = dev.kernel_summary();
         assert_eq!(summary[0].0, "big");
         assert_eq!(summary[1].2, 2); // "small" called twice
@@ -481,7 +601,7 @@ mod tests {
     fn energy_integrates_trace() {
         let dev = k20();
         let cfg = full_cfg(1000);
-        let (_, stats) = dev.launch("k", &cfg, &Traffic::compute(1e9), || ());
+        let (_, stats) = dev.launch("k", &cfg, &Traffic::compute(1e9), || ()).unwrap();
         let e = dev.energy_joules();
         assert!((e - stats.power_w * stats.time_s).abs() < 1e-9);
     }
@@ -490,7 +610,7 @@ mod tests {
     fn reset_clears_history_keeps_alloc() {
         let dev = k20();
         dev.alloc(1024).unwrap();
-        dev.launch("k", &full_cfg(100), &Traffic::compute(1e6), || ());
+        dev.launch("k", &full_cfg(100), &Traffic::compute(1e6), || ()).unwrap();
         dev.reset();
         assert_eq!(dev.now(), 0.0);
         assert!(dev.events().is_empty());
@@ -502,5 +622,112 @@ mod tests {
     fn invalid_config_panics_in_model() {
         let dev = k20();
         dev.model_kernel(&LaunchConfig::new(10, 4096, 0, 32), &Traffic::compute(1.0));
+    }
+
+    #[test]
+    fn transient_launch_fault_is_retried_and_charged_as_backoff() {
+        let dev = k20();
+        dev.set_fault_plan(FaultPlan::seeded(1).with_transient(FaultKind::LaunchFail, 0));
+        let policy = RetryPolicy::default();
+        let (v, stats) = dev.launch("k", &full_cfg(1000), &Traffic::compute(1e9), || 7).unwrap();
+        assert_eq!(v, 7, "the body ran exactly once, after recovery");
+        let fs = dev.fault_stats();
+        assert_eq!(fs.injected, 1);
+        assert_eq!(fs.retries, 1);
+        assert_eq!(fs.recovered, 1);
+        assert_eq!(fs.failed, 0);
+        assert!((fs.backoff_s - policy.backoff_s(0)).abs() < 1e-15);
+        // The clock carries kernel time plus the backoff, and the trace
+        // bills the backoff gap at idle power.
+        assert!((dev.now() - (stats.time_s + fs.backoff_s)).abs() < 1e-15);
+        let idle_energy = dev.spec().idle_w * fs.backoff_s;
+        let total = dev.energy_joules();
+        assert!((total - (stats.power_w * stats.time_s + idle_energy)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn persistent_launch_fault_exhausts_retries_and_errors() {
+        let dev = k20();
+        dev.set_fault_plan(FaultPlan::seeded(1).with_persistent(FaultKind::LaunchFail, 0));
+        let mut ran = false;
+        let err = dev
+            .launch("k_dead", &full_cfg(1000), &Traffic::compute(1e9), || ran = true)
+            .unwrap_err();
+        assert!(!ran, "a failed launch must never execute its body");
+        assert_eq!(err, GpuError::LaunchFailed { kernel: "k_dead".into(), attempts: 4 });
+        let fs = dev.fault_stats();
+        assert_eq!(fs.injected, 4); // initial attempt + 3 retries
+        assert_eq!(fs.retries, 3);
+        assert_eq!(fs.failed, 1);
+        assert_eq!(fs.recovered, 0);
+    }
+
+    #[test]
+    fn ecc_fault_reports_its_own_error_type() {
+        let dev = k20();
+        dev.set_fault_plan(FaultPlan::seeded(1).with_persistent(FaultKind::EccError, 0));
+        dev.set_retry_policy(RetryPolicy::no_retries());
+        let err = dev.launch("k", &full_cfg(1000), &Traffic::compute(1e9), || ()).unwrap_err();
+        assert!(matches!(err, GpuError::Ecc { attempts: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn transfer_faults_attribute_direction() {
+        let dev = k20();
+        dev.set_fault_plan(
+            FaultPlan::seeded(1)
+                .with_persistent(FaultKind::H2dFail, 0)
+                .with_persistent(FaultKind::D2hFail, 0),
+        );
+        dev.set_retry_policy(RetryPolicy::no_retries());
+        let up = dev.h2d(1024).unwrap_err();
+        let down = dev.d2h(2048).unwrap_err();
+        assert_eq!(
+            up,
+            GpuError::Transfer { direction: TransferDir::H2d, bytes: 1024, attempts: 1 }
+        );
+        assert_eq!(
+            down,
+            GpuError::Transfer { direction: TransferDir::D2h, bytes: 2048, attempts: 1 }
+        );
+    }
+
+    #[test]
+    fn injected_alloc_oom_reports_capacity_error() {
+        let dev = k20();
+        dev.set_fault_plan(FaultPlan::seeded(1).with_transient(FaultKind::AllocOom, 0));
+        let err = dev.alloc(1024).unwrap_err();
+        assert!(err.to_string().contains("out of device memory"));
+        assert_eq!(dev.allocated_bytes(), 0);
+        // The schedule was transient: the next allocation succeeds.
+        assert!(dev.alloc(1024).is_ok());
+    }
+
+    #[test]
+    fn rate_faults_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let dev = k20();
+            dev.set_fault_plan(FaultPlan::seeded(seed).with_rate(FaultKind::LaunchFail, 0.4));
+            dev.set_retry_policy(RetryPolicy::no_retries());
+            let mut outcomes = Vec::new();
+            for _ in 0..64 {
+                outcomes.push(
+                    dev.launch("k", &full_cfg(1000), &Traffic::compute(1e6), || ()).is_ok(),
+                );
+            }
+            outcomes
+        };
+        assert_eq!(run(5), run(5), "same seed, same fault pattern");
+        assert_ne!(run(5), run(6), "different seeds diverge (w.h.p.)");
+        let ok = run(5).iter().filter(|&&o| o).count();
+        assert!(ok > 20 && ok < 60, "rate 0.4 without retries: {ok}/64 succeeded");
+    }
+
+    #[test]
+    fn inactive_plan_costs_nothing() {
+        let dev = k20();
+        let (_, stats) = dev.launch("k", &full_cfg(1000), &Traffic::compute(1e9), || ()).unwrap();
+        assert_eq!(dev.fault_stats(), FaultStats::default());
+        assert!((dev.now() - stats.time_s).abs() < 1e-15, "no hidden backoff");
     }
 }

@@ -1,0 +1,372 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! Real CPU-GPU production runs fail in a handful of well-known ways:
+//! device allocations exhaust DRAM (the paper hit this at 16^3 Q4-Q3
+//! zones), kernel launches sporadically fail, DRAM develops uncorrectable
+//! ECC errors, and PCIe transfers time out. A [`FaultPlan`] injects these
+//! at configured per-site rates and/or at scheduled operation indices, all
+//! drawn from a seeded counter-based generator so a run is exactly
+//! reproducible from its seed.
+//!
+//! Faults are injected *before* the kernel body executes: a failed launch
+//! never ran, so retried or CPU-degraded execution stays bit-identical to
+//! a fault-free run. The [`RetryPolicy`] governs bounded retries with
+//! exponential backoff; backoff is charged to the device clock as idle
+//! time, which the power trace bills at idle watts — recovery has a
+//! visible, quantified energy cost.
+
+/// Direction of a PCIe transfer, for error attribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferDir {
+    /// Host to device.
+    H2d,
+    /// Device to host.
+    D2h,
+}
+
+impl std::fmt::Display for TransferDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferDir::H2d => write!(f, "h2d"),
+            TransferDir::D2h => write!(f, "d2h"),
+        }
+    }
+}
+
+/// A typed device error, attributed to the failing operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GpuError {
+    /// Device memory exhausted (real capacity or injected allocator fault).
+    Oom {
+        /// Device name.
+        device: String,
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Bytes already allocated.
+        in_use: usize,
+        /// Device DRAM capacity.
+        capacity: usize,
+    },
+    /// A kernel launch failed and retries were exhausted.
+    LaunchFailed {
+        /// Kernel name.
+        kernel: String,
+        /// Total attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// An uncorrectable ECC/DRAM error was detected at launch.
+    Ecc {
+        /// Kernel name.
+        kernel: String,
+        /// Total attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// A PCIe transfer failed and retries were exhausted.
+    Transfer {
+        /// Transfer direction.
+        direction: TransferDir,
+        /// Transfer size in bytes.
+        bytes: usize,
+        /// Total attempts made (1 + retries).
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for GpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuError::Oom { device, requested, in_use, capacity } => write!(
+                f,
+                "out of device memory on {device}: requested {requested} B with {in_use} of {capacity} B in use"
+            ),
+            GpuError::LaunchFailed { kernel, attempts } => {
+                write!(f, "kernel launch failed: {kernel} ({attempts} attempts)")
+            }
+            GpuError::Ecc { kernel, attempts } => {
+                write!(f, "uncorrectable ECC error in {kernel} ({attempts} attempts)")
+            }
+            GpuError::Transfer { direction, bytes, attempts } => {
+                write!(f, "PCIe {direction} transfer of {bytes} B failed ({attempts} attempts)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+impl From<GpuError> for String {
+    fn from(e: GpuError) -> Self {
+        e.to_string()
+    }
+}
+
+impl GpuError {
+    /// Whether retrying the same operation can possibly succeed. OOM is
+    /// deterministic (the memory is simply not there); the transient
+    /// classes may clear on retry.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, GpuError::Oom { .. })
+    }
+}
+
+/// The injectable fault classes, one per device operation site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `alloc` reports device OOM.
+    AllocOom,
+    /// `launch` fails before the kernel runs.
+    LaunchFail,
+    /// `launch` detects an uncorrectable ECC/DRAM error.
+    EccError,
+    /// `h2d` transfer fails.
+    H2dFail,
+    /// `d2h` transfer fails.
+    D2hFail,
+}
+
+/// Number of [`FaultKind`] variants (rate/counter array size).
+pub const NUM_FAULT_KINDS: usize = 5;
+
+impl FaultKind {
+    /// Dense index for per-kind arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::AllocOom => 0,
+            FaultKind::LaunchFail => 1,
+            FaultKind::EccError => 2,
+            FaultKind::H2dFail => 3,
+            FaultKind::D2hFail => 4,
+        }
+    }
+}
+
+/// A fault scheduled at a specific operation index of its site.
+///
+/// `persistent: false` fails only the first attempt of that operation (a
+/// transient glitch a retry clears); `persistent: true` fails every attempt
+/// of that operation and every later one — the device is gone for good,
+/// which is what drives the solver's CPU fallback.
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduledFault {
+    /// Which site fails.
+    pub kind: FaultKind,
+    /// 0-based operation index at the site where the fault first fires.
+    pub at_op: u64,
+    /// Whether the fault persists for all subsequent attempts and ops.
+    pub persistent: bool,
+}
+
+/// Seeded fault-injection plan: per-site random rates plus scheduled
+/// deterministic faults.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for the rate draws; the same seed reproduces the same faults.
+    pub seed: u64,
+    rates: [f64; NUM_FAULT_KINDS],
+    scheduled: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// An empty seeded plan; add rates/schedules with the builders.
+    pub fn seeded(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Sets the per-operation fault probability of one site.
+    pub fn with_rate(mut self, kind: FaultKind, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate out of [0,1]");
+        self.rates[kind.index()] = rate;
+        self
+    }
+
+    /// Schedules a transient fault: the `at_op`-th operation of `kind`
+    /// fails once, then its retry succeeds.
+    pub fn with_transient(mut self, kind: FaultKind, at_op: u64) -> Self {
+        self.scheduled.push(ScheduledFault { kind, at_op, persistent: false });
+        self
+    }
+
+    /// Schedules a persistent fault: from the `at_op`-th operation of
+    /// `kind` onward, every attempt fails (the device is lost).
+    pub fn with_persistent(mut self, kind: FaultKind, at_op: u64) -> Self {
+        self.scheduled.push(ScheduledFault { kind, at_op, persistent: true });
+        self
+    }
+
+    /// Whether the plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.rates.iter().any(|&r| r > 0.0) || !self.scheduled.is_empty()
+    }
+
+    /// Decides whether attempt `attempt` of operation `op` at site `kind`
+    /// faults. Pure function of `(plan, kind, op, attempt)` — thread
+    /// interleaving cannot change the outcome.
+    pub fn injects(&self, kind: FaultKind, op: u64, attempt: u32) -> bool {
+        for s in &self.scheduled {
+            if s.kind != kind {
+                continue;
+            }
+            if s.persistent && op >= s.at_op {
+                return true;
+            }
+            if !s.persistent && op == s.at_op && attempt == 0 {
+                return true;
+            }
+        }
+        let rate = self.rates[kind.index()];
+        if rate <= 0.0 {
+            return false;
+        }
+        // Independent draw per (site, op, attempt): a retried attempt
+        // re-rolls, so transient rate faults clear with probability 1-rate.
+        fault_draw(self.seed, kind.index() as u64, op * 64 + attempt as u64) < rate
+    }
+}
+
+/// Counter-based splitmix64 draw in `[0, 1)`.
+fn fault_draw(seed: u64, stream: u64, counter: u64) -> f64 {
+    let mut z = seed
+        ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ counter.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Bounded-retry policy with exponential backoff.
+///
+/// Backoff is *simulated* time: each failed attempt advances the device
+/// clock, and the power trace bills the gap at idle watts, so recovery has
+/// a measurable energy cost (see `ResilienceReport` in `powermon`).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (total attempts = 1 + this).
+    pub max_retries: u32,
+    /// Backoff charged after the first failed attempt, seconds.
+    pub base_backoff_s: f64,
+    /// Multiplier applied to the backoff after each further failure.
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // ~CUDA driver-level retry scale: microseconds-to-milliseconds.
+        Self { max_retries: 3, base_backoff_s: 100e-6, multiplier: 4.0 }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: the first fault is final.
+    pub fn no_retries() -> Self {
+        Self { max_retries: 0, ..Self::default() }
+    }
+
+    /// Backoff charged after failed attempt number `attempt` (0-based).
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        self.base_backoff_s * self.multiplier.powi(attempt as i32)
+    }
+}
+
+/// Cumulative fault/recovery counters for one device.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultStats {
+    /// Individual fault events injected (every failed attempt counts).
+    pub injected: u64,
+    /// Retry attempts performed.
+    pub retries: u64,
+    /// Operations that succeeded after at least one fault.
+    pub recovered: u64,
+    /// Operations that returned an error to the caller.
+    pub failed: u64,
+    /// Simulated seconds spent in retry backoff (billed at idle power).
+    pub backoff_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        for op in 0..100 {
+            assert!(!plan.injects(FaultKind::LaunchFail, op, 0));
+        }
+    }
+
+    #[test]
+    fn rate_one_always_injects_rate_zero_never() {
+        let plan = FaultPlan::seeded(1).with_rate(FaultKind::EccError, 1.0);
+        for op in 0..50 {
+            assert!(plan.injects(FaultKind::EccError, op, 0));
+            assert!(!plan.injects(FaultKind::LaunchFail, op, 0));
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(7).with_rate(FaultKind::H2dFail, 0.3);
+        let b = FaultPlan::seeded(7).with_rate(FaultKind::H2dFail, 0.3);
+        let c = FaultPlan::seeded(8).with_rate(FaultKind::H2dFail, 0.3);
+        let pattern = |p: &FaultPlan| -> Vec<bool> {
+            (0..256).map(|op| p.injects(FaultKind::H2dFail, op, 0)).collect()
+        };
+        assert_eq!(pattern(&a), pattern(&b));
+        assert_ne!(pattern(&a), pattern(&c));
+        let hits = pattern(&a).iter().filter(|&&h| h).count();
+        assert!(hits > 40 && hits < 120, "rate 0.3 of 256: got {hits}");
+    }
+
+    #[test]
+    fn transient_schedule_fails_first_attempt_only() {
+        let plan = FaultPlan::seeded(0).with_transient(FaultKind::LaunchFail, 3);
+        assert!(!plan.injects(FaultKind::LaunchFail, 2, 0));
+        assert!(plan.injects(FaultKind::LaunchFail, 3, 0));
+        assert!(!plan.injects(FaultKind::LaunchFail, 3, 1), "retry clears it");
+        assert!(!plan.injects(FaultKind::LaunchFail, 4, 0));
+    }
+
+    #[test]
+    fn persistent_schedule_fails_all_later_attempts() {
+        let plan = FaultPlan::seeded(0).with_persistent(FaultKind::LaunchFail, 5);
+        assert!(!plan.injects(FaultKind::LaunchFail, 4, 3));
+        for op in 5..10 {
+            for attempt in 0..4 {
+                assert!(plan.injects(FaultKind::LaunchFail, op, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy { max_retries: 3, base_backoff_s: 1e-4, multiplier: 4.0 };
+        assert_eq!(p.backoff_s(0), 1e-4);
+        assert_eq!(p.backoff_s(1), 4e-4);
+        assert_eq!(p.backoff_s(2), 16e-4);
+    }
+
+    #[test]
+    fn oom_is_not_retryable_but_transients_are() {
+        let oom = GpuError::Oom { device: "K20".into(), requested: 1, in_use: 0, capacity: 0 };
+        assert!(!oom.is_retryable());
+        assert!(GpuError::LaunchFailed { kernel: "k".into(), attempts: 1 }.is_retryable());
+        assert!(GpuError::Ecc { kernel: "k".into(), attempts: 1 }.is_retryable());
+        let t = GpuError::Transfer { direction: TransferDir::H2d, bytes: 8, attempts: 1 };
+        assert!(t.is_retryable());
+    }
+
+    #[test]
+    fn oom_display_keeps_the_canonical_phrase() {
+        let oom = GpuError::Oom { device: "K20".into(), requested: 10, in_use: 5, capacity: 8 };
+        let s: String = oom.into();
+        assert!(s.contains("out of device memory on K20"));
+        assert!(s.contains("requested 10 B with 5 of 8 B in use"));
+    }
+}

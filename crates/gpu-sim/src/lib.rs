@@ -32,12 +32,14 @@
 
 pub mod cpu;
 pub mod device;
+pub mod fault;
 pub mod occupancy;
 pub mod spec;
 pub mod traffic;
 
 pub use cpu::{CpuDevice, CpuSpec};
 pub use device::{GpuDevice, KernelEvent, KernelStats};
+pub use fault::{FaultKind, FaultPlan, FaultStats, GpuError, RetryPolicy, TransferDir};
 pub use occupancy::{occupancy, LaunchConfig, Occupancy};
 pub use spec::GpuSpec;
 pub use traffic::Traffic;

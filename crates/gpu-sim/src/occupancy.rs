@@ -89,16 +89,11 @@ pub fn occupancy(spec: &GpuSpec, cfg: &LaunchConfig) -> Occupancy {
     let by_threads = (spec.max_threads_per_sm / alloc_threads).min(spec.max_blocks_per_sm);
     // Register allocation is per-warp in practice; per-thread is close
     // enough for the model (and matches the occupancy spreadsheet).
-    let by_regs = if cfg.regs_per_thread == 0 {
-        u32::MAX
-    } else {
-        spec.registers_per_sm / (cfg.regs_per_thread * alloc_threads)
-    };
-    let by_smem = if cfg.shared_bytes == 0 {
-        u32::MAX
-    } else {
-        spec.shared_mem_per_sm / cfg.shared_bytes
-    };
+    let by_regs = spec
+        .registers_per_sm
+        .checked_div(cfg.regs_per_thread * alloc_threads)
+        .unwrap_or(u32::MAX);
+    let by_smem = spec.shared_mem_per_sm.checked_div(cfg.shared_bytes).unwrap_or(u32::MAX);
 
     let blocks_per_sm = by_threads.min(by_regs).min(by_smem);
     if blocks_per_sm == 0 {

@@ -109,7 +109,7 @@ proptest! {
         let t = Traffic::compute(flops);
         let mut expect = 0.0;
         for _ in 0..launches {
-            let (_, stats) = dev.launch("k", &cfg, &t, || ());
+            let (_, stats) = dev.launch("k", &cfg, &t, || ()).expect("no faults injected");
             expect += stats.time_s;
         }
         prop_assert!((dev.now() - expect).abs() < 1e-12 * expect.max(1.0));

@@ -14,7 +14,7 @@
 //! kernel runs at low occupancy.
 
 use blast_la::{BatchedMats, DMatrix};
-use gpu_sim::{GpuDevice, KernelStats, LaunchConfig, Traffic};
+use gpu_sim::{GpuDevice, GpuError, KernelStats, LaunchConfig, Traffic};
 
 use crate::k1::AdjugateDetKernel;
 use crate::k2::{StressKernel, ZoneConstants};
@@ -168,7 +168,7 @@ impl MonolithicCornerForce {
         rho0detj0: &[f64],
         consts: &ZoneConstants,
         use_viscosity: bool,
-    ) -> (AzPipelineOut, KernelStats) {
+    ) -> Result<(AzPipelineOut, KernelStats), GpuError> {
         let cfg = self.config(shape, dev.spec().max_regs_per_thread);
         let traffic = self.traffic(shape);
         dev.launch(Self::NAME, &cfg, &traffic, || {

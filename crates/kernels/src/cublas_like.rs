@@ -12,7 +12,7 @@
 //!   kernel 8's 18 GFLOP/s (Table 4).
 
 use blast_la::{BatchedMats, DMatrix};
-use gpu_sim::{GpuDevice, KernelStats, LaunchConfig, Traffic};
+use gpu_sim::{GpuDevice, GpuError, KernelStats, LaunchConfig, Traffic};
 
 use crate::k56::Transpose;
 use crate::shapes::ProblemShape;
@@ -57,15 +57,15 @@ impl CublasDgemmBatched {
         a: &BatchedMats,
         b: &BatchedMats,
         c: &mut BatchedMats,
-    ) -> KernelStats {
+    ) -> Result<KernelStats, GpuError> {
         let (d, _) = a.shape();
         let cfg = self.config(d, a.count());
         let traffic = self.traffic(d, a.count());
         let (_, stats) = dev.launch(Self::NAME, &cfg, &traffic, || {
             let k = crate::k56::BatchedDimGemm { transpose, mats_per_block: 1 };
             k.compute(a, b, None, c);
-        });
-        stats
+        })?;
+        Ok(stats)
     }
 }
 
@@ -101,7 +101,7 @@ impl StreamedDgemv {
         shape: &ProblemShape,
         fz: &BatchedMats,
         y: &mut [f64],
-    ) -> f64 {
+    ) -> Result<f64, GpuError> {
         let nvdof = shape.nvdof();
         let nth = shape.nthermo;
         assert_eq!(fz.count(), shape.zones);
@@ -121,9 +121,9 @@ impl StreamedDgemv {
                         *o += v;
                     }
                 }
-            });
+            })?;
         }
-        dev.now() - t0
+        Ok(dev.now() - t0)
     }
 
     /// Modeled total time without executing (for the Table 4 harness at
@@ -177,13 +177,13 @@ impl CublasDgemmBatchedLarge {
         az: &BatchedMats,
         b: &DMatrix,
         fz: &mut BatchedMats,
-    ) -> KernelStats {
+    ) -> Result<KernelStats, GpuError> {
         let cfg = self.config(shape);
         let traffic = self.traffic(shape);
         let (_, stats) = dev.launch(Self::NAME, &cfg, &traffic, || {
             crate::k7::FzKernel::compute(shape, az, b, fz);
-        });
-        stats
+        })?;
+        Ok(stats)
     }
 }
 
@@ -229,7 +229,7 @@ mod tests {
         let b = BatchedMats::from_fn(3, 3, 16, |z, i, j| ((z * 2 + i + j) as f64 * 0.7).cos());
         let mut c_lib = BatchedMats::zeros(3, 3, 16);
         let mut c_custom = BatchedMats::zeros(3, 3, 16);
-        CublasDgemmBatched.run(&dev, Transpose::NN, &a, &b, &mut c_lib);
+        CublasDgemmBatched.run(&dev, Transpose::NN, &a, &b, &mut c_lib).expect("no faults injected");
         BatchedDimGemm::nn_tuned().compute(&a, &b, None, &mut c_custom);
         assert_eq!(c_lib, c_custom);
     }
@@ -263,7 +263,7 @@ mod tests {
             (z + i + j) as f64
         });
         let mut y = vec![0.0; 5 * shape.nvdof()];
-        let t = StreamedDgemv.run_rowsums(&dev, &shape, &fz, &mut y);
+        let t = StreamedDgemv.run_rowsums(&dev, &shape, &fz, &mut y).expect("no faults injected");
         assert!(t > 0.0);
         assert_eq!(dev.events().len(), 5);
         // Row sums correct.

@@ -8,7 +8,7 @@
 //! spilled to local memory every access pays DRAM bandwidth and energy.
 
 use blast_la::{svd2, svd3, BatchedMats, SmallMat};
-use gpu_sim::{GpuDevice, KernelStats, LaunchConfig, Traffic};
+use gpu_sim::{GpuDevice, GpuError, KernelStats, LaunchConfig, Traffic};
 use rayon::prelude::*;
 
 use crate::shapes::ProblemShape;
@@ -115,13 +115,13 @@ impl AdjugateDetKernel {
         adj: &mut BatchedMats,
         det: &mut [f64],
         hmin: &mut [f64],
-    ) -> KernelStats {
+    ) -> Result<KernelStats, GpuError> {
         let cfg = self.config(shape);
         let traffic = self.traffic(shape);
         let (_, stats) = dev.launch(Self::NAME, &cfg, &traffic, || {
             Self::compute(shape, jac, adj, det, hmin);
-        });
-        stats
+        })?;
+        Ok(stats)
     }
 }
 
@@ -206,12 +206,12 @@ mod tests {
         let jac = sample_jacobians(&shape);
         let n = shape.total_points();
 
-        let mut run = |ws: Workspace| {
+        let run = |ws: Workspace| {
             let k = AdjugateDetKernel { workspace: ws };
             let mut adj = BatchedMats::zeros(3, 3, n);
             let mut det = vec![0.0; n];
             let mut hmin = vec![0.0; n];
-            k.run(&dev, &shape, &jac, &mut adj, &mut det, &mut hmin)
+            k.run(&dev, &shape, &jac, &mut adj, &mut det, &mut hmin).expect("no faults injected")
         };
         let reg = run(Workspace::Registers);
         let loc = run(Workspace::LocalMemory);
@@ -230,7 +230,7 @@ mod tests {
             let mut adj = BatchedMats::zeros(2, 2, n);
             let mut det = vec![0.0; n];
             let mut hmin = vec![0.0; n];
-            k.run(&dev, &shape, &jac, &mut adj, &mut det, &mut hmin);
+            k.run(&dev, &shape, &jac, &mut adj, &mut det, &mut hmin).expect("no faults injected");
             outs.push((adj, det, hmin));
         }
         assert_eq!(outs[0].0, outs[1].0);

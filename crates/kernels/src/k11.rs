@@ -7,7 +7,7 @@
 //! (Fig. 6).
 
 use blast_la::CsrMatrix;
-use gpu_sim::{GpuDevice, KernelStats, LaunchConfig, Traffic};
+use gpu_sim::{GpuDevice, GpuError, KernelStats, LaunchConfig, Traffic};
 
 /// Kernel 11 / the SpMV inside kernel 9.
 #[derive(Clone, Copy, Debug, Default)]
@@ -37,13 +37,13 @@ impl SpmvKernel {
     }
 
     /// Launches `y = A x` on the simulated device.
-    pub fn run(&self, dev: &GpuDevice, a: &CsrMatrix, x: &[f64], y: &mut [f64]) -> KernelStats {
+    pub fn run(&self, dev: &GpuDevice, a: &CsrMatrix, x: &[f64], y: &mut [f64]) -> Result<KernelStats, GpuError> {
         let cfg = self.config(a.rows());
         let traffic = self.traffic(a);
         let (_, stats) = dev.launch(Self::NAME, &cfg, &traffic, || {
             a.spmv_into(x, y);
-        });
-        stats
+        })?;
+        Ok(stats)
     }
 }
 
@@ -73,7 +73,7 @@ mod tests {
         let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
         let mut y = vec![0.0; 50];
         let dev = GpuDevice::new(GpuSpec::k20());
-        SpmvKernel.run(&dev, &a, &x, &mut y);
+        SpmvKernel.run(&dev, &a, &x, &mut y).expect("no faults injected");
         assert_eq!(y, a.spmv(&x));
     }
 

@@ -21,7 +21,7 @@
 //! ```
 
 use blast_la::{sym_eig2, sym_eig3, BatchedMats, DMatrix, SmallMat};
-use gpu_sim::{GpuDevice, KernelStats, LaunchConfig, Traffic};
+use gpu_sim::{GpuDevice, GpuError, KernelStats, LaunchConfig, Traffic};
 use rayon::prelude::*;
 
 use crate::k1::POINT_KERNEL_BLOCK;
@@ -201,7 +201,7 @@ impl StressKernel {
         consts: &ZoneConstants,
         sigma: &mut BatchedMats,
         inv_dt: &mut [f64],
-    ) -> KernelStats {
+    ) -> Result<KernelStats, GpuError> {
         let cfg = self.config(shape);
         let traffic = self.traffic(shape);
         let (_, stats) = dev.launch(Self::NAME, &cfg, &traffic, || {
@@ -209,8 +209,8 @@ impl StressKernel {
                 shape, e_coeffs, thermo_vals, grad_v, jac, det, hmin, rho0detj0, consts, sigma,
                 inv_dt,
             );
-        });
-        stats
+        })?;
+        Ok(stats)
     }
 }
 

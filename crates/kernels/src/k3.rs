@@ -19,7 +19,7 @@
 //!   peak on K20).
 
 use blast_la::{BatchedMats, DMatrix};
-use gpu_sim::{GpuDevice, KernelStats, LaunchConfig, Traffic};
+use gpu_sim::{GpuDevice, GpuError, KernelStats, LaunchConfig, Traffic};
 use rayon::prelude::*;
 
 use crate::shapes::ProblemShape;
@@ -61,7 +61,7 @@ impl CoefGradKernel {
         let na = self.zones_per_block();
         let grid = (shape.zones as u32).div_ceil(na);
         // One warp-friendly thread per (zone-in-block, point) tile.
-        let threads = (na * 64).min(512).max(64);
+        let threads = (na * 64).clamp(64, 512);
         let coef_bytes = na * (shape.dim * shape.nkin * 8) as u32;
         let shared = match self.variant {
             // v1: only A staged in shared.
@@ -168,13 +168,13 @@ impl CoefGradKernel {
         zone_dofs: &[usize],
         grads: &[DMatrix],
         c: &mut BatchedMats,
-    ) -> KernelStats {
+    ) -> Result<KernelStats, GpuError> {
         let cfg = self.config(shape);
         let traffic = self.traffic(shape);
         let (_, stats) = dev.launch(Self::NAME, &cfg, &traffic, || {
             Self::compute(shape, u, num_h1_dofs, zone_dofs, grads, c);
-        });
-        stats
+        })?;
+        Ok(stats)
     }
 }
 
@@ -266,7 +266,7 @@ mod tests {
             CoefGradKernel { variant: GemmVariant::V3, zones_per_block: 4 },
         ] {
             let mut c = BatchedMats::zeros(2, 2, shape.total_points());
-            k.run(&dev, &shape, &u, ndofs, &zone_dofs, &grads, &mut c);
+            k.run(&dev, &shape, &u, ndofs, &zone_dofs, &grads, &mut c).expect("no faults injected");
             results.push(c);
         }
         assert_eq!(results[0], results[1]);

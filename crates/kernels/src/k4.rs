@@ -15,8 +15,7 @@
 //! variant/tuning story mirrors kernel 3.
 
 use blast_la::{BatchedMats, DMatrix};
-use gpu_sim::{GpuDevice, KernelStats, LaunchConfig, Traffic};
-use rayon::prelude::*;
+use gpu_sim::{GpuDevice, GpuError, KernelStats, LaunchConfig, Traffic};
 
 use crate::shapes::ProblemShape;
 use crate::GemmVariant;
@@ -146,13 +145,13 @@ impl AzKernel {
         grads: &[DMatrix],
         alpha: &[f64],
         az: &mut BatchedMats,
-    ) -> KernelStats {
+    ) -> Result<KernelStats, GpuError> {
         let cfg = self.config(shape);
         let traffic = self.traffic(shape);
         let (_, stats) = dev.launch(Self::NAME, &cfg, &traffic, || {
             Self::compute(shape, s, grads, alpha, az);
-        });
-        stats
+        })?;
+        Ok(stats)
     }
 }
 
@@ -233,7 +232,7 @@ mod tests {
             AzKernel::tuned(),
         ] {
             let mut az = BatchedMats::zeros(shape.nvdof(), shape.npts, shape.zones);
-            k.run(&dev, &shape, &s, &grads, &alpha, &mut az);
+            k.run(&dev, &shape, &s, &grads, &alpha, &mut az).expect("no faults injected");
             results.push(az);
             // Model at realistic scale for the ordering check.
             let big = ProblemShape::new(3, 2, 4096);

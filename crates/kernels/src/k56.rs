@@ -14,8 +14,7 @@
 //! N pays an uncoalesced-access replay on its DRAM traffic.
 
 use blast_la::BatchedMats;
-use gpu_sim::{GpuDevice, KernelStats, LaunchConfig, Traffic};
-use rayon::prelude::*;
+use gpu_sim::{GpuDevice, GpuError, KernelStats, LaunchConfig, Traffic};
 
 use crate::shapes::ProblemShape;
 
@@ -141,14 +140,14 @@ impl BatchedDimGemm {
         b: &BatchedMats,
         scale: Option<&[f64]>,
         c: &mut BatchedMats,
-    ) -> KernelStats {
+    ) -> Result<KernelStats, GpuError> {
         let (d, _) = a.shape();
         let cfg = self.config(d, a.count());
         let traffic = self.traffic(d, a.count());
         let (_, stats) = dev.launch(self.name(), &cfg, &traffic, || {
             self.compute(a, b, scale, c);
-        });
-        stats
+        })?;
+        Ok(stats)
     }
 
     /// Convenience: shape-level traffic for the corner-force pipeline

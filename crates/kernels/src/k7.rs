@@ -15,8 +15,7 @@
 //!   parallelism." The block size is autotuned.
 
 use blast_la::{BatchedMats, DMatrix};
-use gpu_sim::{GpuDevice, KernelStats, LaunchConfig, Traffic};
-use rayon::prelude::*;
+use gpu_sim::{GpuDevice, GpuError, KernelStats, LaunchConfig, Traffic};
 
 use crate::shapes::ProblemShape;
 use crate::GemmVariant;
@@ -116,13 +115,13 @@ impl FzKernel {
         az: &BatchedMats,
         b: &DMatrix,
         fz: &mut BatchedMats,
-    ) -> KernelStats {
+    ) -> Result<KernelStats, GpuError> {
         let cfg = self.config(shape);
         let traffic = self.traffic(shape);
         let (_, stats) = dev.launch(Self::NAME, &cfg, &traffic, || {
             Self::compute(shape, az, b, fz);
-        });
-        stats
+        })?;
+        Ok(stats)
     }
 }
 

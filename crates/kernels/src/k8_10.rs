@@ -19,7 +19,7 @@
 //! trivially.
 
 use blast_la::BatchedMats;
-use gpu_sim::{GpuDevice, KernelStats, LaunchConfig, Traffic};
+use gpu_sim::{GpuDevice, GpuError, KernelStats, LaunchConfig, Traffic};
 use rayon::prelude::*;
 
 use crate::shapes::ProblemShape;
@@ -106,13 +106,13 @@ impl MomentumRhsKernel {
         zone_dofs: &[usize],
         num_h1_dofs: usize,
         rhs: &mut [f64],
-    ) -> KernelStats {
+    ) -> Result<KernelStats, GpuError> {
         let cfg = self.config(shape);
         let traffic = self.traffic(shape);
         let (_, stats) = dev.launch(Self::NAME, &cfg, &traffic, || {
             Self::compute(shape, fz, zone_dofs, num_h1_dofs, rhs);
-        });
-        stats
+        })?;
+        Ok(stats)
     }
 }
 
@@ -193,13 +193,13 @@ impl EnergyRhsKernel {
         zone_dofs: &[usize],
         num_h1_dofs: usize,
         rhs_e: &mut [f64],
-    ) -> KernelStats {
+    ) -> Result<KernelStats, GpuError> {
         let cfg = self.config(shape);
         let traffic = self.traffic(shape);
         let (_, stats) = dev.launch(Self::NAME, &cfg, &traffic, || {
             Self::compute(shape, fz, v, zone_dofs, num_h1_dofs, rhs_e);
-        });
-        stats
+        })?;
+        Ok(stats)
     }
 }
 

@@ -14,25 +14,19 @@
 //! stays SPD.
 
 use blast_la::{CsrMatrix, DiagPrecond, PcgOptions, PcgResult};
-use gpu_sim::{GpuDevice, KernelStats, LaunchConfig, Traffic};
+use gpu_sim::{GpuDevice, GpuError, KernelStats, LaunchConfig, Traffic};
 
 use crate::k11::SpmvKernel;
 
 /// Kernel 9: CUDA-PCG over the simulated device.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct GpuPcg {
     /// Stopping options (defaults match the CPU PCG).
     pub opts: PcgOptions,
 }
 
-impl Default for GpuPcg {
-    fn default() -> Self {
-        Self { opts: PcgOptions::default() }
-    }
-}
-
 /// One `cublasDdot`-style reduction launch.
-fn dot_launch(dev: &GpuDevice, x: &[f64], y: &[f64]) -> (f64, KernelStats) {
+fn dot_launch(dev: &GpuDevice, x: &[f64], y: &[f64]) -> Result<(f64, KernelStats), GpuError> {
     let n = x.len();
     let cfg = LaunchConfig::new((n as u32).div_ceil(256).max(1), 256, 256 * 8, 16);
     let traffic = Traffic {
@@ -45,7 +39,12 @@ fn dot_launch(dev: &GpuDevice, x: &[f64], y: &[f64]) -> (f64, KernelStats) {
 }
 
 /// One `cublasDaxpy`-style update launch.
-fn axpy_launch(dev: &GpuDevice, alpha: f64, x: &[f64], y: &mut [f64]) -> KernelStats {
+fn axpy_launch(
+    dev: &GpuDevice,
+    alpha: f64,
+    x: &[f64],
+    y: &mut [f64],
+) -> Result<KernelStats, GpuError> {
     let n = x.len();
     let cfg = LaunchConfig::new((n as u32).div_ceil(256).max(1), 256, 0, 12);
     let traffic = Traffic {
@@ -55,8 +54,8 @@ fn axpy_launch(dev: &GpuDevice, alpha: f64, x: &[f64], y: &mut [f64]) -> KernelS
     };
     let (_, stats) = dev.launch("cublasDaxpy", &cfg, &traffic, || {
         blast_la::dense::axpy(alpha, x, y)
-    });
-    stats
+    })?;
+    Ok(stats)
 }
 
 impl GpuPcg {
@@ -71,7 +70,7 @@ impl GpuPcg {
         b: &[f64],
         constrained: &[bool],
         x: &mut [f64],
-    ) -> PcgResult {
+    ) -> Result<PcgResult, GpuError> {
         let n = a.rows();
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
@@ -93,52 +92,52 @@ impl GpuPcg {
 
         // r = P(b) - P A P x.
         project(x);
-        spmv.run(dev, a, x, &mut r);
+        spmv.run(dev, a, x, &mut r)?;
         project(&mut r);
         for (ri, &bi) in r.iter_mut().zip(b) {
             *ri = bi - *ri;
         }
         project(&mut r);
 
-        let (bnorm2, _) = dot_launch(dev, b, b);
+        let (bnorm2, _) = dot_launch(dev, b, b)?;
         let bnorm = bnorm2.sqrt().max(self.opts.abs_tol);
         let target = (self.opts.rel_tol * bnorm).max(self.opts.abs_tol);
 
-        let (mut rr, _) = dot_launch(dev, &r, &r);
+        let (mut rr, _) = dot_launch(dev, &r, &r)?;
         if rr.sqrt() <= target {
-            return PcgResult { converged: true, iterations: 0, residual: rr.sqrt() };
+            return Ok(PcgResult { converged: true, iterations: 0, residual: rr.sqrt() });
         }
 
         precond.apply(&r, &mut z);
         project(&mut z);
         p.copy_from_slice(&z);
-        let (mut rz, _) = dot_launch(dev, &r, &z);
+        let (mut rz, _) = dot_launch(dev, &r, &z)?;
 
         for iter in 1..=self.opts.max_iter {
-            spmv.run(dev, a, &p, &mut ap);
+            spmv.run(dev, a, &p, &mut ap)?;
             project(&mut ap);
-            let (pap, _) = dot_launch(dev, &p, &ap);
+            let (pap, _) = dot_launch(dev, &p, &ap)?;
             if pap <= 0.0 || !pap.is_finite() {
-                return PcgResult { converged: false, iterations: iter, residual: rr.sqrt() };
+                return Ok(PcgResult { converged: false, iterations: iter, residual: rr.sqrt() });
             }
             let alpha = rz / pap;
-            axpy_launch(dev, alpha, &p, x);
-            axpy_launch(dev, -alpha, &ap, &mut r);
-            let (rr_new, _) = dot_launch(dev, &r, &r);
+            axpy_launch(dev, alpha, &p, x)?;
+            axpy_launch(dev, -alpha, &ap, &mut r)?;
+            let (rr_new, _) = dot_launch(dev, &r, &r)?;
             rr = rr_new;
             if rr.sqrt() <= target {
-                return PcgResult { converged: true, iterations: iter, residual: rr.sqrt() };
+                return Ok(PcgResult { converged: true, iterations: iter, residual: rr.sqrt() });
             }
             precond.apply(&r, &mut z);
             project(&mut z);
-            let (rz_new, _) = dot_launch(dev, &r, &z);
+            let (rz_new, _) = dot_launch(dev, &r, &z)?;
             let beta = rz_new / rz;
             rz = rz_new;
             for (pi, &zi) in p.iter_mut().zip(&z) {
                 *pi = zi + beta * *pi;
             }
         }
-        PcgResult { converged: false, iterations: self.opts.max_iter, residual: rr.sqrt() }
+        Ok(PcgResult { converged: false, iterations: self.opts.max_iter, residual: rr.sqrt() })
     }
 }
 
@@ -172,7 +171,7 @@ mod tests {
 
         let dev = GpuDevice::new(GpuSpec::k20());
         let mut x_gpu = vec![0.0; n];
-        let res = GpuPcg::default().solve(&dev, &a, &pre, &b, &none, &mut x_gpu);
+        let res = GpuPcg::default().solve(&dev, &a, &pre, &b, &none, &mut x_gpu).expect("no faults injected");
         assert!(res.converged, "residual {}", res.residual);
 
         let mut x_cpu = vec![0.0; n];
@@ -193,7 +192,7 @@ mod tests {
         constrained[n - 1] = true;
         let dev = GpuDevice::new(GpuSpec::k20());
         let mut x = vec![0.0; n];
-        let res = GpuPcg::default().solve(&dev, &a, &pre, &b, &constrained, &mut x);
+        let res = GpuPcg::default().solve(&dev, &a, &pre, &b, &constrained, &mut x).expect("no faults injected");
         assert!(res.converged);
         assert_eq!(x[0], 0.0);
         assert_eq!(x[n - 1], 0.0);
@@ -235,7 +234,7 @@ mod tests {
         let none = vec![false; n];
         let dev = GpuDevice::new(GpuSpec::k20());
         let mut x = vec![0.0; n];
-        GpuPcg::default().solve(&dev, &a, &pre, &b, &none, &mut x);
+        GpuPcg::default().solve(&dev, &a, &pre, &b, &none, &mut x).expect("no faults injected");
         let summary = dev.kernel_summary();
         assert_eq!(summary[0].0, SpmvKernel::NAME, "summary: {summary:?}");
         let total: f64 = summary.iter().map(|(_, t, _)| t).sum();
@@ -251,7 +250,7 @@ mod tests {
         let none = vec![false; n];
         let dev = GpuDevice::new(GpuSpec::k20());
         let mut x = vec![0.0; n];
-        let res = GpuPcg::default().solve(&dev, &a, &pre, &b, &none, &mut x);
+        let res = GpuPcg::default().solve(&dev, &a, &pre, &b, &none, &mut x).expect("no faults injected");
         assert!(res.converged);
         assert!(res.iterations > 1 && res.iterations <= n);
         // One SpMV launch per iteration plus the initial residual.

@@ -113,7 +113,7 @@ impl BatchedMats {
     /// Parallel iterator over `(index, matrix-slice)` pairs.
     pub fn par_mats_mut(&mut self) -> impl IndexedParallelIterator<Item = (usize, &mut [f64])> {
         let s = self.stride();
-        self.data.par_chunks_exact_mut(s).enumerate().map(|(z, m)| (z, m))
+        self.data.par_chunks_exact_mut(s).enumerate()
     }
 }
 

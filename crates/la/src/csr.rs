@@ -176,7 +176,7 @@ impl CsrBuilder {
 
     /// Assembles into CSR, merging duplicates and sorting columns per row.
     pub fn build(mut self) -> CsrMatrix {
-        self.triplets.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.triplets.sort_unstable_by_key(|t| (t.0, t.1));
         let mut row_ptr = vec![0usize; self.rows + 1];
         let mut col_idx = Vec::with_capacity(self.triplets.len());
         let mut values = Vec::with_capacity(self.triplets.len());

@@ -24,8 +24,10 @@
 pub mod catalog;
 pub mod greenup;
 pub mod rapl;
+pub mod resilience;
 pub mod trace;
 
 pub use greenup::{EnergyReport, Greenup};
 pub use rapl::{CpuPowerModel, CpuPowerState, RaplReading};
+pub use resilience::ResilienceReport;
 pub use trace::{EnergyCounter, PowerTrace};

@@ -1,0 +1,103 @@
+//! Resilience accounting: what the fault-injection run cost.
+//!
+//! Recovery is not free — every retried device operation burns backoff
+//! time at idle power (the device sits in the gap while the retry policy
+//! waits), and a degraded run pays CPU-path energy for work the GPU was
+//! supposed to do. This module aggregates those costs next to the fault
+//! counters so an experiment can report "N faults, M recovered, X joules
+//! of recovery overhead" in one place.
+
+/// Aggregated fault/recovery counters of one run, with the energy cost of
+/// the recovery machinery.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResilienceReport {
+    /// Fault events injected into device operations.
+    pub faults_injected: u64,
+    /// Retries the retry policy issued.
+    pub retries: u64,
+    /// Operations that ultimately succeeded after at least one retry.
+    pub recovered: u64,
+    /// Operations that exhausted the retry budget (each of these either
+    /// aborted the run or triggered CPU degradation).
+    pub exhausted: u64,
+    /// Steps the solver rolled back and redid (CFL overshoot or a
+    /// recoverable numerical failure).
+    pub steps_redone: usize,
+    /// Total simulated seconds spent in retry backoff.
+    pub backoff_s: f64,
+    /// Energy burned during backoff, J (the device idles through the
+    /// gaps, so this is `backoff_s x idle watts`).
+    pub backoff_energy_j: f64,
+    /// Whether a persistent fault forced execution onto the CPU.
+    pub degraded_to_cpu: bool,
+    /// Why, when it did.
+    pub degraded_reason: Option<String>,
+}
+
+impl ResilienceReport {
+    /// Fraction of injected faults that the retry policy absorbed without
+    /// escalating (1.0 when nothing was injected).
+    pub fn recovery_rate(&self) -> f64 {
+        if self.faults_injected == 0 {
+            return 1.0;
+        }
+        // Each exhausted op consumed (retries + 1) injections; everything
+        // else was absorbed.
+        let escalated = self.exhausted;
+        let total_ops = self.recovered + escalated;
+        if total_ops == 0 {
+            return 1.0;
+        }
+        self.recovered as f64 / total_ops as f64
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("Faults injected      : {}\n", self.faults_injected));
+        s.push_str(&format!("Retries issued       : {}\n", self.retries));
+        s.push_str(&format!("Ops recovered        : {}\n", self.recovered));
+        s.push_str(&format!("Retry budget spent   : {}\n", self.exhausted));
+        s.push_str(&format!("Steps redone         : {}\n", self.steps_redone));
+        s.push_str(&format!(
+            "Backoff time / energy: {:.3e} s / {:.3e} J\n",
+            self.backoff_s, self.backoff_energy_j
+        ));
+        match (&self.degraded_to_cpu, &self.degraded_reason) {
+            (true, Some(r)) => s.push_str(&format!("Degraded to CPU      : yes ({r})\n")),
+            (true, None) => s.push_str("Degraded to CPU      : yes\n"),
+            _ => s.push_str("Degraded to CPU      : no\n"),
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_rate_handles_edges() {
+        assert_eq!(ResilienceReport::default().recovery_rate(), 1.0);
+        let r = ResilienceReport {
+            faults_injected: 5,
+            retries: 4,
+            recovered: 3,
+            exhausted: 1,
+            ..Default::default()
+        };
+        assert!((r.recovery_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_degradation() {
+        let r = ResilienceReport {
+            degraded_to_cpu: true,
+            degraded_reason: Some("kernel launch failed".into()),
+            ..Default::default()
+        };
+        assert!(r.summary().contains("yes (kernel launch failed)"));
+        let clean = ResilienceReport::default();
+        assert!(clean.summary().contains("Degraded to CPU      : no"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Offline minimal stand-in for `criterion`.
+//!
+//! Provides just enough of the API (`Criterion::bench_function`,
+//! `Bencher::iter`/`iter_batched`, `BatchSize`, `criterion_group!`,
+//! `criterion_main!`) for the workspace's benches to build and run without
+//! the real crate. Measurement is a simple calibrated wall-clock loop: good
+//! for relative comparisons, not for criterion's statistical rigor.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+
+/// How a batched benchmark sizes its batches (accepted, not interpreted).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// New driver with defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.elapsed.as_secs_f64() / b.iters as f64
+        } else {
+            0.0
+        };
+        println!("bench: {name:<40} {:>12.3} ns/iter ({} iters)", per_iter * 1e9, b.iters);
+        self
+    }
+}
+
+/// Timing context passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Calibrate: grow the iteration count until the loop fills TARGET.
+        let mut n: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= TARGET || n >= 1 << 24 {
+                self.iters = n;
+                self.elapsed = dt;
+                return;
+            }
+            let scale = (TARGET.as_secs_f64() / dt.as_secs_f64().max(1e-9)).min(100.0);
+            n = ((n as f64 * scale) as u64).max(n + 1);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded).
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < TARGET && iters < 1 << 20 {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t0.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = total;
+    }
+}
+
+/// Re-export so `use criterion::black_box` also works.
+pub use std::hint::black_box;
+
+/// Groups benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::new();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion::new();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+    }
+}

@@ -1,0 +1,488 @@
+//! Offline mini re-implementation of the `proptest` surface this workspace
+//! uses: the `proptest!` macro, `Strategy` with `prop_map`, range / tuple /
+//! `collection::vec` / `array::uniformN` strategies, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//! - **Deterministic**: each test's RNG is seeded from the test name, so a
+//!   failure reproduces on every run (there is no `PROPTEST_CASES`
+//!   persistence file; there is also no need for one).
+//! - **No shrinking**: a failing case reports its seed and case index
+//!   instead of a minimized input.
+
+
+/// Cases each `proptest!` test runs (matches proptest's default of 256).
+pub const NUM_CASES: u32 = 256;
+
+/// Maximum rejected cases (`prop_assume!`) before a test gives up.
+pub const MAX_REJECTS: u32 = NUM_CASES * 40;
+
+// ----------------------------------------------------------------------
+// RNG: splitmix64 — tiny, high-quality enough for test-case generation.
+// ----------------------------------------------------------------------
+
+/// Deterministic test-case RNG.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (the test name).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Seeds from a u64.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform u64 in `[0, bound)` (bound > 0).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % bound
+    }
+}
+
+// ----------------------------------------------------------------------
+// Strategies
+// ----------------------------------------------------------------------
+
+pub mod strategy {
+    use super::TestRng;
+
+    /// A generator of values of one type.
+    pub trait Strategy {
+        /// The value type generated.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (proptest's `prop_map`).
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of one value (proptest's `Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.next_f64()
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start() + (self.end() - self.start()) * rng.next_f64()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.next_below(span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty integer strategy range");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + rng.next_below(span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<char> {
+        type Value = char;
+        fn generate(&self, rng: &mut TestRng) -> char {
+            let lo = self.start as u32;
+            let hi = self.end as u32;
+            loop {
+                if let Some(c) = char::from_u32(lo + rng.next_below((hi - lo) as u64) as u32) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    impl Strategy for bool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            // proptest's `any::<bool>()` analog is not used in-tree; a bare
+            // `bool` as a strategy generates either value.
+            let _ = self;
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (S0 0)
+        (S0 0, S1 1)
+        (S0 0, S1 1, S2 2)
+        (S0 0, S1 1, S2 2, S3 3)
+        (S0 0, S1 1, S2 2, S3 3, S4 4)
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+    }
+}
+
+pub mod collection {
+    //! `proptest::collection` — sized `Vec` strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Anything usable as the length argument of [`vec`].
+    pub trait SizeRange {
+        /// Draws a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start + rng.next_below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start() + rng.next_below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// The result of [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! `proptest::array` — fixed-size array strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy producing `[S::Value; N]`.
+    #[derive(Clone, Debug)]
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    /// Generic constructor behind the `uniformN` helpers.
+    pub fn uniform<S: Strategy, const N: usize>(s: S) -> UniformArray<S, N> {
+        UniformArray(s)
+    }
+
+    macro_rules! uniform_n {
+        ($($name:ident $n:literal),*) => {$(
+            /// Array strategy of the arity in the function name.
+            pub fn $name<S: Strategy>(s: S) -> UniformArray<S, $n> {
+                UniformArray(s)
+            }
+        )*};
+    }
+    uniform_n!(
+        uniform1 1, uniform2 2, uniform3 3, uniform4 4, uniform5 5, uniform6 6,
+        uniform7 7, uniform8 8, uniform9 9, uniform10 10, uniform12 12, uniform16 16
+    );
+}
+
+// ----------------------------------------------------------------------
+// Test-case driver
+// ----------------------------------------------------------------------
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: draw another case.
+    Reject,
+    /// `prop_assert*!` failed: the property is false.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Runs `NUM_CASES` generated cases of `body`, panicking on the first
+/// failure with the case index (deterministic per test name).
+pub fn run_cases(name: &str, mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+    let mut rng = TestRng::from_name(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut case = 0u32;
+    while accepted < NUM_CASES {
+        case += 1;
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected < MAX_REJECTS,
+                    "proptest '{name}': too many prop_assume! rejections \
+                     ({rejected} rejects for {accepted} accepted cases)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case #{case}: {msg}");
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the `proptest::prelude::*` import is expected to bring in.
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, TestCaseError,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` running [`NUM_CASES`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)*
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property body; failure reports the case, not a panic
+/// mid-generation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("prop_assert!({}) failed", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("prop_assert!({}) failed: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("prop_assert_eq! failed: {:?} != {:?}", lhs, rhs),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("prop_assert_eq! failed: {:?} != {:?}: {}", lhs, rhs, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("prop_assert_ne! failed: both sides are {:?}", lhs),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        let mut c = crate::TestRng::from_name("y");
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::from_seed(7);
+        for _ in 0..1000 {
+            let f = (-2.0..3.0f64).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let u = (5u32..9).generate(&mut rng);
+            assert!((5..9).contains(&u));
+            let n = (1usize..4).generate(&mut rng);
+            assert!((1..4).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_and_array_and_tuple_strategies() {
+        let mut rng = crate::TestRng::from_seed(3);
+        let v = collection::vec(0.0..1.0f64, 2..5).generate(&mut rng);
+        assert!((2..5).contains(&v.len()));
+        let a = crate::array::uniform4(0.0..1.0f64).generate(&mut rng);
+        assert_eq!(a.len(), 4);
+        let (x, y, z) = (0usize..6, 0usize..6, -1.0..1.0f64).generate(&mut rng);
+        assert!(x < 6 && y < 6 && (-1.0..1.0).contains(&z));
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::TestRng::from_seed(11);
+        let s = (0.0..1.0f64).prop_map(|x| x + 10.0);
+        let v = s.generate(&mut rng);
+        assert!((10.0..11.0).contains(&v));
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(x in 0.0..1.0f64, n in 1usize..5) {
+            prop_assume!(n != 3);
+            prop_assert!(x >= 0.0 && x < 1.0, "x = {x}");
+            prop_assert_eq!(n.min(4), n);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        crate::run_cases("always_fails", |_rng| {
+            prop_assert!(false);
+            #[allow(unreachable_code)]
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,122 @@
+//! Sequential stand-in for `rayon`, used when the real crate cannot be
+//! fetched (offline build environments).
+//!
+//! The workspace only relies on a small slice of rayon's API:
+//! `par_iter`/`par_iter_mut`, `par_chunks[_exact]_mut`, and the
+//! `ParallelIterator`/`IndexedParallelIterator` marker bounds. This shim
+//! maps every `par_*` entry point onto the corresponding serial `std`
+//! iterator, so all downstream `.zip()/.enumerate()/.map()/.for_each()`
+//! chains compile and run unchanged — serially, which also makes kernel
+//! "thread block" execution deterministic.
+
+pub mod prelude {
+    pub use super::{IndexedParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Marker with rayon's name; every `std` iterator qualifies.
+pub trait ParallelIterator: Iterator {}
+impl<I: Iterator> ParallelIterator for I {}
+
+/// Marker with rayon's name; every `std` iterator qualifies.
+pub trait IndexedParallelIterator: Iterator {}
+impl<I: Iterator> IndexedParallelIterator for I {}
+
+/// `par_iter` / shared-slice entry points.
+pub trait ParallelSlice<T> {
+    /// Serial stand-in for `rayon::slice::ParallelSlice::par_chunks`.
+    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+    /// Serial stand-in for `par_chunks_exact`.
+    fn par_chunks_exact(&self, size: usize) -> std::slice::ChunksExact<'_, T>;
+    /// Serial stand-in for `par_iter`.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(size)
+    }
+    fn par_chunks_exact(&self, size: usize) -> std::slice::ChunksExact<'_, T> {
+        self.chunks_exact(size)
+    }
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// `par_iter_mut` / mutable-slice entry points.
+pub trait ParallelSliceMut<T> {
+    /// Serial stand-in for `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    /// Serial stand-in for `par_chunks_exact_mut`.
+    fn par_chunks_exact_mut(&mut self, size: usize) -> std::slice::ChunksExactMut<'_, T>;
+    /// Serial stand-in for `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(size)
+    }
+    fn par_chunks_exact_mut(&mut self, size: usize) -> std::slice::ChunksExactMut<'_, T> {
+        self.chunks_exact_mut(size)
+    }
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+/// Serial stand-in for `IntoParallelIterator` (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// The underlying serial iterator type.
+    type Iter: Iterator;
+    /// Converts into a (serial) "parallel" iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Serial stand-in for `rayon::join`: runs both closures sequentially.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_exact_mut_matches_serial() {
+        let mut v = vec![0.0f64; 8];
+        v.par_chunks_exact_mut(2).enumerate().for_each(|(i, c)| {
+            c[0] = i as f64;
+            c[1] = -(i as f64);
+        });
+        assert_eq!(v, vec![0.0, 0.0, 1.0, -1.0, 2.0, -2.0, 3.0, -3.0]);
+    }
+
+    #[test]
+    fn zip_and_marker_traits_compose() {
+        fn takes_indexed<I: super::IndexedParallelIterator>(it: I) -> usize {
+            it.count()
+        }
+        let mut a = vec![1, 2, 3, 4];
+        let mut b = vec![10, 20];
+        let n = takes_indexed(a.par_chunks_exact_mut(2).zip(b.par_iter_mut()));
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (x, y) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((x, y), (4, "ok"));
+    }
+}

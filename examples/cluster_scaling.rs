@@ -39,7 +39,7 @@ fn main() {
     // --- A real distributed min-dt reduction ---------------------------
     let dts = run_ranks(4, |mut comm| {
         let local_dt = 0.01 * (comm.rank() + 1) as f64;
-        comm.allreduce_min(local_dt)
+        comm.allreduce_min(local_dt).expect("healthy group")
     });
     println!("\nDistributed min-dt reduction across 4 ranks -> {:?}", dts[0]);
 
