@@ -23,6 +23,7 @@ pub mod tab3_matrix_shapes;
 pub mod tab4_batched_dgemv;
 pub mod tab5_autobalance;
 pub mod tab6_validation;
+pub mod resilience_overhead;
 pub mod tab7_greenup;
 
 /// Names of all registered experiments (for the `paper_report` binary and
@@ -49,6 +50,7 @@ pub fn all_experiment_names() -> Vec<&'static str> {
         "fig15_gpu_power",
         "fig16_cpu_power_offload",
         "tab7_greenup",
+        "resilience_overhead",
     ]
 }
 
@@ -75,6 +77,7 @@ pub fn run_by_name(name: &str) -> Option<String> {
         "fig15_gpu_power" => fig15_gpu_power::report(),
         "fig16_cpu_power_offload" => fig16_cpu_power_offload::report(),
         "tab7_greenup" => tab7_greenup::report(),
+        "resilience_overhead" => resilience_overhead::report(),
         _ => return None,
     })
 }

@@ -18,9 +18,15 @@
 //!   message carries an FNV checksum and the receiver reports
 //!   [`CommError::Corrupted`],
 //! - **rank stalls** — a rank sleeps before a scheduled send, modeling OS
-//!   jitter / a dying node; peers see a timeout naming the stalled rank.
+//!   jitter / a dying node; peers see a timeout naming the stalled rank,
+//! - **rank deaths** — from a scheduled send index onward the rank stops
+//!   transmitting *permanently*. Peers cannot distinguish a dead rank from
+//!   an unlucky run of drops by one timeout alone, so the communicator
+//!   carries an optional failure detector: `K` consecutive timeouts against
+//!   the same peer escalate to [`CommError::PeerDead`] (off by default —
+//!   [`Communicator::set_suspicion_threshold`] arms it).
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -50,6 +56,15 @@ pub enum CommError {
         /// The message tag.
         tag: u64,
     },
+    /// The failure detector declared the peer permanently dead: `K`
+    /// consecutive receive timeouts against it with no arrival evidence in
+    /// between (see [`Communicator::set_suspicion_threshold`]).
+    PeerDead {
+        /// The rank declared dead.
+        from: usize,
+        /// The tag being waited for when suspicion crossed the threshold.
+        tag: u64,
+    },
     /// All peer ranks have exited while messages were still expected.
     Disconnected {
         /// The rank being waited for when the wire went away.
@@ -67,6 +82,9 @@ impl std::fmt::Display for CommError {
             }
             CommError::Corrupted { from, tag } => {
                 write!(f, "corrupted message from rank {from} (tag {tag}): checksum mismatch")
+            }
+            CommError::PeerDead { from, tag } => {
+                write!(f, "rank {from} declared dead (tag {tag}): consecutive timeouts crossed the suspicion threshold")
             }
             CommError::Disconnected { from, tag } => {
                 write!(f, "rank {from} disconnected while waiting on tag {tag}")
@@ -121,6 +139,18 @@ pub struct RankStall {
     pub delay: Duration,
 }
 
+/// A scheduled permanent rank death: from the rank's `after_sends`-th send
+/// onward, nothing it transmits reaches the wire. The thread keeps running
+/// (the harness body checks [`Communicator::is_dead`] and exits), but to
+/// every peer the rank has gone silent for good.
+#[derive(Clone, Copy, Debug)]
+pub struct RankDeath {
+    /// The dying rank.
+    pub rank: usize,
+    /// The 0-based send index at which it dies (0 = never sends anything).
+    pub after_sends: u64,
+}
+
 /// Seeded fault-injection plan for a [`run_ranks_with_faults`] execution.
 #[derive(Clone, Debug, Default)]
 pub struct ClusterFaultPlan {
@@ -132,6 +162,8 @@ pub struct ClusterFaultPlan {
     pub corrupt_rate: f64,
     /// Scheduled per-rank stalls.
     pub stalls: Vec<RankStall>,
+    /// Scheduled permanent rank deaths.
+    pub deaths: Vec<RankDeath>,
 }
 
 impl ClusterFaultPlan {
@@ -143,6 +175,13 @@ impl ClusterFaultPlan {
     /// Seeded plan with message drop and corruption rates.
     pub fn seeded(seed: u64) -> Self {
         Self { seed, ..Self::default() }
+    }
+
+    /// Like [`ClusterFaultPlan::seeded`], but the `BLAST_FAULT_SEED`
+    /// environment variable overrides `default_seed` when set (the same
+    /// single parse point as the device plans: [`gpu_sim::fault_seed_from_env`]).
+    pub fn seeded_from_env(default_seed: u64) -> Self {
+        Self::seeded(gpu_sim::fault_seed_from_env().unwrap_or(default_seed))
     }
 
     /// Sets the message drop rate.
@@ -165,8 +204,17 @@ impl ClusterFaultPlan {
         self
     }
 
+    /// Adds a scheduled permanent rank death.
+    pub fn with_rank_death(mut self, rank: usize, after_sends: u64) -> Self {
+        self.deaths.push(RankDeath { rank, after_sends });
+        self
+    }
+
     fn is_active(&self) -> bool {
-        self.drop_rate > 0.0 || self.corrupt_rate > 0.0 || !self.stalls.is_empty()
+        self.drop_rate > 0.0
+            || self.corrupt_rate > 0.0
+            || !self.stalls.is_empty()
+            || !self.deaths.is_empty()
     }
 }
 
@@ -179,6 +227,8 @@ pub struct CommFaultStats {
     pub corrupted: usize,
     /// Stalls this rank served.
     pub stalls: usize,
+    /// Sends suppressed because this rank was scheduled dead.
+    pub suppressed: usize,
 }
 
 /// Per-rank communicator handle.
@@ -198,6 +248,12 @@ pub struct Communicator {
     sends: Cell<u64>,
     /// Observed fault statistics for this rank.
     stats: Cell<CommFaultStats>,
+    /// Per-peer consecutive receive-timeout counters (failure detector).
+    suspicion: RefCell<Vec<u32>>,
+    /// Consecutive timeouts against one peer before it is declared dead.
+    /// `u32::MAX` disables the detector (the default — a plain timeout
+    /// keeps surfacing as [`CommError::Timeout`]).
+    suspicion_threshold: u32,
 }
 
 impl Communicator {
@@ -221,6 +277,22 @@ impl Communicator {
         self.stats.get()
     }
 
+    /// Arms the failure detector: `k` consecutive receive timeouts against
+    /// the same peer (with no message from it in between) escalate the
+    /// `k`-th to [`CommError::PeerDead`]. Pass `u32::MAX` to disarm.
+    pub fn set_suspicion_threshold(&mut self, k: u32) {
+        assert!(k >= 1, "suspicion threshold must be at least 1");
+        self.suspicion_threshold = k;
+    }
+
+    /// Whether this rank's scheduled death has already triggered (its sends
+    /// are being suppressed). The harness body checks this to exit a dead
+    /// rank's loop.
+    pub fn is_dead(&self) -> bool {
+        let idx = self.sends.get();
+        self.faults.deaths.iter().any(|d| d.rank == self.rank && idx >= d.after_sends)
+    }
+
     /// Sends `data` to rank `to` under `tag` (non-blocking, buffered).
     ///
     /// Under an active fault plan the message may be dropped or corrupted
@@ -231,6 +303,14 @@ impl Communicator {
         let idx = self.sends.get();
         self.sends.set(idx + 1);
         let mut stats = self.stats.get();
+
+        // A dead rank transmits nothing, ever again. Checked against the
+        // pre-increment index so `after_sends: 0` means "never sent once".
+        if self.faults.deaths.iter().any(|d| d.rank == self.rank && idx >= d.after_sends) {
+            stats.suppressed += 1;
+            self.stats.set(stats);
+            return;
+        }
 
         if self.faults.is_active() {
             for stall in &self.faults.stalls {
@@ -286,6 +366,7 @@ impl Communicator {
         timeout: Duration,
     ) -> Result<Vec<f64>, CommError> {
         if let Some(pos) = self.stash.iter().position(|m| m.from == from && m.tag == tag) {
+            self.suspicion.borrow_mut()[from] = 0;
             return Self::verify(self.stash.swap_remove(pos));
         }
         let deadline = Instant::now() + timeout;
@@ -293,11 +374,21 @@ impl Communicator {
             let remaining = deadline.saturating_duration_since(Instant::now());
             let msg = match self.inbox.recv_timeout(remaining) {
                 Ok(msg) => msg,
-                Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout { from, tag }),
+                Err(RecvTimeoutError::Timeout) => {
+                    let mut suspicion = self.suspicion.borrow_mut();
+                    suspicion[from] = suspicion[from].saturating_add(1);
+                    if suspicion[from] >= self.suspicion_threshold {
+                        return Err(CommError::PeerDead { from, tag });
+                    }
+                    return Err(CommError::Timeout { from, tag });
+                }
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(CommError::Disconnected { from, tag })
                 }
             };
+            // Any arrival — matching, stashed, or even corrupted — is
+            // liveness evidence for its sender.
+            self.suspicion.borrow_mut()[msg.from] = 0;
             if msg.from == from && msg.tag == tag {
                 return Self::verify(msg);
             }
@@ -415,6 +506,8 @@ pub fn run_ranks_with_faults<R: Send>(
             faults: plan.clone(),
             sends: Cell::new(0),
             stats: Cell::new(CommFaultStats::default()),
+            suspicion: RefCell::new(vec![0; size]),
+            suspicion_threshold: u32::MAX,
         })
         .collect();
     drop(senders);
@@ -590,6 +683,100 @@ mod tests {
         });
         assert_eq!(results[0], 7.0);
         assert!(t0.elapsed() >= Duration::from_millis(25), "stall not served");
+    }
+
+    #[test]
+    fn dead_rank_stops_transmitting_permanently() {
+        // Rank 1 dies after 2 sends: the first two arrive, the rest never do.
+        let plan = ClusterFaultPlan::none().with_rank_death(1, 2);
+        let results = run_ranks_with_faults(2, plan, |mut c| {
+            if c.rank() == 1 {
+                assert!(!c.is_dead(), "alive before the scheduled point");
+                for i in 0..5 {
+                    c.send(0, i, vec![i as f64]);
+                }
+                assert!(c.is_dead(), "dead after the scheduled point");
+                c.fault_stats().suppressed as f64
+            } else {
+                let a = c.recv_timeout(1, 0, Duration::from_millis(100)).unwrap()[0];
+                let b = c.recv_timeout(1, 1, Duration::from_millis(100)).unwrap()[0];
+                let lost = c.recv_timeout(1, 2, Duration::from_millis(20));
+                assert_eq!(lost, Err(CommError::Timeout { from: 1, tag: 2 }));
+                a + b
+            }
+        });
+        assert_eq!(results[0], 1.0, "pre-death sends delivered");
+        assert_eq!(results[1], 3.0, "three post-death sends suppressed");
+    }
+
+    #[test]
+    fn suspicion_threshold_escalates_to_peer_dead() {
+        let plan = ClusterFaultPlan::none().with_rank_death(0, 0);
+        let results = run_ranks_with_faults(2, plan, |mut c| {
+            if c.rank() == 1 {
+                c.set_suspicion_threshold(3);
+                let mut last = Ok(vec![]);
+                for _ in 0..3 {
+                    last = c.recv_timeout(0, 9, Duration::from_millis(10));
+                }
+                last
+            } else {
+                Ok(vec![])
+            }
+        });
+        assert_eq!(results[1], Err(CommError::PeerDead { from: 0, tag: 9 }));
+    }
+
+    #[test]
+    fn arrival_evidence_resets_suspicion() {
+        // Two timeouts, then a real message, then two more timeouts: with
+        // threshold 3 the counter must have reset, so no PeerDead.
+        let results = run_ranks(2, |mut c| {
+            if c.rank() == 1 {
+                c.set_suspicion_threshold(3);
+                for _ in 0..2 {
+                    let e = c.recv_timeout(0, 9, Duration::from_millis(10));
+                    assert_eq!(e, Err(CommError::Timeout { from: 0, tag: 9 }));
+                }
+                let v = c.recv_timeout(0, 1, Duration::from_millis(200)).unwrap();
+                for _ in 0..2 {
+                    let e = c.recv_timeout(0, 9, Duration::from_millis(10));
+                    assert_eq!(e, Err(CommError::Timeout { from: 0, tag: 9 }), "counter reset");
+                }
+                v[0]
+            } else {
+                std::thread::sleep(Duration::from_millis(30));
+                c.send(1, 1, vec![5.0]);
+                0.0
+            }
+        });
+        assert_eq!(results[1], 5.0);
+    }
+
+    #[test]
+    fn detector_off_by_default_keeps_plain_timeouts() {
+        let results = run_ranks(2, |mut c| {
+            if c.rank() == 1 {
+                let mut last = Ok(vec![]);
+                for _ in 0..5 {
+                    last = c.recv_timeout(0, 9, Duration::from_millis(5));
+                }
+                last
+            } else {
+                Ok(vec![])
+            }
+        });
+        assert_eq!(results[1], Err(CommError::Timeout { from: 0, tag: 9 }));
+    }
+
+    #[test]
+    fn env_seed_reaches_the_cluster_plan() {
+        // No env mutation here (racy across test binaries): the default
+        // path must just pass through.
+        let p = ClusterFaultPlan::seeded_from_env(123);
+        if gpu_sim::fault_seed_from_env().is_none() {
+            assert_eq!(p.seed, 123);
+        }
     }
 
     #[test]

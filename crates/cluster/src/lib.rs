@@ -23,12 +23,21 @@
 //!   combining per-node compute costs from `gpu-sim` with the network
 //!   model.
 
+//! - [`recovery`]: coordinated checkpoint/restart plus rank-death recovery
+//!   under a chaos campaign — the coordinator detects dead ranks through
+//!   consecutive receive timeouts, survivors agree, shrink the partition,
+//!   and restore from the last coordinated checkpoint.
+
 pub mod comm;
 pub mod netmodel;
 pub mod partition;
+pub mod recovery;
 pub mod scaling;
 
-pub use comm::{run_ranks, Communicator};
+pub use comm::{run_ranks, ClusterFaultPlan, CommError, Communicator, RankDeath};
 pub use netmodel::{Machine, NetworkModel};
 pub use partition::Partition;
+pub use recovery::{
+    campaign_overhead_pct, run_chaos_campaign, CampaignConfig, RankOutcome, RankResult,
+};
 pub use scaling::{strong_scaling, weak_scaling, ScalingPoint};

@@ -124,6 +124,37 @@ impl<const D: usize> Partition<D> {
             .filter(|g| g.len() > 1 && g.contains(&rank))
             .count()
     }
+
+    /// Re-partitions the whole mesh onto the surviving ranks after one or
+    /// more rank deaths (the recovery protocol's shrink-to-fit step).
+    ///
+    /// `survivors` is the sorted list of *old* rank ids still alive. The
+    /// returned partition covers every zone with `survivors.len()` compact
+    /// new ranks `0..n`; the companion map gives, for each old rank id, its
+    /// new compact id (`None` for the dead).
+    pub fn shrink_to_fit(
+        &self,
+        mesh: &CartMesh<D>,
+        survivors: &[usize],
+    ) -> (Partition<D>, Vec<Option<usize>>) {
+        assert!(!survivors.is_empty(), "at least one rank must survive");
+        assert!(
+            survivors.windows(2).all(|w| w[0] < w[1]),
+            "survivor list must be sorted and unique: {survivors:?}"
+        );
+        let old_n = self.num_ranks();
+        assert!(
+            survivors.iter().all(|&r| r < old_n),
+            "survivor id out of range: {survivors:?} for {old_n} ranks"
+        );
+        assert_eq!(mesh.zones_per_axis(), self.zones_per_axis, "mesh/partition mismatch");
+        let shrunk = Partition::balanced(mesh, survivors.len());
+        let mut slot_of_rank = vec![None; old_n];
+        for (slot, &r) in survivors.iter().enumerate() {
+            slot_of_rank[r] = Some(slot);
+        }
+        (shrunk, slot_of_rank)
+    }
 }
 
 fn smallest_prime_factor(n: usize) -> usize {
@@ -233,6 +264,36 @@ mod tests {
         let part = Partition::balanced(&mesh, 6);
         let grid = part.ranks_per_axis();
         assert_eq!(grid.iter().product::<usize>(), 6);
+    }
+
+    #[test]
+    fn shrink_to_fit_covers_every_zone_with_survivors() {
+        let mesh = CartMesh::<2>::unit(4);
+        let part = Partition::new(&mesh, [2, 2]);
+        // Rank 1 died.
+        let (shrunk, slots) = part.shrink_to_fit(&mesh, &[0, 2, 3]);
+        assert_eq!(shrunk.num_ranks(), 3);
+        let total: usize = (0..3).map(|r| shrunk.zones_of_rank(r).len()).sum();
+        assert_eq!(total, mesh.num_zones(), "every zone reassigned");
+        assert_eq!(slots, vec![Some(0), None, Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn shrink_to_fit_to_one_rank_owns_everything() {
+        let mesh = CartMesh::<2>::unit(4);
+        let part = Partition::new(&mesh, [2, 1]);
+        let (shrunk, slots) = part.shrink_to_fit(&mesh, &[1]);
+        assert_eq!(shrunk.num_ranks(), 1);
+        assert_eq!(shrunk.zones_of_rank(0).len(), mesh.num_zones());
+        assert_eq!(slots, vec![None, Some(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and unique")]
+    fn shrink_to_fit_rejects_unsorted_survivors() {
+        let mesh = CartMesh::<2>::unit(4);
+        let part = Partition::new(&mesh, [2, 2]);
+        let _ = part.shrink_to_fit(&mesh, &[2, 0]);
     }
 
     #[test]

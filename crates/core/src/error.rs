@@ -43,6 +43,12 @@ pub enum HydroError {
         /// The offending determinant.
         detj: f64,
     },
+    /// Writing or restoring a checkpoint failed (I/O or decode). Not
+    /// dt-related, so rollback cannot clear it.
+    Checkpoint {
+        /// Human-readable cause.
+        detail: String,
+    },
 }
 
 impl HydroError {
@@ -80,6 +86,7 @@ impl std::fmt::Display for HydroError {
                 f,
                 "mesh tangled: |J| = {detj} at point {point} (zone {zone}) — reduce the CFL"
             ),
+            HydroError::Checkpoint { detail } => write!(f, "checkpoint failure: {detail}"),
         }
     }
 }

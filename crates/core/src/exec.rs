@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use autotune::AutoBalancer;
 use gpu_sim::{CpuDevice, CpuSpec, GpuDevice, Traffic};
-use powermon::ResilienceReport;
+use powermon::{CpuPowerState, ResilienceReport};
 
 use blast_kernels::base::MonolithicCornerForce;
 use blast_kernels::k7::FzKernel;
@@ -61,6 +61,25 @@ pub enum ExecMode {
     },
 }
 
+/// Simulated seconds a recovery barrier quiesces both devices: in-flight
+/// work drains and survivors synchronize before restoring (billed at idle
+/// watts on host and device).
+pub const RECOVERY_QUIESCE_S: f64 = 5e-3;
+
+/// Running totals of what the resilience machinery cost — filled in by the
+/// checkpoint/restore/recovery billing calls and merged into the
+/// [`ResilienceReport`].
+#[derive(Debug, Default)]
+struct ResilienceLedger {
+    checkpoints_written: Cell<u64>,
+    checkpoint_bytes: Cell<u64>,
+    restores: Cell<u64>,
+    rank_deaths: Cell<u64>,
+    redo_faults: Cell<u64>,
+    resilience_s: Cell<f64>,
+    resilience_energy_j: Cell<f64>,
+}
+
 /// Executor state: devices and (for hybrid) the balancer.
 pub struct Executor {
     /// The execution mode.
@@ -75,6 +94,8 @@ pub struct Executor {
     degraded: Cell<bool>,
     /// Human-readable cause of the degradation, when it happened.
     degraded_reason: RefCell<Option<String>>,
+    /// Checkpoint/restore/rank-death cost accounting.
+    ledger: ResilienceLedger,
 }
 
 impl Executor {
@@ -108,6 +129,7 @@ impl Executor {
             balancer,
             degraded: Cell::new(false),
             degraded_reason: RefCell::new(None),
+            ledger: ResilienceLedger::default(),
         }
     }
 
@@ -136,9 +158,9 @@ impl Executor {
 
     /// Assembles the resilience report for a finished (or in-flight) run:
     /// the device's fault counters, the retry backoff charged as idle-power
-    /// energy, and whether the run degraded to the CPU path.
-    /// `steps_redone` is the solver's rollback counter
-    /// (`RunStats::retries`).
+    /// energy, the checkpoint/restore/rank-death ledger, and whether the
+    /// run degraded to the CPU path. `steps_redone` is the solver's
+    /// rollback counter (`RunStats::retries`).
     pub fn resilience_report(&self, steps_redone: usize) -> ResilienceReport {
         let stats = self.gpu.as_ref().map(|g| g.fault_stats()).unwrap_or_default();
         let idle_w = self.gpu.as_ref().map(|g| g.spec().idle_w).unwrap_or(0.0);
@@ -150,9 +172,92 @@ impl Executor {
             steps_redone,
             backoff_s: stats.backoff_s,
             backoff_energy_j: stats.backoff_s * idle_w,
+            checkpoints_written: self.ledger.checkpoints_written.get(),
+            checkpoint_bytes: self.ledger.checkpoint_bytes.get(),
+            restores: self.ledger.restores.get(),
+            rank_deaths: self.ledger.rank_deaths.get(),
+            redo_faults: self.ledger.redo_faults.get(),
+            resilience_s: self.ledger.resilience_s.get(),
+            resilience_energy_j: self.ledger.resilience_energy_j.get(),
             degraded_to_cpu: self.is_degraded(),
             degraded_reason: self.degraded_reason(),
         }
+    }
+
+    /// Traffic of serializing/deserializing one checkpoint image on the
+    /// host: the state streams out of DRAM and the image streams back in
+    /// (or vice versa on restore), plus the cheap CRC pass.
+    pub fn checkpoint_traffic(bytes: usize) -> Traffic {
+        Traffic {
+            flops: bytes as f64, // ~1 table lookup + xor/shift per byte
+            dram_bytes: 2.0 * bytes as f64,
+            ..Default::default()
+        }
+    }
+
+    /// Runs a resilience phase on the host timeline (the device quiesces —
+    /// idles — for its duration) and charges its energy to the ledger.
+    fn bill_phase(&self, name: &str, bytes: usize) -> f64 {
+        let traffic = Self::checkpoint_traffic(bytes);
+        let (_, t) = self.host.run_phase(name, &traffic, 1, CG_CPU_EFF, CpuPowerState::Busy, || ());
+        if let Some(g) = &self.gpu {
+            g.idle(t);
+        }
+        let util = 1.0 / self.host.spec().cores as f64;
+        let reading = self.host.spec().power.read(CpuPowerState::Busy, util);
+        let host_w = reading.pkg_watts + reading.dram_watts;
+        let gpu_idle_w = self.gpu.as_ref().map(|g| g.spec().idle_w).unwrap_or(0.0);
+        self.ledger.resilience_s.set(self.ledger.resilience_s.get() + t);
+        self.ledger
+            .resilience_energy_j
+            .set(self.ledger.resilience_energy_j.get() + t * (host_w + gpu_idle_w));
+        t
+    }
+
+    /// Bills one coordinated checkpoint write of `bytes` serialized bytes:
+    /// a DRAM-write phase on the host while the device quiesces at idle
+    /// watts. Returns the modeled seconds.
+    pub fn bill_checkpoint_write(&self, bytes: usize) -> f64 {
+        self.ledger.checkpoints_written.set(self.ledger.checkpoints_written.get() + 1);
+        self.ledger.checkpoint_bytes.set(self.ledger.checkpoint_bytes.get() + bytes as u64);
+        self.bill_phase("checkpoint_write", bytes)
+    }
+
+    /// Bills one checkpoint restore of `bytes` (validation + decode + state
+    /// rewrite). Returns the modeled seconds.
+    pub fn bill_checkpoint_restore(&self, bytes: usize) -> f64 {
+        self.ledger.restores.set(self.ledger.restores.get() + 1);
+        self.bill_phase("checkpoint_restore", bytes)
+    }
+
+    /// Bills a recovery quiesce barrier ([`RECOVERY_QUIESCE_S`] by
+    /// default): both devices sit idle while survivors drain in-flight work
+    /// and agree on the dead set.
+    pub fn bill_recovery_quiesce(&self, seconds: f64) {
+        assert!(seconds >= 0.0);
+        self.host.idle(seconds);
+        if let Some(g) = &self.gpu {
+            g.idle(seconds);
+        }
+        let host_idle_w =
+            self.host.spec().power.idle_pkg_w + self.host.spec().power.idle_dram_w;
+        let gpu_idle_w = self.gpu.as_ref().map(|g| g.spec().idle_w).unwrap_or(0.0);
+        self.ledger.resilience_s.set(self.ledger.resilience_s.get() + seconds);
+        self.ledger
+            .resilience_energy_j
+            .set(self.ledger.resilience_energy_j.get() + seconds * (host_idle_w + gpu_idle_w));
+    }
+
+    /// Records peer ranks declared permanently dead.
+    pub fn note_rank_deaths(&self, n: u64) {
+        self.ledger.rank_deaths.set(self.ledger.rank_deaths.get() + n);
+    }
+
+    /// Records device faults that fired during a rollback redo attempt
+    /// (threaded from the solver's redo path so the report's retry totals
+    /// include them).
+    pub fn note_redo_faults(&self, n: u64) {
+        self.ledger.redo_faults.set(self.ledger.redo_faults.get() + n);
     }
 
     /// Threads used by CPU phases under this mode.
@@ -279,6 +384,33 @@ mod tests {
             ex.degraded_reason().as_deref(),
             Some("kernel launch failed after 4 attempts")
         );
+    }
+
+    #[test]
+    fn resilience_billing_lands_in_the_report_and_traces() {
+        let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+        let ex = Executor::new(
+            ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 },
+            CpuSpec::e5_2670(),
+            Some(dev.clone()),
+        );
+        let t_w = ex.bill_checkpoint_write(1 << 20);
+        let t_r = ex.bill_checkpoint_restore(1 << 20);
+        assert!(t_w > 0.0 && t_r > 0.0);
+        ex.bill_recovery_quiesce(RECOVERY_QUIESCE_S);
+        ex.note_rank_deaths(2);
+        ex.note_redo_faults(3);
+        let rep = ex.resilience_report(0);
+        assert_eq!(rep.checkpoints_written, 1);
+        assert_eq!(rep.checkpoint_bytes, 1 << 20);
+        assert_eq!(rep.restores, 1);
+        assert_eq!(rep.rank_deaths, 2);
+        assert_eq!(rep.redo_faults, 3);
+        assert!(rep.resilience_s >= t_w + t_r + RECOVERY_QUIESCE_S - 1e-12);
+        assert!(rep.resilience_energy_j > 0.0);
+        // Both timelines advanced through the billed phases.
+        assert!(ex.host.now() >= t_w + t_r + RECOVERY_QUIESCE_S - 1e-12);
+        assert!(dev.now() >= t_w + t_r + RECOVERY_QUIESCE_S - 1e-12);
     }
 
     #[test]

@@ -27,14 +27,18 @@
 //! energy update applies `F^T` to the *midpoint* velocity, making the total
 //! energy `½ v^T M_V v + 1^T M_E e` exact to solver tolerance (Table 6).
 
+pub mod checkpoint;
 pub mod error;
 pub mod exec;
 pub mod problems;
 pub mod solver;
 pub mod state;
 
+pub use checkpoint::{
+    Checkpoint, CheckpointError, CheckpointPolicy, CheckpointStore, LoadedCheckpoint,
+};
 pub use error::HydroError;
 pub use exec::{ExecMode, Executor};
 pub use problems::{Problem, Sedov, TaylorGreen, TriplePoint};
-pub use solver::{Hydro, HydroConfig, RunStats, StepOutcome};
+pub use solver::{AdvanceOutcome, Hydro, HydroConfig, RunStats, StepOutcome};
 pub use state::{EnergyBreakdown, HydroState};

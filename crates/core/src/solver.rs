@@ -22,6 +22,7 @@ use blast_la::{
 use gpu_sim::LaunchConfig;
 use powermon::CpuPowerState;
 
+use crate::checkpoint::{Checkpoint, CheckpointPolicy, CheckpointStore};
 use crate::error::HydroError;
 use crate::exec::{
     cf_cpu_eff, cg_iteration_traffic, corner_force_traffic, integration_traffic, ExecMode,
@@ -61,6 +62,18 @@ pub struct StepOutcome {
     pub dt_est: f64,
     /// CG iterations spent in the step's momentum solves.
     pub cg_iterations: usize,
+}
+
+/// Outcome of one *accepted* step from [`Hydro::try_advance`], after any
+/// rollback / CFL redos it absorbed internally.
+#[derive(Clone, Copy, Debug)]
+pub struct AdvanceOutcome {
+    /// The accepted step's outcome.
+    pub outcome: StepOutcome,
+    /// Redo attempts consumed (rollback halvings + CFL redos).
+    pub redos: usize,
+    /// Adaptive dt to use for the next step.
+    pub dt_next: f64,
 }
 
 /// Summary of a full run.
@@ -133,6 +146,9 @@ pub struct Hydro<const D: usize> {
     initial: HydroState,
     /// Device bytes charged at setup (0 for CPU-only modes).
     device_bytes: usize,
+    /// Pending injected step faults (test/chaos hook): the next this-many
+    /// `try_step` calls fail recoverably before touching any device.
+    step_fault_budget: std::cell::Cell<usize>,
 }
 
 impl<const D: usize> Hydro<D> {
@@ -281,6 +297,7 @@ impl<const D: usize> Hydro<D> {
             exec,
             initial,
             device_bytes,
+            step_fault_budget: std::cell::Cell::new(0),
         })
     }
 
@@ -307,6 +324,21 @@ impl<const D: usize> Hydro<D> {
     /// The executor (devices, traces).
     pub fn executor(&self) -> &Executor {
         &self.exec
+    }
+
+    /// Mutable executor access (the rank-recovery protocol re-seeds the
+    /// hybrid balancer here after a re-partition).
+    pub fn executor_mut(&mut self) -> &mut Executor {
+        &mut self.exec
+    }
+
+    /// Schedules `n` injected step faults: each of the next `n`
+    /// [`Self::try_step`] calls fails with a *recoverable* typed error
+    /// before any physics or device work happens. This drives the
+    /// `MAX_STEP_REDOS` boundary tests and chaos campaigns
+    /// deterministically.
+    pub fn inject_step_faults(&self, n: usize) {
+        self.step_fault_budget.set(self.step_fault_budget.get() + n);
     }
 
     /// Bytes charged on the simulated device at setup.
@@ -879,6 +911,12 @@ impl<const D: usize> Hydro<D> {
     /// smaller dt (which is what [`Self::try_run_to`] does).
     pub fn try_step(&mut self, state: &mut HydroState, dt: f64) -> Result<StepOutcome, HydroError> {
         assert!(dt > 0.0, "dt must be positive");
+        if self.step_fault_budget.get() > 0 {
+            // Injected step fault: fires before any work, so the state is
+            // trivially untouched and the failure rolls back cleanly.
+            self.step_fault_budget.set(self.step_fault_budget.get() - 1);
+            return Err(HydroError::NonFinite { what: "injected step fault", index: 0 });
+        }
         let n = self.kin.num_dofs();
         let vlen = D * n;
         let s0 = state.clone();
@@ -960,37 +998,176 @@ impl<const D: usize> Hydro<D> {
         t_final: f64,
         max_steps: usize,
     ) -> Result<RunStats, HydroError> {
-        let mut dt = self.try_suggest_dt(state)?;
-        let mut steps = 0;
-        let mut retries = 0;
-        let mut redos_this_step = 0;
+        self.try_run_to_checkpointed(
+            state,
+            t_final,
+            max_steps,
+            &CheckpointPolicy::Never,
+            &mut CheckpointStore::in_memory(),
+        )
+    }
+
+    /// [`Self::try_run_to`] with coordinated checkpoint/restart.
+    ///
+    /// On entry, if `store` holds a valid checkpoint *ahead* of `state`,
+    /// the run resumes from it (state, warm-start cache, dt, and counters
+    /// restored; the restore is billed to the power trace). Corrupt or
+    /// truncated generations are skipped via their CRC — restart falls back
+    /// to the newest generation that validates. During the run, `policy`
+    /// decides when to write a new generation; each write is billed as a
+    /// host DRAM phase with the device quiescing at idle watts.
+    ///
+    /// The returned [`RunStats`] counts from the beginning of the logical
+    /// run, including steps replayed from the checkpoint's counters.
+    pub fn try_run_to_checkpointed(
+        &mut self,
+        state: &mut HydroState,
+        t_final: f64,
+        max_steps: usize,
+        policy: &CheckpointPolicy,
+        store: &mut CheckpointStore,
+    ) -> Result<RunStats, HydroError> {
+        let mut steps = 0usize;
+        let mut retries = 0usize;
+        let mut dt = None;
+        if let Some(loaded) = store.latest_valid() {
+            if loaded.checkpoint.state.t > state.t {
+                self.restore_checkpoint(&loaded.checkpoint, state);
+                steps = loaded.checkpoint.steps as usize;
+                retries = loaded.checkpoint.retries as usize;
+                dt = Some(loaded.checkpoint.dt);
+                self.exec.bill_checkpoint_restore(loaded.bytes);
+            }
+        }
+        let mut dt = match dt {
+            Some(d) => d,
+            None => self.try_suggest_dt(state)?,
+        };
+        let mut steps_since_ckpt = 0usize;
+        let mut wall_at_ckpt = self.exec.host.now();
         while state.t < t_final - 1e-14 && steps < max_steps {
-            dt = dt.min(t_final - state.t);
+            let adv = self.try_advance(state, dt.min(t_final - state.t))?;
+            retries += adv.redos;
+            steps += 1;
+            steps_since_ckpt += 1;
+            dt = adv.dt_next;
+            if policy.due(steps_since_ckpt, self.exec.host.now() - wall_at_ckpt) {
+                self.write_checkpoint(state, dt, steps, retries, store)?;
+                steps_since_ckpt = 0;
+                wall_at_ckpt = self.exec.host.now();
+            }
+        }
+        Ok(RunStats { steps, retries, t: state.t, wall_s: self.exec.host.now() })
+    }
+
+    /// Takes exactly one *accepted* step at (at most) `dt`, absorbing
+    /// rollback and CFL redos internally — the building block shared by
+    /// [`Self::try_run_to_checkpointed`] and the distributed driver in
+    /// `cluster-sim` (which needs a dt-consensus round between accepted
+    /// steps).
+    ///
+    /// Device faults that fire during a redo attempt are threaded into the
+    /// executor's resilience ledger (`redo_faults`) — the recovery-ladder
+    /// accounting gap this PR closes. On error the state is the last good
+    /// (pre-step) state, never a mid-rollback intermediate.
+    pub fn try_advance(
+        &mut self,
+        state: &mut HydroState,
+        dt: f64,
+    ) -> Result<AdvanceOutcome, HydroError> {
+        // CFL redos shrink dt by >= 15% each time, so this bound exists
+        // only to guarantee termination (the legacy loop bounded them by
+        // the global retry budget).
+        const MAX_CFL_REDOS: usize = 64;
+        let mut dt = dt;
+        let mut redos = 0usize;
+        let mut rollback_redos = 0usize;
+        let mut cfl_redos = 0usize;
+        loop {
             let saved = state.clone();
-            let out = match self.try_step(state, dt) {
+            // On a redo attempt, watch the device fault counter across the
+            // step so faults injected *during the redo* are accounted.
+            let pre_injected = (redos > 0)
+                .then(|| self.exec.gpu.as_ref().map(|g| g.fault_stats().injected).unwrap_or(0));
+            let res = self.try_step(state, dt);
+            if let Some(before) = pre_injected {
+                let after =
+                    self.exec.gpu.as_ref().map(|g| g.fault_stats().injected).unwrap_or(0);
+                if after > before {
+                    self.exec.note_redo_faults(after - before);
+                }
+            }
+            let out = match res {
                 Ok(out) => out,
-                Err(e) if e.recoverable_by_rollback() && redos_this_step < MAX_STEP_REDOS => {
-                    // Roll back to the checkpoint and redo with half the dt.
+                Err(e) if e.recoverable_by_rollback() && rollback_redos < MAX_STEP_REDOS => {
+                    // Roll back to the pre-step state, redo with half dt.
                     *state = saved;
                     dt *= 0.5;
-                    retries += 1;
-                    redos_this_step += 1;
+                    redos += 1;
+                    rollback_redos += 1;
                     continue;
                 }
                 Err(e) => return Err(e),
             };
-            if out.dt_est < dt * 0.999 && retries < max_steps {
+            if out.dt_est < dt * 0.999 && cfl_redos < MAX_CFL_REDOS {
                 // Overshot the CFL bound: redo with a safer dt.
                 *state = saved;
                 dt = 0.85 * out.dt_est;
-                retries += 1;
+                redos += 1;
+                cfl_redos += 1;
                 continue;
             }
-            steps += 1;
-            redos_this_step = 0;
-            dt = out.dt_est.min(1.02 * dt);
+            let dt_next = out.dt_est.min(1.02 * dt);
+            return Ok(AdvanceOutcome { outcome: out, redos, dt_next });
         }
-        Ok(RunStats { steps, retries, t: state.t, wall_s: self.exec.host.now() })
+    }
+
+    /// Snapshots the run into a [`Checkpoint`] (state + PCG warm-start
+    /// cache + adaptive dt + counters).
+    pub fn make_checkpoint(
+        &self,
+        state: &HydroState,
+        dt: f64,
+        steps: u64,
+        retries: u64,
+    ) -> Checkpoint {
+        Checkpoint {
+            state: state.clone(),
+            accel_prev: self.accel_prev.borrow().clone(),
+            dt,
+            steps,
+            retries,
+        }
+    }
+
+    /// Restores a checkpoint made by a solver of the same problem/shape:
+    /// rewrites `state` and the PCG warm-start cache. (Energy billing is
+    /// the caller's job via `Executor::bill_checkpoint_restore`.)
+    pub fn restore_checkpoint(&self, ck: &Checkpoint, state: &mut HydroState) {
+        assert_eq!(
+            ck.accel_prev.len(),
+            self.accel_prev.borrow().len(),
+            "checkpoint is from a different problem shape"
+        );
+        *state = ck.state.clone();
+        self.accel_prev.borrow_mut().copy_from_slice(&ck.accel_prev);
+    }
+
+    /// Serializes, stores, and bills one coordinated checkpoint.
+    pub fn write_checkpoint(
+        &self,
+        state: &HydroState,
+        dt: f64,
+        steps: usize,
+        retries: usize,
+        store: &mut CheckpointStore,
+    ) -> Result<usize, HydroError> {
+        let ck = self.make_checkpoint(state, dt, steps as u64, retries as u64);
+        let bytes = store
+            .write(&ck)
+            .map_err(|e| HydroError::Checkpoint { detail: e.to_string() })?;
+        self.exec.bill_checkpoint_write(bytes);
+        Ok(bytes)
     }
 
     /// Host-phase profile: `(name, total_seconds, calls)` aggregated over
@@ -1234,6 +1411,48 @@ mod tests {
             moved_out as f64 > 0.6 * total as f64,
             "{moved_out}/{total} nodes moved outward"
         );
+    }
+
+    #[test]
+    fn checkpointed_resume_is_bit_identical_to_uninterrupted() {
+        let policy = CheckpointPolicy::EverySteps(2);
+        // Reference: one uninterrupted checkpointed run.
+        let (mut h_ref, mut s_ref) = small_sedov_2d(cpu_exec());
+        let mut store_ref = CheckpointStore::in_memory();
+        let stats_ref =
+            h_ref.try_run_to_checkpointed(&mut s_ref, 0.06, 60, &policy, &mut store_ref).unwrap();
+        assert!(stats_ref.steps >= 4, "need several steps: {}", stats_ref.steps);
+
+        // Interrupted: stop midway by step budget, drop the solver and
+        // state ("process death"), resume in a fresh solver from the store.
+        let (mut h1, mut s1) = small_sedov_2d(cpu_exec());
+        let mut store = CheckpointStore::in_memory();
+        h1.try_run_to_checkpointed(&mut s1, 0.06, stats_ref.steps / 2, &policy, &mut store)
+            .unwrap();
+        assert!(store.latest_valid().is_some(), "first half must have checkpointed");
+        drop((h1, s1));
+
+        let (mut h2, mut s2) = small_sedov_2d(cpu_exec());
+        let stats2 = h2.try_run_to_checkpointed(&mut s2, 0.06, 60, &policy, &mut store).unwrap();
+        assert_eq!(s2.v, s_ref.v, "resumed velocity differs");
+        assert_eq!(s2.e, s_ref.e, "resumed energy differs");
+        assert_eq!(s2.x, s_ref.x, "resumed mesh differs");
+        assert_eq!(s2.t, s_ref.t);
+        assert_eq!(stats2.steps, stats_ref.steps, "logical step count must match");
+        let rep = h2.executor().resilience_report(stats2.retries);
+        assert_eq!(rep.restores, 1, "exactly one restore billed");
+        assert!(rep.checkpoints_written > 0);
+        assert!(rep.resilience_energy_j > 0.0, "resilience work must cost energy");
+    }
+
+    #[test]
+    fn injected_step_faults_roll_back_and_clear() {
+        let (mut hydro, mut state) = small_sedov_2d(cpu_exec());
+        hydro.inject_step_faults(2);
+        let dt = hydro.suggest_dt(&state);
+        let adv = hydro.try_advance(&mut state, dt).unwrap();
+        assert!(adv.redos >= 2, "both injected faults consumed: {}", adv.redos);
+        assert!(state.t > 0.0, "step accepted after redos");
     }
 
     #[test]

@@ -127,6 +127,18 @@ pub enum FaultKind {
 /// Number of [`FaultKind`] variants (rate/counter array size).
 pub const NUM_FAULT_KINDS: usize = 5;
 
+/// Environment variable overriding fault seeds across the whole stack.
+///
+/// Read in exactly one place ([`fault_seed_from_env`]); every constructor
+/// that honors the override goes through it, so `BLAST_FAULT_SEED=42` on a
+/// test or example reproduces one specific chaos draw everywhere.
+pub const FAULT_SEED_ENV: &str = "BLAST_FAULT_SEED";
+
+/// Parses [`FAULT_SEED_ENV`] if set to a valid `u64`; `None` otherwise.
+pub fn fault_seed_from_env() -> Option<u64> {
+    std::env::var(FAULT_SEED_ENV).ok().and_then(|v| v.trim().parse::<u64>().ok())
+}
+
 impl FaultKind {
     /// Dense index for per-kind arrays.
     pub fn index(self) -> usize {
@@ -175,6 +187,12 @@ impl FaultPlan {
     /// An empty seeded plan; add rates/schedules with the builders.
     pub fn seeded(seed: u64) -> Self {
         Self { seed, ..Self::default() }
+    }
+
+    /// Like [`FaultPlan::seeded`], but [`FAULT_SEED_ENV`] overrides
+    /// `default_seed` when set.
+    pub fn seeded_from_env(default_seed: u64) -> Self {
+        Self::seeded(fault_seed_from_env().unwrap_or(default_seed))
     }
 
     /// Sets the per-operation fault probability of one site.
@@ -291,6 +309,20 @@ pub struct FaultStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn env_seed_overrides_the_default() {
+        // Sole test touching FAULT_SEED_ENV, so no cross-test races.
+        std::env::remove_var(FAULT_SEED_ENV);
+        assert_eq!(fault_seed_from_env(), None);
+        assert_eq!(FaultPlan::seeded_from_env(7).seed, 7);
+        std::env::set_var(FAULT_SEED_ENV, " 42 ");
+        assert_eq!(fault_seed_from_env(), Some(42));
+        assert_eq!(FaultPlan::seeded_from_env(7).seed, 42);
+        std::env::set_var(FAULT_SEED_ENV, "not-a-seed");
+        assert_eq!(FaultPlan::seeded_from_env(7).seed, 7, "garbage falls back");
+        std::env::remove_var(FAULT_SEED_ENV);
+    }
 
     #[test]
     fn inactive_plan_injects_nothing() {

@@ -39,7 +39,10 @@ pub mod traffic;
 
 pub use cpu::{CpuDevice, CpuSpec};
 pub use device::{GpuDevice, KernelEvent, KernelStats};
-pub use fault::{FaultKind, FaultPlan, FaultStats, GpuError, RetryPolicy, TransferDir};
+pub use fault::{
+    fault_seed_from_env, FaultKind, FaultPlan, FaultStats, GpuError, RetryPolicy, TransferDir,
+    FAULT_SEED_ENV,
+};
 pub use occupancy::{occupancy, LaunchConfig, Occupancy};
 pub use spec::GpuSpec;
 pub use traffic::Traffic;

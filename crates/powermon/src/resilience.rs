@@ -28,6 +28,23 @@ pub struct ResilienceReport {
     /// Energy burned during backoff, J (the device idles through the
     /// gaps, so this is `backoff_s x idle watts`).
     pub backoff_energy_j: f64,
+    /// Coordinated checkpoints written.
+    pub checkpoints_written: u64,
+    /// Total checkpoint image bytes serialized (drives DRAM-write billing).
+    pub checkpoint_bytes: u64,
+    /// Restores performed (process restart or rank-death recovery).
+    pub restores: u64,
+    /// Peer ranks this rank saw declared permanently dead.
+    pub rank_deaths: u64,
+    /// Device faults injected *during rollback redo attempts* — previously
+    /// a blind spot of the retry totals (PR 2's recovery-ladder fix).
+    pub redo_faults: u64,
+    /// Simulated seconds spent on checkpoint writes, restores, and
+    /// recovery quiesce barriers.
+    pub resilience_s: f64,
+    /// Energy of those checkpoint/restore/quiesce phases, J (host DRAM
+    /// traffic plus device idle watts during the quiesce).
+    pub resilience_energy_j: f64,
     /// Whether a persistent fault forced execution onto the CPU.
     pub degraded_to_cpu: bool,
     /// Why, when it did.
@@ -51,6 +68,21 @@ impl ResilienceReport {
         self.recovered as f64 / total_ops as f64
     }
 
+    /// Joules spent on resilience machinery in total: retry backoff plus
+    /// checkpoint writes, restores, and recovery quiesce.
+    pub fn total_resilience_energy_j(&self) -> f64 {
+        self.backoff_energy_j + self.resilience_energy_j
+    }
+
+    /// Resilience overhead as a percentage of `total_energy_j` (the run's
+    /// whole energy bill) — the number `bench` reports alongside greenup.
+    pub fn overhead_pct(&self, total_energy_j: f64) -> f64 {
+        if total_energy_j <= 0.0 {
+            return 0.0;
+        }
+        100.0 * self.total_resilience_energy_j() / total_energy_j
+    }
+
     /// Multi-line human-readable summary.
     pub fn summary(&self) -> String {
         let mut s = String::new();
@@ -59,9 +91,20 @@ impl ResilienceReport {
         s.push_str(&format!("Ops recovered        : {}\n", self.recovered));
         s.push_str(&format!("Retry budget spent   : {}\n", self.exhausted));
         s.push_str(&format!("Steps redone         : {}\n", self.steps_redone));
+        s.push_str(&format!("Redo-path faults     : {}\n", self.redo_faults));
+        s.push_str(&format!(
+            "Checkpoints written  : {} ({} B)\n",
+            self.checkpoints_written, self.checkpoint_bytes
+        ));
+        s.push_str(&format!("Restores             : {}\n", self.restores));
+        s.push_str(&format!("Rank deaths observed : {}\n", self.rank_deaths));
         s.push_str(&format!(
             "Backoff time / energy: {:.3e} s / {:.3e} J\n",
             self.backoff_s, self.backoff_energy_j
+        ));
+        s.push_str(&format!(
+            "Ckpt+restore energy  : {:.3e} s / {:.3e} J\n",
+            self.resilience_s, self.resilience_energy_j
         ));
         match (&self.degraded_to_cpu, &self.degraded_reason) {
             (true, Some(r)) => s.push_str(&format!("Degraded to CPU      : yes ({r})\n")),
@@ -87,6 +130,35 @@ mod tests {
             ..Default::default()
         };
         assert!((r.recovery_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_pct_is_a_share_of_the_total() {
+        let r = ResilienceReport {
+            backoff_energy_j: 2.0,
+            resilience_energy_j: 3.0,
+            ..Default::default()
+        };
+        assert_eq!(r.total_resilience_energy_j(), 5.0);
+        assert!((r.overhead_pct(100.0) - 5.0).abs() < 1e-12);
+        assert_eq!(r.overhead_pct(0.0), 0.0, "degenerate total");
+    }
+
+    #[test]
+    fn summary_includes_checkpoint_counters() {
+        let r = ResilienceReport {
+            checkpoints_written: 4,
+            checkpoint_bytes: 4096,
+            restores: 2,
+            rank_deaths: 1,
+            redo_faults: 3,
+            ..Default::default()
+        };
+        let s = r.summary();
+        assert!(s.contains("Checkpoints written  : 4 (4096 B)"));
+        assert!(s.contains("Restores             : 2"));
+        assert!(s.contains("Rank deaths observed : 1"));
+        assert!(s.contains("Redo-path faults     : 3"));
     }
 
     #[test]

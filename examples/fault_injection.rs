@@ -16,7 +16,7 @@
 use std::sync::Arc;
 
 use blast_repro::blast_core::{ExecMode, Executor, Hydro, HydroConfig, HydroState, Sedov};
-use blast_repro::gpu_sim::{CpuSpec, FaultKind, FaultPlan, GpuDevice, GpuSpec};
+use blast_repro::gpu_sim::{CpuSpec, FaultKind, FaultPlan, GpuDevice, GpuSpec, FAULT_SEED_ENV};
 
 const T_FINAL: f64 = 0.1;
 
@@ -55,12 +55,14 @@ fn main() {
 
     let (s_clean, w_clean, e_clean, _) = run("baseline: no faults", FaultPlan::none());
 
-    let transient = FaultPlan::seeded(42)
+    let transient = FaultPlan::seeded_from_env(42)
         .with_rate(FaultKind::LaunchFail, 0.01)
         .with_rate(FaultKind::D2hFail, 0.005);
+    println!("fault seed: {} (override with {FAULT_SEED_ENV})\n", transient.seed);
     let (s_transient, w_t, e_t, _) = run("transient faults (1%/launch, 0.5%/transfer)", transient);
 
-    let persistent = FaultPlan::seeded(42).with_persistent(FaultKind::EccError, 0);
+    let persistent =
+        FaultPlan::seeded_from_env(42).with_persistent(FaultKind::EccError, 0);
     let (s_degraded, w_d, e_d, _) = run("persistent ECC fault -> CPU fallback", persistent);
 
     // A pure-CPU reference for the bit-identity claims.

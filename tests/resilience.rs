@@ -272,3 +272,88 @@ fn retry_policy_off_makes_first_fault_terminal() {
     hydro.try_run_to(&mut state, 0.01, 20).expect("degradation still saves the run");
     assert!(hydro.executor().is_degraded());
 }
+
+// ---------------------------------------------------------------------------
+// PR 2 satellites: the recovery-ladder accounting fix and the
+// MAX_STEP_REDOS boundary.
+// ---------------------------------------------------------------------------
+
+use blast_repro::blast_core::solver::MAX_STEP_REDOS;
+use blast_repro::blast_core::HydroError;
+
+/// Regression for the recovery-ladder gap: a device fault injected *during
+/// a rollback redo attempt* must land in `ResilienceReport::redo_faults`
+/// (pre-fix, redo attempts were a blind spot of the retry totals).
+#[test]
+fn device_faults_during_rollback_redo_are_counted() {
+    // Per-op fault rate: the step redone after the injected rollbacks
+    // launches many kernels, so some faults deterministically (seeded)
+    // land inside the watched redo attempt.
+    let plan = FaultPlan::seeded(0).with_rate(FaultKind::LaunchFail, 0.1);
+    let exec = gpu_exec_with(plan);
+    let problem = Sedov::default();
+    let mut hydro = Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), exec).unwrap();
+    let mut state = hydro.initial_state();
+    let dt = hydro.suggest_dt(&state);
+    // Two injected step faults force two rollback redos before real work.
+    hydro.inject_step_faults(2);
+    let adv = hydro.try_advance(&mut state, dt).expect("retries absorb the rate");
+    assert!(adv.redos >= 2, "injected faults must cause redos: {}", adv.redos);
+    let report = hydro.executor().resilience_report(adv.redos);
+    assert!(
+        report.redo_faults >= 1,
+        "fault during a redo attempt must be counted: {report:?}"
+    );
+    assert!(report.faults_injected >= report.redo_faults);
+}
+
+/// Exactly at the budget: MAX_STEP_REDOS consecutive recoverable failures
+/// still produce an accepted step on the final attempt.
+#[test]
+fn redo_budget_exactly_at_limit_succeeds() {
+    let problem = Sedov::default();
+    let mut hydro =
+        Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), cpu_exec()).unwrap();
+    let mut state = hydro.initial_state();
+    let dt = hydro.suggest_dt(&state);
+    hydro.inject_step_faults(MAX_STEP_REDOS);
+    let adv = hydro.try_advance(&mut state, dt).expect("at-limit must still succeed");
+    assert!(adv.redos >= MAX_STEP_REDOS);
+    assert!(state.t > 0.0, "the final attempt must have been accepted");
+}
+
+/// One past the budget: the typed error surfaces and the caller's state is
+/// the last good checkpoint, not a mid-rollback intermediate.
+#[test]
+fn redo_budget_limit_plus_one_fails_with_state_intact() {
+    let problem = Sedov::default();
+    let mut hydro =
+        Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), cpu_exec()).unwrap();
+    let mut state = hydro.initial_state();
+    let dt = hydro.suggest_dt(&state);
+    let before = state.clone();
+    hydro.inject_step_faults(MAX_STEP_REDOS + 1);
+    let err = hydro.try_advance(&mut state, dt).expect_err("limit+1 must fail");
+    assert!(
+        matches!(err, HydroError::NonFinite { .. }),
+        "typed recoverable error expected: {err:?}"
+    );
+    assert_eq!(state, before, "state must be left at the last good checkpoint");
+}
+
+proptest! {
+    /// Any in-budget burst of consecutive recoverable failures is absorbed,
+    /// with the redo count accounting for every injected fault.
+    #[test]
+    fn redo_budget_in_range_always_recovers(k in 0usize..=MAX_STEP_REDOS) {
+        let problem = Sedov::default();
+        let mut hydro =
+            Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), cpu_exec()).unwrap();
+        let mut state = hydro.initial_state();
+        let dt = hydro.suggest_dt(&state);
+        hydro.inject_step_faults(k);
+        let adv = hydro.try_advance(&mut state, dt);
+        prop_assert!(adv.is_ok(), "k = {k} within budget must succeed");
+        prop_assert!(adv.unwrap().redos >= k);
+    }
+}
