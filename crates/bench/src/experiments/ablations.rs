@@ -3,7 +3,9 @@
 //!
 //! 1. autotuned vs default kernel parameters across method orders,
 //! 2. CPU-only vs GPU-only vs hybrid execution,
-//! 3. Hyper-Q queue count (1/2/4/8) on time and power.
+//! 3. Hyper-Q queue count (1/2/4/8) on time and power,
+//! 4. the SM-utilization power floor (`GpuSpec::sm_util_w`) on the Fig. 15
+//!    Q4-vs-Q2 corner-force comparison.
 
 use std::sync::Arc;
 
@@ -131,6 +133,26 @@ pub fn hyperq_sweep() -> Vec<(u32, f64, f64)> {
         .collect()
 }
 
+/// Ablation 4: the SM-utilization power floor on the two Fig. 15
+/// corner-force scenarios that diverge from the paper. Returns
+/// `(label, q2_8mpi_w, q4_8mpi_w, gap_w)` for the term off (0 W) and on
+/// (the K20 preset).
+pub fn sm_util_ablation() -> Vec<(&'static str, f64, f64, f64)> {
+    let cf = || ExecMode::Gpu { base: false, gpu_pcg: false, mpi_queues: 8 };
+    let power = |spec: GpuSpec| {
+        let q2 =
+            crate::experiments::fig15_gpu_power::scenario_power_on(2, 8, cf(), true, spec.clone());
+        let q4 = crate::experiments::fig15_gpu_power::scenario_power_on(4, 6, cf(), true, spec);
+        (q2, q4)
+    };
+    let (q2_off, q4_off) = power(GpuSpec { sm_util_w: 0.0, ..GpuSpec::k20() });
+    let (q2_on, q4_on) = power(GpuSpec::k20());
+    vec![
+        ("sm_util_w = 0 (ablated)", q2_off, q4_off, q2_off - q4_off),
+        ("sm_util_w = K20 preset", q2_on, q4_on, q2_on - q4_on),
+    ]
+}
+
 /// Full ablation report.
 pub fn report() -> String {
     let mut out = String::new();
@@ -173,6 +195,24 @@ pub fn report() -> String {
     out.push_str(&table::render(
         "Ablation 3 — Hyper-Q queue count (3D Sedov, 6^3 Q2-Q1, 2 steps)",
         &["queues", "wall", "GPU power"],
+        &rows,
+    ));
+    out.push('\n');
+
+    let rows: Vec<Vec<String>> = sm_util_ablation()
+        .into_iter()
+        .map(|(label, q2, q4, gap)| {
+            vec![
+                label.to_string(),
+                format!("{q2:.1} W"),
+                format!("{q4:.1} W"),
+                format!("{gap:.1} W"),
+            ]
+        })
+        .collect();
+    out.push_str(&table::render(
+        "Ablation 4 — SM-utilization floor on the Fig. 15 Q4-vs-Q2 divergence (8 MPI)",
+        &["energy model", "CF Q2-Q1", "CF Q4-Q3", "Q2 - Q4 gap"],
         &rows,
     ));
     out
@@ -219,6 +259,21 @@ mod tests {
         assert!(get("CPU 8 threads") < get("CPU serial"));
         assert!(get("GPU (corner force)") < get("CPU 8 threads"));
         assert!(get("Hybrid") < get("CPU 8 threads"));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "hydro-scale experiment: run with --release")]
+    fn sm_util_floor_narrows_the_q4_gap() {
+        let rows = super::sm_util_ablation();
+        let (_, _, _, gap_off) = rows[0];
+        let (_, q2_on, q4_on, gap_on) = rows[1];
+        // The floor must narrow (not widen) the Q4-vs-Q2 divergence, and
+        // the residual with the preset value stays under 40 W.
+        assert!(gap_on < gap_off, "sm_util_w widened the gap: {gap_on} !< {gap_off}");
+        assert!(gap_on < 40.0, "residual gap {gap_on:.1} W regressed past 40 W");
+        for w in [q2_on, q4_on] {
+            assert!((50.0..=225.0).contains(&w), "power {w} W outside the K20 envelope");
+        }
     }
 
     #[test]

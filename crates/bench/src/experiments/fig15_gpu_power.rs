@@ -3,8 +3,9 @@
 //! more meaningful": we report the mean power over the active kernels.
 
 use blast_core::ExecMode;
+use gpu_sim::GpuSpec;
 
-use crate::experiments::scenarios::{run_steps, sedov3d};
+use crate::experiments::scenarios::{run_steps, sedov3d_on};
 use crate::table;
 
 /// Runs one scenario and returns the NVML-style mean board power.
@@ -18,11 +19,23 @@ use crate::table;
 /// saturated the GPU, therefore its power is low"). We model the window
 /// with a duty cycle `min(1, q/2)` for `q` resident ranks.
 fn scenario_power(order: usize, zones_axis: usize, mode: ExecMode, only_cf: bool) -> f64 {
+    scenario_power_on(order, zones_axis, mode, only_cf, GpuSpec::k20())
+}
+
+/// [`scenario_power`] on an explicit spec — exported so the ablation suite
+/// can re-run the corner-force scenarios with energy-model terms zeroed.
+pub fn scenario_power_on(
+    order: usize,
+    zones_axis: usize,
+    mode: ExecMode,
+    only_cf: bool,
+    spec: GpuSpec,
+) -> f64 {
     let queues = match mode {
         ExecMode::Gpu { mpi_queues, .. } => mpi_queues,
         _ => 1,
     };
-    let (mut h, mut s) = sedov3d(order, zones_axis, mode);
+    let (mut h, mut s) = sedov3d_on(order, zones_axis, mode, spec);
     run_steps(&mut h, &mut s, 2);
     let dev = h.executor().gpu.as_ref().expect("gpu").clone();
     if only_cf {
@@ -60,7 +73,7 @@ fn scenario_power(order: usize, zones_axis: usize, mode: ExecMode, only_cf: bool
 /// itself the Fig. 15 saturation effect).
 fn pcg_power() -> f64 {
     let (mut h, mut s) =
-        sedov3d(2, 16, ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 });
+        sedov3d_on(2, 16, ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 }, GpuSpec::k20());
     run_steps(&mut h, &mut s, 2);
     let dev = h.executor().gpu.as_ref().expect("gpu").clone();
     let solver = ["csrMv_ci_kernel", "cublasDdot", "cublasDaxpy"];
@@ -117,9 +130,11 @@ pub fn report() -> String {
     out.push_str(
         "\nPaper's findings reproduced: optimized < base (on-chip memory saves power); \
          8 MPI > 1 MPI (Hyper-Q overhead + higher duty); PCG > corner force at 1 MPI. \
-         Divergence: the paper measured Q4-Q3 above Q2-Q1 at 8 MPI; our energy model \
-         puts Q4's on-chip-dominated corner force below Q2's DRAM-heavy one (see \
-         EXPERIMENTS.md).\n",
+         Residual divergence: the paper measured Q4-Q3 above Q2-Q1 at 8 MPI; with the \
+         SM-utilization floor (`GpuSpec::sm_util_w`, charged while the execution units \
+         stream from on-chip memories) Q4's corner force closes most of the gap but \
+         still sits below Q2's DRAM-heavy mix — see the sm_util ablation and \
+         EXPERIMENTS.md for the quantified residual.\n",
     );
     out
 }
@@ -145,11 +160,18 @@ mod tests {
         // modeled saving can reach ~40%.
         assert!(saving > 0.02 && saving < 0.45, "power saving {saving}");
         assert!(cf8 > cf1, "8 MPI {cf8} !> 1 MPI {cf1}");
-        // Documented divergence: the paper measured Q4-Q3 above Q2-Q1; our
-        // energy model attributes Q4's extra work to on-chip streaming
-        // (cheaper per second than Q2's DRAM-heavy mix), so we only require
-        // Q4 to clearly exceed the unsaturated 1-MPI level.
+        // Documented divergence, now bounded: the paper measured Q4-Q3
+        // above Q2-Q1; our per-event energy model prices Q4's on-chip
+        // streaming below Q2's DRAM-heavy mix. The SM-utilization floor
+        // recovers most of the missing issue/scheduler power, so Q4 must
+        // clearly exceed the unsaturated 1-MPI level AND sit within 40 W
+        // of Q2 at 8 MPI (the gap was ~50 W before the term).
         assert!(q4 > cf1, "Q4-Q3 {q4} !> CF 1 MPI {cf1}");
+        assert!(
+            cf8 - q4 < 40.0,
+            "Q4-Q3 vs Q2-Q1 8-MPI residual gap {:.1} W regressed past 40 W",
+            cf8 - q4
+        );
         assert!(pcg > cf1, "PCG {pcg} !> CF 1MPI {cf1}");
         // All within the physical envelope.
         for (name, w) in &d {

@@ -1,0 +1,172 @@
+//! Host speedup — *measured* wall-clock scaling of the in-tree thread
+//! pool on a batched-kernel workload (the paper's 8-core OpenMP leg,
+//! run for real instead of only modeled), plus the determinism check
+//! that makes the parallelism admissible: every thread count must
+//! produce bitwise-identical output.
+//!
+//! The measured curve is also what calibrates
+//! `CpuSpec::parallel_efficiency`, closing the loop between the
+//! simulated roofline and the one piece of hardware we actually have.
+
+use std::time::Instant;
+
+use blast_la::{batched_gemm_nn, batched_gemv_n, BatchedMats};
+use gpu_sim::CpuSpec;
+
+use crate::table;
+
+/// Thread counts the sweep visits (the paper's Table 1 axis).
+pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One row of the sweep.
+#[derive(Clone, Debug)]
+pub struct SpeedupSample {
+    /// Pool threads configured for the run.
+    pub threads: usize,
+    /// Measured wall-clock, seconds.
+    pub time_s: f64,
+    /// Speedup vs. the 1-thread run.
+    pub speedup: f64,
+    /// Whether the run's output is bitwise identical to 1 thread's.
+    pub bitwise_equal: bool,
+}
+
+/// Full sweep result.
+#[derive(Clone, Debug)]
+pub struct HostSpeedup {
+    /// One sample per entry of [`THREAD_COUNTS`].
+    pub samples: Vec<SpeedupSample>,
+    /// Cores the host actually exposes (`available_parallelism`) — on a
+    /// single-core box the speedup column cannot exceed 1 no matter how
+    /// correct the pool is, so readers need this to interpret it.
+    pub cores_detected: usize,
+    /// `CpuSpec::parallel_efficiency` before calibration (E5-2670 preset).
+    pub pe_before: f64,
+    /// After calibration against the measured curve.
+    pub pe_after: f64,
+}
+
+/// The batched-kernel workload: kernels 5/6-shaped batched DGEMM plus a
+/// kernel 8-shaped batched DGEMV, sized so one sweep iteration is a few
+/// tens of milliseconds of real work. Returns the output buffer whose
+/// bits must match across thread counts.
+fn workload(reps: usize) -> Vec<f64> {
+    let (m, n, k) = (24, 24, 24);
+    let count = 512;
+    let a = BatchedMats::from_fn(m, k, count, |z, i, j| {
+        ((z * 31 + i * 7 + j) % 97) as f64 * 1e-2 - 0.5
+    });
+    let b = BatchedMats::from_fn(k, n, count, |z, i, j| {
+        ((z * 17 + i + j * 5) % 89) as f64 * 1e-2 - 0.4
+    });
+    let mut c = BatchedMats::zeros(m, n, count);
+    let x: Vec<f64> = (0..n * count).map(|i| ((i % 61) as f64) * 1e-2 - 0.3).collect();
+    let mut y = vec![0.0f64; m * count];
+    for _ in 0..reps {
+        batched_gemm_nn(1.0, &a, &b, 1e-3, &mut c);
+        batched_gemv_n(1.0, &c, &x, 1e-3, &mut y);
+    }
+    let mut out = c.as_slice().to_vec();
+    out.extend_from_slice(&y);
+    out
+}
+
+/// Runs the sweep and the calibration.
+pub fn measure() -> HostSpeedup {
+    let reps = 40;
+    // Warm up allocator and instruction caches off the clock.
+    let _ = workload(2);
+    let mut reference: Option<Vec<f64>> = None;
+    let mut samples = Vec::new();
+    for &t in &THREAD_COUNTS {
+        rayon::set_active_threads(t);
+        let start = Instant::now();
+        let out = workload(reps);
+        let time_s = start.elapsed().as_secs_f64();
+        let bitwise_equal = match &reference {
+            None => {
+                reference = Some(out);
+                true
+            }
+            Some(r) => {
+                r.len() == out.len()
+                    && r.iter().zip(&out).all(|(a, b)| a.to_bits() == b.to_bits())
+            }
+        };
+        samples.push(SpeedupSample { threads: t, time_s, speedup: 0.0, bitwise_equal });
+    }
+    rayon::set_active_threads(0);
+    let t1 = samples[0].time_s;
+    for s in &mut samples {
+        s.speedup = t1 / s.time_s;
+    }
+
+    let mut spec = CpuSpec::e5_2670();
+    let pe_before = spec.parallel_efficiency;
+    let curve: Vec<(u32, f64)> =
+        samples.iter().filter(|s| s.threads > 1).map(|s| (s.threads as u32, s.speedup)).collect();
+    // Calibrating against a curve flattened by a core-starved host would
+    // poison the simulation (pe near the clamp floor); only feed the
+    // model speedups the hardware could physically express.
+    let cores_detected = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let usable: Vec<(u32, f64)> =
+        curve.into_iter().filter(|&(t, _)| (t as usize) <= cores_detected).collect();
+    let pe_after = spec.calibrate_parallel_efficiency(&usable);
+
+    HostSpeedup { samples, cores_detected, pe_before, pe_after }
+}
+
+/// Regenerates the artifact.
+pub fn report() -> String {
+    let r = measure();
+    let rows: Vec<Vec<String>> = r
+        .samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.threads.to_string(),
+                format!("{:.1}", s.time_s * 1e3),
+                format!("{:.2}x", s.speedup),
+                if s.bitwise_equal { "yes".into() } else { "NO".into() },
+            ]
+        })
+        .collect();
+    let mut out = table::render(
+        "host_speedup — measured pool scaling on batched DGEMM+DGEMV (real wall-clock)",
+        &["threads", "time (ms)", "speedup", "bitwise == 1-thread"],
+        &rows,
+    );
+    out.push_str(&format!(
+        "\nHost exposes {} core(s); speedup is bounded by that regardless of pool size.\n\
+         parallel_efficiency: {:.3} preset -> {:.3} calibrated from the measured curve{}.\n",
+        r.cores_detected,
+        r.pe_before,
+        r.pe_after,
+        if r.cores_detected < 2 { " (no usable multi-core sample; preset kept)" } else { "" },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The determinism half of the acceptance criterion runs everywhere;
+    /// the >= 2.5x speedup half is physically impossible on a 1-core
+    /// container, so it is gated on the hardware actually having cores.
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "wall-clock measurement; run with --release")]
+    fn sweep_is_bitwise_deterministic_and_scales_when_cores_exist() {
+        let r = measure();
+        assert_eq!(r.samples.len(), THREAD_COUNTS.len());
+        for s in &r.samples {
+            assert!(s.bitwise_equal, "threads={} diverged from 1-thread bits", s.threads);
+            assert!(s.time_s > 0.0);
+        }
+        assert!(r.pe_after > 0.0 && r.pe_after <= 1.0);
+        if r.cores_detected >= 8 {
+            let s8 = r.samples.iter().find(|s| s.threads == 8).unwrap();
+            assert!(s8.speedup >= 2.5, "8-thread speedup {} < 2.5x on an 8-core host", s8.speedup);
+        }
+    }
+}

@@ -13,6 +13,7 @@ pub mod fig06_kernel_breakdown;
 pub mod fig07_kernel_variants;
 pub mod fig08_bandwidth;
 pub mod fig11_speedup;
+pub mod host_speedup;
 pub mod fig12_weak_scaling;
 pub mod fig13_strong_scaling;
 pub mod fig14_cpu_power;
@@ -51,6 +52,7 @@ pub fn all_experiment_names() -> Vec<&'static str> {
         "fig16_cpu_power_offload",
         "tab7_greenup",
         "resilience_overhead",
+        "host_speedup",
     ]
 }
 
@@ -78,6 +80,7 @@ pub fn run_by_name(name: &str) -> Option<String> {
         "fig16_cpu_power_offload" => fig16_cpu_power_offload::report(),
         "tab7_greenup" => tab7_greenup::report(),
         "resilience_overhead" => resilience_overhead::report(),
+        "host_speedup" => host_speedup::report(),
         _ => return None,
     })
 }

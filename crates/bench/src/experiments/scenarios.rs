@@ -16,9 +16,20 @@ pub fn sedov3d(
     zones_axis: usize,
     mode: ExecMode,
 ) -> (Hydro<3>, HydroState) {
+    sedov3d_on(order, zones_axis, mode, GpuSpec::k20())
+}
+
+/// 3D Sedov on an explicit GPU spec — the ablation hook: energy-model
+/// terms can be zeroed in `spec` without touching the device presets.
+pub fn sedov3d_on(
+    order: usize,
+    zones_axis: usize,
+    mode: ExecMode,
+    spec: GpuSpec,
+) -> (Hydro<3>, HydroState) {
     let gpu = match mode {
         ExecMode::Gpu { .. } | ExecMode::Hybrid { .. } => {
-            Some(Arc::new(GpuDevice::new(GpuSpec::k20())))
+            Some(Arc::new(GpuDevice::new(spec)))
         }
         _ => None,
     };

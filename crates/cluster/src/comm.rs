@@ -72,6 +72,14 @@ pub enum CommError {
         /// The tag being waited for.
         tag: u64,
     },
+    /// A rank's body panicked before returning a result, so the harness
+    /// has no value for it (see [`try_run_ranks_with_faults`]).
+    RankPanicked {
+        /// The rank whose thread panicked.
+        rank: usize,
+        /// The panic payload when it was a string, else a placeholder.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -88,6 +96,9 @@ impl std::fmt::Display for CommError {
             }
             CommError::Disconnected { from, tag } => {
                 write!(f, "rank {from} disconnected while waiting on tag {tag}")
+            }
+            CommError::RankPanicked { rank, detail } => {
+                write!(f, "rank {rank} panicked: {detail}")
             }
         }
     }
@@ -483,6 +494,18 @@ pub fn run_ranks_with_faults<R: Send>(
     plan: ClusterFaultPlan,
     body: impl Fn(Communicator) -> R + Sync,
 ) -> Vec<R> {
+    try_run_ranks_with_faults(size, plan, body).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_ranks_with_faults`] with a typed failure path: a rank body that
+/// panics surfaces as [`CommError::RankPanicked`] (with the rank id and
+/// the panic message) instead of tearing down the caller with a bare
+/// `expect` — resilience drivers want to bill the failure, not inherit it.
+pub fn try_run_ranks_with_faults<R: Send>(
+    size: usize,
+    plan: ClusterFaultPlan,
+    body: impl Fn(Communicator) -> R + Sync,
+) -> Result<Vec<R>, CommError> {
     assert!(size >= 1, "need at least one rank");
     let plan = Arc::new(plan);
     let mut senders = Vec::with_capacity(size);
@@ -517,7 +540,20 @@ pub fn run_ranks_with_faults<R: Send>(
             .into_iter()
             .map(|comm| scope.spawn(move || body(comm)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| {
+                h.join().map_err(|payload| {
+                    let detail = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    CommError::RankPanicked { rank, detail }
+                })
+            })
+            .collect()
     })
 }
 
@@ -529,6 +565,30 @@ mod tests {
     fn ranks_know_their_ids() {
         let ids = run_ranks(4, |c| (c.rank(), c.size()));
         assert_eq!(ids, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn rank_panic_surfaces_as_typed_error_with_rank_and_message() {
+        let res = try_run_ranks_with_faults(3, ClusterFaultPlan::none(), |c| {
+            if c.rank() == 1 {
+                panic!("rank 1 exploded");
+            }
+            c.rank()
+        });
+        match res {
+            Err(CommError::RankPanicked { rank, detail }) => {
+                assert_eq!(rank, 1);
+                assert!(detail.contains("rank 1 exploded"), "detail: {detail}");
+            }
+            other => panic!("expected RankPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_ranks_return_ok_through_the_typed_path() {
+        let res = try_run_ranks_with_faults(3, ClusterFaultPlan::none(), |c| c.rank() * 2)
+            .expect("no rank panicked");
+        assert_eq!(res, vec![0, 2, 4]);
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod partition;
 pub mod recovery;
 pub mod scaling;
 
-pub use comm::{run_ranks, ClusterFaultPlan, CommError, Communicator, RankDeath};
+pub use comm::{
+    run_ranks, try_run_ranks_with_faults, ClusterFaultPlan, CommError, Communicator, RankDeath,
+};
 pub use netmodel::{Machine, NetworkModel};
 pub use partition::Partition;
 pub use recovery::{

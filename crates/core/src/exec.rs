@@ -61,6 +61,17 @@ pub enum ExecMode {
     },
 }
 
+impl ExecMode {
+    /// The OpenMP-analog mode sized from the host pool's *measured*
+    /// thread count (`BLAST_THREADS` / runtime override / detected
+    /// parallelism) instead of a hard-coded 8 — so the roofline cost
+    /// model and the RAPL utilization interpolation see the thread
+    /// count the machine actually runs.
+    pub fn cpu_parallel_measured(host: &CpuSpec) -> Self {
+        ExecMode::CpuParallel { threads: host.measured_threads() }
+    }
+}
+
 /// Simulated seconds a recovery barrier quiesces both devices: in-flight
 /// work drains and survivors synchronize before restoring (billed at idle
 /// watts on host and device).

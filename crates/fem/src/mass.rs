@@ -10,6 +10,7 @@
 //! **both matrices are constant in time** and are assembled exactly once.
 
 use blast_la::{BlockDiag, CsrBuilder, CsrMatrix, DMatrix};
+use rayon::prelude::*;
 
 use crate::quadrature::TensorRule;
 use crate::space::{H1Space, L2Space};
@@ -34,10 +35,12 @@ pub fn assemble_kinematic_mass<const D: usize>(
     let ldof = space.ndof_per_zone();
     let n = space.num_dofs();
 
-    let mut builder = CsrBuilder::new(n, n);
-    let mut local = DMatrix::zeros(ldof, ldof);
-    for z in 0..nz {
-        local.fill(0.0);
+    // Per-zone local blocks are independent — compute them in parallel
+    // into a flat zone-major buffer, then scatter serially in zone order
+    // so the CSR accumulation order (and thus every bit of the result)
+    // is identical at any thread count.
+    let mut locals = vec![0.0f64; nz * ldof * ldof];
+    locals.par_chunks_exact_mut(ldof * ldof).enumerate().for_each(|(z, local)| {
         let w = &rho_detj[z * npts..(z + 1) * npts];
         for k in 0..npts {
             let s = rule.weights[k] * w[k];
@@ -51,14 +54,18 @@ pub fn assemble_kinematic_mass<const D: usize>(
                 }
                 let sj = s * bj;
                 for i in 0..ldof {
-                    local[(i, j)] += sj * table.values[(i, k)];
+                    local[j * ldof + i] += sj * table.values[(i, k)];
                 }
             }
         }
+    });
+    let mut builder = CsrBuilder::new(n, n);
+    for z in 0..nz {
+        let local = &locals[z * ldof * ldof..(z + 1) * ldof * ldof];
         let dofs = space.zone_dofs(z);
         for j in 0..ldof {
             for i in 0..ldof {
-                builder.add(dofs[i], dofs[j], local[(i, j)]);
+                builder.add(dofs[i], dofs[j], local[j * ldof + i]);
             }
         }
     }
@@ -78,9 +85,9 @@ pub fn assemble_thermodynamic_mass<const D: usize>(
     assert_eq!(rho_detj.len(), nz * npts, "rho_detj shape mismatch");
     let ldof = space.ndof_per_zone();
 
-    let mut blocks = Vec::with_capacity(nz);
-    for z in 0..nz {
-        let mut block = DMatrix::zeros(ldof, ldof);
+    // One independent block per zone: the textbook parallel assembly.
+    let mut blocks: Vec<DMatrix> = (0..nz).map(|_| DMatrix::zeros(ldof, ldof)).collect();
+    blocks.par_iter_mut().enumerate().for_each(|(z, block)| {
         let w = &rho_detj[z * npts..(z + 1) * npts];
         for k in 0..npts {
             let s = rule.weights[k] * w[k];
@@ -94,8 +101,7 @@ pub fn assemble_thermodynamic_mass<const D: usize>(
                 }
             }
         }
-        blocks.push(block);
-    }
+    });
     BlockDiag::from_blocks(blocks)
 }
 

@@ -67,6 +67,44 @@ impl CpuSpec {
         }
     }
 
+    /// Thread count the host pool will *actually* use (the measured
+    /// OpenMP analog: `BLAST_THREADS` / runtime override / detected
+    /// parallelism), clamped to this package's core count so the
+    /// roofline and RAPL utilization interpolation stay in range.
+    pub fn measured_threads(&self) -> u32 {
+        (rayon::current_num_threads() as u32).clamp(1, self.cores)
+    }
+
+    /// Replaces `parallel_efficiency` with the value inverted from a
+    /// measured speedup curve and returns it.
+    ///
+    /// `samples` holds `(threads, speedup_vs_1_thread)` pairs from a
+    /// wall-clock sweep (e.g. the `host_speedup` experiment). The
+    /// compute-bound roofline predicts `S(T) = T * (1 + (pe - 1)(T - 1)
+    /// / (C - 1))`, so each sample with `T > 1` inverts to
+    /// `pe = 1 + (S/T - 1)(C - 1)/(T - 1)`; the calibration averages
+    /// those estimates, clamped to `[0.05, 1.0]`. Single-thread samples
+    /// carry no efficiency information and are skipped; with no usable
+    /// sample the spec is left untouched.
+    pub fn calibrate_parallel_efficiency(&mut self, samples: &[(u32, f64)]) -> f64 {
+        let c = self.cores as f64;
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for &(t, s) in samples {
+            if t <= 1 || s <= 0.0 {
+                continue;
+            }
+            let t = (t as f64).min(c);
+            let pe = 1.0 + (s / t - 1.0) * (c - 1.0) / (t - 1.0);
+            acc += pe.clamp(0.05, 1.0);
+            n += 1;
+        }
+        if n > 0 {
+            self.parallel_efficiency = acc / n as f64;
+        }
+        self.parallel_efficiency
+    }
+
     /// Roofline time for a phase run on `threads` cores. CPU code achieves a
     /// fraction of peak well below 1 even when compute-bound; BLAST's corner
     /// force sustains ~15% of peak on Xeon (unvectorized irregular inner
@@ -271,6 +309,37 @@ mod tests {
     #[should_panic(expected = "thread count out of range")]
     fn too_many_threads_panics() {
         CpuSpec::x5660().phase_time(&Traffic::compute(1.0), 12, 0.5);
+    }
+
+    #[test]
+    fn calibration_round_trips_model_speedups() {
+        // Speedups generated by the model itself must invert back to
+        // the parallel_efficiency that produced them.
+        let reference = CpuSpec::e5_2670();
+        let t = Traffic::compute(1e10);
+        let t1 = reference.phase_time(&t, 1, 0.5);
+        let samples: Vec<(u32, f64)> =
+            [2u32, 4, 8].iter().map(|&n| (n, t1 / reference.phase_time(&t, n, 0.5))).collect();
+        let mut calibrated = CpuSpec { parallel_efficiency: 0.5, ..CpuSpec::e5_2670() };
+        let pe = calibrated.calibrate_parallel_efficiency(&samples);
+        assert!((pe - reference.parallel_efficiency).abs() < 1e-12, "pe {pe}");
+    }
+
+    #[test]
+    fn calibration_ignores_unusable_samples() {
+        let mut s = CpuSpec::e5_2670();
+        let before = s.parallel_efficiency;
+        let after = s.calibrate_parallel_efficiency(&[(1, 1.0), (4, -2.0)]);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn measured_threads_stays_in_core_range() {
+        let s = CpuSpec::e5_2670();
+        let t = s.measured_threads();
+        assert!(t >= 1 && t <= s.cores);
+        // Must be a valid phase_time argument whatever the host box has.
+        s.phase_time(&Traffic::compute(1.0), t, 0.5);
     }
 
     #[test]

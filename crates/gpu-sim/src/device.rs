@@ -261,7 +261,15 @@ impl GpuDevice {
             + s.e_l2_pj * traffic.l2_bytes
             + s.e_shared_pj * traffic.shared_bytes)
             * 1e-12;
+        // SM-utilization floor: issue/scheduler/clock power the per-event
+        // coefficients miss. On-chip-streaming kernels keep the SMs busy
+        // every cycle (sm_busy ~ 1) while paying almost nothing per byte,
+        // so without this term their power is badly underestimated — the
+        // Fig. 15 Q4-vs-Q2 divergence. DRAM-bound kernels stall the SMs
+        // waiting on memory (sm_busy << 1) and gain little.
+        let sm_busy = (t_flop.max(t_sh) / t_exec).min(1.0);
         let power_w = (s.active_floor_w
+            + s.sm_util_w * fill * sm_busy
             + dyn_j / time_s
             + s.hyperq_w_per_queue * (queues.saturating_sub(1)) as f64)
             .min(s.tdp_w);

@@ -52,6 +52,15 @@ pub struct GpuSpec {
     pub idle_w: f64,
     /// Power floor while any kernel is resident (paper: startup ~50 W).
     pub active_floor_w: f64,
+    /// SM-utilization power floor, watts at full device fill with the
+    /// execution units busy every cycle. Issue/clock/scheduler power that
+    /// per-event energy coefficients miss: a kernel streaming from
+    /// on-chip memories keeps every SM switching even though its
+    /// per-byte energy is tiny, which is why the paper measures Q4-Q3
+    /// corner force (on-chip dominated) *above* the DRAM-heavy Q2-Q1 at
+    /// 8 MPI (Fig. 15). Scaled by device fill and the fraction of
+    /// execution time the SMs spend on compute/shared-memory work.
+    pub sm_util_w: f64,
     /// Energy per double-precision flop, picojoules.
     pub e_flop_pj: f64,
     /// Energy per DRAM byte, picojoules.
@@ -99,6 +108,7 @@ impl GpuSpec {
             tdp_w: 225.0,
             idle_w: 20.0,
             active_floor_w: 50.0,
+            sm_util_w: 30.0,
             // ~100 pJ per DP flop on 28 nm Kepler: full-rate DP compute
             // alone draws ~117 W, which is why DGEMM is the power virus.
             e_flop_pj: 100.0,
@@ -137,6 +147,7 @@ impl GpuSpec {
             tdp_w: 238.0,
             idle_w: 22.0,
             active_floor_w: 55.0,
+            sm_util_w: 33.0,
             e_flop_pj: 160.0,
             e_dram_pj: 420.0,
             e_l2_pj: 38.0,
@@ -179,6 +190,7 @@ impl GpuSpec {
             tdp_w: 225.0,
             idle_w: 25.0,
             active_floor_w: 52.0,
+            sm_util_w: 28.0,
             e_flop_pj: 120.0,
             e_dram_pj: 380.0,
             e_l2_pj: 32.0,

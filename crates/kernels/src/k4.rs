@@ -16,6 +16,7 @@
 
 use blast_la::{BatchedMats, DMatrix};
 use gpu_sim::{GpuDevice, GpuError, KernelStats, LaunchConfig, Traffic};
+use rayon::prelude::*;
 
 use crate::shapes::ProblemShape;
 use crate::GemmVariant;

@@ -15,6 +15,7 @@
 
 use blast_la::BatchedMats;
 use gpu_sim::{GpuDevice, GpuError, KernelStats, LaunchConfig, Traffic};
+use rayon::prelude::*;
 
 use crate::shapes::ProblemShape;
 

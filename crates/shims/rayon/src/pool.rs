@@ -1,0 +1,269 @@
+//! The execution engine behind the parallel iterators: a fixed-grid,
+//! work-stealing pool built on scoped `std::thread` workers.
+//!
+//! # Determinism contract
+//!
+//! Work is split into a *fixed block grid* whose shape depends only on
+//! the number of items — never on the number of threads — and per-block
+//! results are combined in block-index order. Disjoint-write `for_each`
+//! bodies are deterministic by construction; reductions (`sum`,
+//! `reduce`) are bitwise identical for every thread count because the
+//! float groupings never change: a `BLAST_THREADS=1` run equals an
+//! 8-thread run bit for bit.
+//!
+//! # Stealing protocol
+//!
+//! Each participant owns one contiguous range of block indices packed
+//! into a single `AtomicU64` (`start` in the high half, `end` in the
+//! low). The owner CAS-pops from the front; idle participants CAS-pop
+//! from the back of a victim's range. Ranges only ever shrink, so the
+//! CAS is ABA-free, and since no work is ever re-enqueued, one clean
+//! sweep over all deques finding nothing is proof of termination.
+//!
+//! Workers are scoped threads spawned per parallel call (the calling
+//! thread participates as worker 0), so borrowed data flows in without
+//! lifetime erasure and panics resume on the caller after the scope
+//! joins. A thread-local flag makes nested parallel calls run serially
+//! instead of recursively spawning.
+
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::iter::Producer;
+
+/// Block-grid upper bound. 64 blocks gives an 8-thread run eight blocks
+/// of stealing slack per thread while keeping dispatch overhead
+/// negligible; the grid is `min(len, MAX_BLOCKS)` and thus independent
+/// of the thread count (the determinism invariant).
+const MAX_BLOCKS: usize = 64;
+
+/// Sanity cap on configured threads (oversubscription beyond this only
+/// adds scheduler churn).
+const MAX_THREADS: usize = 256;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `BLAST_THREADS` parsed once; `None` when unset or unparsable.
+fn env_threads() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("BLAST_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    })
+}
+
+/// Number of threads parallel calls will use: a
+/// [`set_active_threads`] override if one is live, else the
+/// `BLAST_THREADS` environment variable, else
+/// `std::thread::available_parallelism()`.
+pub fn current_num_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o.min(MAX_THREADS);
+    }
+    if let Some(n) = env_threads() {
+        return n.min(MAX_THREADS);
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(MAX_THREADS)
+}
+
+/// Process-wide runtime override of the thread count (e.g. for speedup
+/// sweeps). Pass `0` to clear the override and fall back to
+/// `BLAST_THREADS` / detected parallelism. Takes effect at the next
+/// parallel call; results are bitwise identical at every setting.
+pub fn set_active_threads(n: usize) {
+    THREAD_OVERRIDE.store(n.min(MAX_THREADS), Ordering::Relaxed);
+}
+
+thread_local! {
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True while the current thread is executing inside a parallel call —
+/// nested parallelism then degrades to serial instead of spawning.
+pub(crate) fn in_pool() -> bool {
+    IN_POOL.with(|c| c.get())
+}
+
+struct PoolGuard {
+    prev: bool,
+}
+
+impl PoolGuard {
+    fn enter() -> Self {
+        let prev = IN_POOL.with(|c| c.replace(true));
+        PoolGuard { prev }
+    }
+}
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_POOL.with(|c| c.set(prev));
+    }
+}
+
+/// How a terminal operation consumes one block's serial iterator. The
+/// indirection (rather than a plain closure) lets adapters like `map`
+/// wrap the consumer without naming the composed iterator type.
+pub trait BlockConsumer<T, R>: Sync {
+    /// Folds one block of items into a partial result.
+    fn consume<I: Iterator<Item = T>>(&self, block: I) -> R;
+}
+
+/// Splits `producer` over the fixed block grid, runs `consumer` on
+/// every block (in parallel when more than one thread is configured),
+/// and returns the per-block partials **in block-index order**.
+pub fn drive<P, R, C>(producer: P, consumer: C) -> Vec<R>
+where
+    P: Producer,
+    R: Send,
+    C: BlockConsumer<P::Item, R>,
+{
+    let len = producer.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let nblocks = len.min(MAX_BLOCKS);
+    let blocks = split_grid(producer, len, nblocks);
+    let threads = if in_pool() { 1 } else { current_num_threads().min(nblocks) };
+    if threads <= 1 {
+        // Same grid, same in-block order, same combination order as the
+        // parallel path — the serial run is the determinism reference.
+        return blocks.into_iter().map(|p| consumer.consume(p.into_iter())).collect();
+    }
+    parallel_drive(blocks, &consumer, threads)
+}
+
+/// Cuts the producer into `nblocks` contiguous blocks of near-equal
+/// item count (block `b` covers `[b*len/n, (b+1)*len/n)`).
+fn split_grid<P: Producer>(producer: P, len: usize, nblocks: usize) -> Vec<P> {
+    let mut blocks = Vec::with_capacity(nblocks);
+    let mut rest = producer;
+    let mut taken = 0;
+    for b in 1..nblocks {
+        let end = b * len / nblocks;
+        let (left, right) = rest.split_at(end - taken);
+        taken = end;
+        blocks.push(left);
+        rest = right;
+    }
+    blocks.push(rest);
+    blocks
+}
+
+/// A slot written by exactly one pool participant (uniqueness is
+/// guaranteed by the deque claim protocol), then read only after the
+/// thread scope joins.
+struct SyncSlot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: the deque protocol hands each slot index to exactly one
+// thread, and the scope join orders all writes before the final reads.
+unsafe impl<T: Send> Sync for SyncSlot<T> {}
+
+fn pack(start: u32, end: u32) -> u64 {
+    ((start as u64) << 32) | end as u64
+}
+
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// Owner end of the range deque: claim the front block.
+fn pop_front(deque: &AtomicU64) -> Option<usize> {
+    let mut cur = deque.load(Ordering::Acquire);
+    loop {
+        let (s, e) = unpack(cur);
+        if s >= e {
+            return None;
+        }
+        match deque.compare_exchange_weak(cur, pack(s + 1, e), Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => return Some(s as usize),
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Thief end: claim the back block of a victim's range.
+fn steal_back(deque: &AtomicU64) -> Option<usize> {
+    let mut cur = deque.load(Ordering::Acquire);
+    loop {
+        let (s, e) = unpack(cur);
+        if s >= e {
+            return None;
+        }
+        match deque.compare_exchange_weak(cur, pack(s, e - 1), Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => return Some((e - 1) as usize),
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// One sweep over the other participants' deques. Blocks are never
+/// re-enqueued, so an empty sweep means every block is claimed and the
+/// worker can retire.
+fn steal(deques: &[AtomicU64], me: usize) -> Option<usize> {
+    for off in 1..deques.len() {
+        let victim = (me + off) % deques.len();
+        if let Some(b) = steal_back(&deques[victim]) {
+            return Some(b);
+        }
+    }
+    None
+}
+
+fn parallel_drive<P, R, C>(blocks: Vec<P>, consumer: &C, threads: usize) -> Vec<R>
+where
+    P: Producer,
+    R: Send,
+    C: BlockConsumer<P::Item, R>,
+{
+    let nblocks = blocks.len();
+    let slots: Vec<SyncSlot<P>> =
+        blocks.into_iter().map(|p| SyncSlot(UnsafeCell::new(Some(p)))).collect();
+    let results: Vec<SyncSlot<R>> = (0..nblocks).map(|_| SyncSlot(UnsafeCell::new(None))).collect();
+    let deques: Vec<AtomicU64> = (0..threads)
+        .map(|t| pack((t * nblocks / threads) as u32, ((t + 1) * nblocks / threads) as u32))
+        .map(AtomicU64::new)
+        .collect();
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+    let worker = |me: usize| {
+        let _guard = PoolGuard::enter();
+        while let Some(b) = pop_front(&deques[me]).or_else(|| steal(&deques, me)) {
+            // SAFETY: index `b` was claimed exactly once (CAS protocol),
+            // so this thread has exclusive access to slots[b]/results[b].
+            let p = unsafe { (*slots[b].0.get()).take().expect("block claimed once") };
+            match catch_unwind(AssertUnwindSafe(|| consumer.consume(p.into_iter()))) {
+                Ok(r) => unsafe { *results[b].0.get() = Some(r) },
+                Err(payload) => {
+                    let mut slot = first_panic.lock().unwrap_or_else(|p| p.into_inner());
+                    slot.get_or_insert(payload);
+                }
+            }
+        }
+    };
+
+    std::thread::scope(|s| {
+        let worker = &worker;
+        for t in 1..threads {
+            s.spawn(move || worker(t));
+        }
+        worker(0);
+    });
+
+    if let Some(payload) = first_panic.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        resume_unwind(payload);
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.0.into_inner().expect("every block was processed"))
+        .collect()
+}

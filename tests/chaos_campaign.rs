@@ -114,6 +114,24 @@ fn chaos_campaign_survives_deaths_drops_and_device_faults() {
     for r in &results[..2] {
         println!("--- rank {} ---\n{}", r.rank, r.report.summary());
     }
+    // One digest line per surviving rank: CI runs this campaign at
+    // BLAST_THREADS = 1 and 8 and diffs these lines, so the digest must
+    // cover every physics bit of the final state.
+    for r in &results[..2] {
+        println!("final state digest rank {}: {:016x}", r.rank, state_digest(&r.state));
+    }
+}
+
+/// FNV-1a over the bit patterns of the full final state `(v, e, x, t)`.
+fn state_digest(s: &blast_repro::blast_core::HydroState) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in s.v.iter().chain(&s.e).chain(&s.x).chain(std::iter::once(&s.t)) {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 /// Solver-level checksum fallback: a flipped byte in the newest checkpoint
