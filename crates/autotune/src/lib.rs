@@ -17,8 +17,15 @@
 //!   times until they equalize (Table 5: ~75% of zones on a C2050 against
 //!   a six-core Westmere, converged in 12-14 periods).
 
+//! - [`host_tiles`]: the same search methodology pointed at the *CPU*
+//!   micro-kernels — picks the register-tile / cache-block configuration
+//!   (`blast_la::tile::CANDIDATES`) per FE order and reports the measured
+//!   GFLOP/s so the cost model can be calibrated against the real host.
+
 pub mod balance;
+pub mod host_tiles;
 pub mod tuner;
 
 pub use balance::AutoBalancer;
+pub use host_tiles::{tune_host_tiles, HostTileChoice};
 pub use tuner::{Autotuner, TunerPhase};

@@ -10,6 +10,7 @@
 
 use std::time::Instant;
 
+use autotune::host_tiles;
 use blast_la::{batched_gemm_nn, batched_gemv_n, BatchedMats};
 use gpu_sim::CpuSpec;
 
@@ -44,6 +45,15 @@ pub struct HostSpeedup {
     pub pe_before: f64,
     /// After calibration against the measured curve.
     pub pe_after: f64,
+    /// Winning host-tile candidate index installed before the sweep (the
+    /// sweep must time the *tuned* tiled path, not the default tile).
+    pub tile_index: usize,
+    /// Single-thread GFLOP/s of the tuned tiled kernel, as fed to
+    /// `CpuSpec::calibrate_host_gflops`.
+    pub tiled_gflops: f64,
+    /// Corner-force flop efficiency implied by the measurement
+    /// (`CpuSpec::host_flop_efficiency` after calibration).
+    pub host_flop_efficiency: f64,
 }
 
 /// The batched-kernel workload: kernels 5/6-shaped batched DGEMM plus a
@@ -74,6 +84,13 @@ fn workload(reps: usize) -> Vec<f64> {
 /// Runs the sweep and the calibration.
 pub fn measure() -> HostSpeedup {
     let reps = 40;
+    // The sweep must measure the production hot path: tune the host tile
+    // for the workload's 3D Q2-like shape first, so the batched kernels
+    // below run the autotuned tiled core rather than the default tile.
+    // (Before the tiled rewrite this calibration timed the naive kernels,
+    // which over-reported memory-bound flattening and under-reported
+    // `parallel_efficiency`.)
+    let choice = host_tiles::tune_host_tiles(3, 2);
     // Warm up allocator and instruction caches off the clock.
     let _ = workload(2);
     let mut reference: Option<Vec<f64>> = None;
@@ -112,8 +129,18 @@ pub fn measure() -> HostSpeedup {
     let usable: Vec<(u32, f64)> =
         curve.into_iter().filter(|&(t, _)| (t as usize) <= cores_detected).collect();
     let pe_after = spec.calibrate_parallel_efficiency(&usable);
+    let host_flop_efficiency =
+        spec.calibrate_host_gflops(choice.tiled_gflops).unwrap_or(0.0);
 
-    HostSpeedup { samples, cores_detected, pe_before, pe_after }
+    HostSpeedup {
+        samples,
+        cores_detected,
+        pe_before,
+        pe_after,
+        tile_index: choice.index,
+        tiled_gflops: choice.tiled_gflops,
+        host_flop_efficiency,
+    }
 }
 
 /// Regenerates the artifact.
@@ -138,11 +165,16 @@ pub fn report() -> String {
     );
     out.push_str(&format!(
         "\nHost exposes {} core(s); speedup is bounded by that regardless of pool size.\n\
-         parallel_efficiency: {:.3} preset -> {:.3} calibrated from the measured curve{}.\n",
+         parallel_efficiency: {:.3} preset -> {:.3} calibrated from the measured curve{}.\n\
+         tiled hot path: tile candidate #{} installed, {:.2} GFLOP/s single-thread\n\
+         -> corner-force flop efficiency {:.3} fed to the roofline.\n",
         r.cores_detected,
         r.pe_before,
         r.pe_after,
         if r.cores_detected < 2 { " (no usable multi-core sample; preset kept)" } else { "" },
+        r.tile_index,
+        r.tiled_gflops,
+        r.host_flop_efficiency,
     ));
     out
 }
@@ -164,6 +196,9 @@ mod tests {
             assert!(s.time_s > 0.0);
         }
         assert!(r.pe_after > 0.0 && r.pe_after <= 1.0);
+        assert!(r.tile_index < blast_la::tile::CANDIDATES.len());
+        assert!(r.tiled_gflops > 0.0);
+        assert!(r.host_flop_efficiency > 0.0 && r.host_flop_efficiency <= 1.0);
         if r.cores_detected >= 8 {
             let s8 = r.samples.iter().find(|s| s.threads == 8).unwrap();
             assert!(s8.speedup >= 2.5, "8-thread speedup {} < 2.5x on an 8-core host", s8.speedup);

@@ -13,6 +13,7 @@ pub mod fig06_kernel_breakdown;
 pub mod fig07_kernel_variants;
 pub mod fig08_bandwidth;
 pub mod fig11_speedup;
+pub mod host_kernels;
 pub mod host_speedup;
 pub mod fig12_weak_scaling;
 pub mod fig13_strong_scaling;
@@ -53,6 +54,7 @@ pub fn all_experiment_names() -> Vec<&'static str> {
         "tab7_greenup",
         "resilience_overhead",
         "host_speedup",
+        "host_kernels",
     ]
 }
 
@@ -81,6 +83,7 @@ pub fn run_by_name(name: &str) -> Option<String> {
         "tab7_greenup" => tab7_greenup::report(),
         "resilience_overhead" => resilience_overhead::report(),
         "host_speedup" => host_speedup::report(),
+        "host_kernels" => host_kernels::report(),
         _ => return None,
     })
 }

@@ -144,6 +144,14 @@ impl Executor {
         }
     }
 
+    /// Corner-force flop efficiency fed to the roofline: the *measured*
+    /// tiled micro-kernel throughput when the host spec was calibrated
+    /// (`CpuSpec::calibrate_host_gflops`, fed by `autotune::host_tiles`),
+    /// else the modeled order-dependent default [`cf_cpu_eff`].
+    pub fn cf_eff(&self, order: usize) -> f64 {
+        self.host.spec().host_flop_efficiency().unwrap_or_else(|| cf_cpu_eff(order))
+    }
+
     /// Whether a persistent device fault has forced all execution onto the
     /// CPU path for the rest of the run.
     pub fn is_degraded(&self) -> bool {
@@ -208,7 +216,7 @@ impl Executor {
 
     /// Runs a resilience phase on the host timeline (the device quiesces —
     /// idles — for its duration) and charges its energy to the ledger.
-    fn bill_phase(&self, name: &str, bytes: usize) -> f64 {
+    fn bill_phase(&self, name: &'static str, bytes: usize) -> f64 {
         let traffic = Self::checkpoint_traffic(bytes);
         let (_, t) = self.host.run_phase(name, &traffic, 1, CG_CPU_EFF, CpuPowerState::Busy, || ());
         if let Some(g) = &self.gpu {

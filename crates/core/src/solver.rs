@@ -5,7 +5,7 @@
 use blast_fem::geom::{eval_h1_vector, zone_jacobians};
 use blast_fem::mass::{assemble_kinematic_mass, assemble_thermodynamic_mass};
 use blast_fem::{BasisTable, CartMesh, H1Space, L2Space, TensorRule};
-use blast_kernels::base::{compute_az_pipeline, MonolithicCornerForce};
+use blast_kernels::base::{compute_az_pipeline_into, MonolithicCornerForce, PipelineScratch};
 use blast_kernels::k1::AdjugateDetKernel;
 use blast_kernels::k11::SpmvKernel;
 use blast_kernels::k2::{StressKernel, ZoneConstants};
@@ -17,7 +17,8 @@ use blast_kernels::k8_10::{EnergyRhsKernel, MomentumRhsKernel};
 use blast_kernels::k9::GpuPcg;
 use blast_kernels::{GemmVariant, ProblemShape, Workspace};
 use blast_la::{
-    pcg_solve, BatchedMats, BlockDiag, CsrMatrix, DiagPrecond, LinearOperator, PcgOptions,
+    pcg_solve_ws, BatchedMats, BlockDiag, CsrMatrix, DiagPrecond, LinearOperator, PcgOptions,
+    PcgWorkspace,
 };
 use gpu_sim::LaunchConfig;
 use powermon::CpuPowerState;
@@ -25,7 +26,7 @@ use powermon::CpuPowerState;
 use crate::checkpoint::{Checkpoint, CheckpointPolicy, CheckpointStore};
 use crate::error::HydroError;
 use crate::exec::{
-    cf_cpu_eff, cg_iteration_traffic, corner_force_traffic, integration_traffic, ExecMode,
+    cg_iteration_traffic, corner_force_traffic, integration_traffic, ExecMode,
     Executor, CG_CPU_EFF,
 };
 use crate::problems::Problem;
@@ -117,6 +118,58 @@ struct ForceEval {
     cg_iterations: usize,
 }
 
+/// Reusable buffers for the step hot path. Everything a timestep touches
+/// on the heap lives here: the corner-force pipeline intermediates, the
+/// `F_z` / acceleration / `de/dt` pools that [`ForceEval`] borrows from
+/// (taken at the start of an evaluation, handed back by `try_step` once
+/// consumed), the momentum-solve iteration vectors, and the RK2 stage
+/// vectors. Buffers grow to the problem's high-water size on the first
+/// step and are then reused, so steady-state timesteps perform zero heap
+/// allocations (asserted by `tests/zero_alloc_steady_state.rs`). Error
+/// paths may drop a taken buffer — the next step simply re-grows it.
+#[derive(Debug, Default)]
+struct StepScratch {
+    /// Corner-force `A_z` pipeline intermediates and outputs.
+    pipe: PipelineScratch,
+    /// `F_z` pool (per-zone corner-force matrices).
+    fz: BatchedMats,
+    /// Momentum RHS (`-F·1`, component-major).
+    rhs: Vec<f64>,
+    /// Per-zone staging rows for the momentum RHS scatter.
+    mom_local: Vec<f64>,
+    /// Acceleration pool (PCG solution, component-major).
+    accel: Vec<f64>,
+    /// Constrained-operator masked input.
+    mom_tmp: Vec<f64>,
+    /// Per-component PCG solution vector.
+    mom_xk: Vec<f64>,
+    /// PCG iteration vectors.
+    pcg: PcgWorkspace,
+    /// Energy RHS (`F^T v_avg`).
+    rhs_e: Vec<f64>,
+    /// `de/dt` pool.
+    de: Vec<f64>,
+    // RK2 stage vectors (S0 snapshot, midpoint state, averaged velocity).
+    s0_v: Vec<f64>,
+    s0_e: Vec<f64>,
+    s0_x: Vec<f64>,
+    v_half: Vec<f64>,
+    e_half: Vec<f64>,
+    x_half: Vec<f64>,
+    v_avg: Vec<f64>,
+    // Pre-step snapshot for `try_advance`'s rollback / CFL redo.
+    saved_v: Vec<f64>,
+    saved_e: Vec<f64>,
+    saved_x: Vec<f64>,
+}
+
+/// Zero-fills `v` at length `n`, reusing its heap buffer when possible.
+fn ensure_zeroed(v: &mut Vec<f64>, n: usize) {
+    v.truncate(n);
+    v.iter_mut().for_each(|x| *x = 0.0);
+    v.resize(n, 0.0);
+}
+
 /// The BLAST solver over a structured `D`-dimensional domain.
 pub struct Hydro<const D: usize> {
     kin: H1Space<D>,
@@ -149,6 +202,9 @@ pub struct Hydro<const D: usize> {
     /// Pending injected step faults (test/chaos hook): the next this-many
     /// `try_step` calls fail recoverably before touching any device.
     step_fault_budget: std::cell::Cell<usize>,
+    /// Reusable hot-path buffers (see [`StepScratch`]). A `RefCell`
+    /// because force/energy evaluations borrow it from `&self` helpers.
+    scratch: std::cell::RefCell<StepScratch>,
 }
 
 impl<const D: usize> Hydro<D> {
@@ -298,6 +354,7 @@ impl<const D: usize> Hydro<D> {
             initial,
             device_bytes,
             step_fault_budget: std::cell::Cell::new(0),
+            scratch: std::cell::RefCell::new(StepScratch::default()),
         })
     }
 
@@ -487,42 +544,57 @@ impl<const D: usize> Hydro<D> {
         let traffic = corner_force_traffic(&self.shape);
         let host = &self.exec.host;
         let shape = &self.shape;
-        let ((pipe, fz, mut rhs), _t) = host.run_phase(
-            "corner_force",
-            &traffic,
-            threads,
-            cf_cpu_eff(self.shape.order),
-            CpuPowerState::Busy,
-            || {
-                let pipe = compute_az_pipeline(
-                    shape,
-                    x,
-                    v,
-                    e,
-                    n,
-                    &self.zone_dofs,
-                    &self.kin_table.grads,
-                    &self.thermo_table.values,
-                    &self.rule.weights,
-                    &self.rho0detj0,
-                    &self.consts,
-                    self.use_viscosity,
-                );
-                let mut fz = BatchedMats::zeros(shape.nvdof(), shape.nthermo, shape.zones);
-                FzKernel::compute(shape, &pipe.az, &self.thermo_table.values, &mut fz);
-                let mut rhs = vec![0.0; D * n];
-                MomentumRhsKernel::compute(shape, &fz, &self.zone_dofs, n, &mut rhs);
-                (pipe, fz, rhs)
-            },
-        );
-        if let Some(g) = &self.exec.gpu {
-            g.idle(_t);
-        }
-        self.check_mesh(&pipe.detj)?;
+        let (fz, mut rhs, max_inv_dt) = {
+            let mut ws = self.scratch.borrow_mut();
+            let ws = &mut *ws;
+            let ((), t) = host.run_phase(
+                "corner_force",
+                &traffic,
+                threads,
+                self.exec.cf_eff(self.shape.order),
+                CpuPowerState::Busy,
+                || {
+                    compute_az_pipeline_into(
+                        shape,
+                        x,
+                        v,
+                        e,
+                        n,
+                        &self.zone_dofs,
+                        &self.kin_table.grads,
+                        &self.thermo_table.values,
+                        &self.rule.weights,
+                        &self.rho0detj0,
+                        &self.consts,
+                        self.use_viscosity,
+                        &mut ws.pipe,
+                    );
+                    ws.fz.ensure(shape.nvdof(), shape.nthermo, shape.zones);
+                    FzKernel::compute(shape, &ws.pipe.az, &self.thermo_table.values, &mut ws.fz);
+                    ensure_zeroed(&mut ws.rhs, D * n);
+                    MomentumRhsKernel::compute_with(
+                        shape,
+                        &ws.fz,
+                        &self.zone_dofs,
+                        n,
+                        &mut ws.rhs,
+                        &mut ws.mom_local,
+                    );
+                },
+            );
+            if let Some(g) = &self.exec.gpu {
+                g.idle(t);
+            }
+            self.check_mesh(&ws.pipe.detj)?;
+            let max_inv_dt = ws.pipe.inv_dt.iter().cloned().fold(0.0, f64::max);
+            // The F_z batch and RHS leave the scratch for the caller
+            // (`try_step` hands the F_z pool buffer back once consumed).
+            (std::mem::take(&mut ws.fz), std::mem::take(&mut ws.rhs), max_inv_dt)
+        };
         self.project_constraints(&mut rhs);
         let (accel, iters) = self.solve_momentum_cpu(&rhs)?;
+        self.scratch.borrow_mut().rhs = rhs;
         Self::check_finite("accel", &accel)?;
-        let max_inv_dt = pipe.inv_dt.iter().cloned().fold(0.0, f64::max);
         Ok(ForceEval { fz, accel, max_inv_dt, cg_iterations: iters })
     }
 
@@ -536,7 +608,7 @@ impl<const D: usize> Hydro<D> {
         struct ConstrainedOp<'a> {
             a: &'a CsrMatrix,
             mask: &'a [bool],
-            tmp: Vec<f64>,
+            tmp: &'a mut [f64],
         }
         impl LinearOperator for ConstrainedOp<'_> {
             fn dim(&self) -> usize {
@@ -546,7 +618,7 @@ impl<const D: usize> Hydro<D> {
                 for ((t, &xi), &c) in self.tmp.iter_mut().zip(x).zip(self.mask) {
                     *t = if c { 0.0 } else { xi };
                 }
-                self.a.spmv_into(&self.tmp, y);
+                self.a.spmv_into(self.tmp, y);
                 for (yi, (&c, &xi)) in y.iter_mut().zip(self.mask.iter().zip(x)) {
                     if c {
                         *yi = xi; // identity on constrained DOFs keeps SPD
@@ -556,35 +628,44 @@ impl<const D: usize> Hydro<D> {
         }
 
         let n = self.kin.num_dofs();
-        let mut accel = self.accel_prev.borrow().clone();
-        let mut total_iters = 0;
-        let mut max_iters = 0;
-        for c in 0..D {
-            let mut op = ConstrainedOp {
-                a: &self.mv,
-                mask: &self.constrained[c],
-                tmp: vec![0.0; n],
-            };
-            let mut xk = accel[c * n..(c + 1) * n].to_vec();
-            let res = pcg_solve(
-                &mut op,
-                &self.mv_precond,
-                &rhs[c * n..(c + 1) * n],
-                &mut xk,
-                &self.pcg_opts,
-            );
-            if !res.converged {
-                return Err(HydroError::PcgBreakdown {
-                    residual: res.residual,
-                    iterations: res.iterations,
-                });
+        let (accel, total_iters) = {
+            let mut ws = self.scratch.borrow_mut();
+            let ws = &mut *ws;
+            // The acceleration leaves the scratch pool for the returned
+            // ForceEval (handed back by `try_step` once consumed).
+            let mut accel = std::mem::take(&mut ws.accel);
+            accel.clone_from(&self.accel_prev.borrow());
+            ensure_zeroed(&mut ws.mom_tmp, n);
+            ensure_zeroed(&mut ws.mom_xk, n);
+            let mut total_iters = 0;
+            for c in 0..D {
+                let mut op = ConstrainedOp {
+                    a: &self.mv,
+                    mask: &self.constrained[c],
+                    tmp: &mut ws.mom_tmp,
+                };
+                ws.mom_xk.copy_from_slice(&accel[c * n..(c + 1) * n]);
+                let res = pcg_solve_ws(
+                    &mut op,
+                    &self.mv_precond,
+                    &rhs[c * n..(c + 1) * n],
+                    &mut ws.mom_xk,
+                    &self.pcg_opts,
+                    &mut ws.pcg,
+                );
+                if !res.converged {
+                    ws.accel = accel; // hand the pool buffer back
+                    return Err(HydroError::PcgBreakdown {
+                        residual: res.residual,
+                        iterations: res.iterations,
+                    });
+                }
+                total_iters += res.iterations;
+                accel[c * n..(c + 1) * n].copy_from_slice(&ws.mom_xk);
             }
-            total_iters += res.iterations;
-            max_iters = max_iters.max(res.iterations);
-            accel[c * n..(c + 1) * n].copy_from_slice(&xk);
-        }
+            (accel, total_iters)
+        };
         self.accel_prev.borrow_mut().copy_from_slice(&accel);
-        let _ = max_iters;
         // Charge the CG phase on the host timeline: the scalar component
         // solves each stream the matrix (warm-starting keeps the iteration
         // counts low).
@@ -783,27 +864,40 @@ impl<const D: usize> Hydro<D> {
 
         gpu.h2d(((2 * D * n + self.thermo.num_dofs()) as f64 * 8.0 * ratio) as usize)?;
         let t0g = gpu.now();
-        let ((pipe, fz, mut rhs), _stats) = gpu.launch("corner_force(hybrid)", &cfg, &gpu_traffic, || {
-            let pipe = compute_az_pipeline(
-                &shape,
-                x,
-                v,
-                e,
-                n,
-                &self.zone_dofs,
-                &self.kin_table.grads,
-                &self.thermo_table.values,
-                &self.rule.weights,
-                &self.rho0detj0,
-                &self.consts,
-                self.use_viscosity,
-            );
-            let mut fz = BatchedMats::zeros(shape.nvdof(), shape.nthermo, shape.zones);
-            FzKernel::compute(&shape, &pipe.az, &self.thermo_table.values, &mut fz);
-            let mut rhs = vec![0.0; D * n];
-            MomentumRhsKernel::compute(&shape, &fz, &self.zone_dofs, n, &mut rhs);
-            (pipe, fz, rhs)
-        })?;
+        let (fz, mut rhs, max_inv_dt) = {
+            let mut ws = self.scratch.borrow_mut();
+            let ws = &mut *ws;
+            let (_, _stats) = gpu.launch("corner_force(hybrid)", &cfg, &gpu_traffic, || {
+                compute_az_pipeline_into(
+                    &shape,
+                    x,
+                    v,
+                    e,
+                    n,
+                    &self.zone_dofs,
+                    &self.kin_table.grads,
+                    &self.thermo_table.values,
+                    &self.rule.weights,
+                    &self.rho0detj0,
+                    &self.consts,
+                    self.use_viscosity,
+                    &mut ws.pipe,
+                );
+                ws.fz.ensure(shape.nvdof(), shape.nthermo, shape.zones);
+                FzKernel::compute(&shape, &ws.pipe.az, &self.thermo_table.values, &mut ws.fz);
+                ensure_zeroed(&mut ws.rhs, D * n);
+                MomentumRhsKernel::compute_with(
+                    &shape,
+                    &ws.fz,
+                    &self.zone_dofs,
+                    n,
+                    &mut ws.rhs,
+                    &mut ws.mom_local,
+                );
+            })?;
+            let max_inv_dt = ws.pipe.inv_dt.iter().cloned().fold(0.0, f64::max);
+            (std::mem::take(&mut ws.fz), std::mem::take(&mut ws.rhs), max_inv_dt)
+        };
         let t_gpu = gpu.now() - t0g;
 
         let threads = self.exec.cpu_threads();
@@ -811,7 +905,7 @@ impl<const D: usize> Hydro<D> {
             "corner_force(hybrid cpu)",
             &cpu_traffic,
             threads,
-            cf_cpu_eff(self.shape.order),
+            self.exec.cf_eff(self.shape.order),
             CpuPowerState::Busy,
             || (),
         );
@@ -827,11 +921,11 @@ impl<const D: usize> Hydro<D> {
             b.record_period(t_gpu, t_cpu);
         }
 
-        self.check_mesh(&pipe.detj)?;
+        self.check_mesh(&self.scratch.borrow().pipe.detj)?;
         self.project_constraints(&mut rhs);
         let (accel, iters) = self.solve_momentum_cpu(&rhs)?;
+        self.scratch.borrow_mut().rhs = rhs;
         Self::check_finite("accel", &accel)?;
-        let max_inv_dt = pipe.inv_dt.iter().cloned().fold(0.0, f64::max);
         Ok(ForceEval { fz, accel, max_inv_dt, cg_iterations: iters })
     }
 
@@ -873,24 +967,33 @@ impl<const D: usize> Hydro<D> {
     fn energy_rate_cpu(&self, fz: &BatchedMats, v_avg: &[f64]) -> Result<Vec<f64>, HydroError> {
         let n = self.kin.num_dofs();
         let shape = &self.shape;
-        let mut rhs_e = vec![0.0; self.thermo.num_dofs()];
-        let mut de = vec![0.0; self.thermo.num_dofs()];
+        let nth = self.thermo.num_dofs();
         let traffic = EnergyRhsKernel.traffic(shape).add(&SpmvKernel.traffic(&self.me_inv_csr));
         let threads = self.exec.cpu_threads();
-        let (_, t) = self.exec.host.run_phase(
-            "energy_solve",
-            &traffic,
-            threads,
-            CG_CPU_EFF,
-            CpuPowerState::Busy,
-            || {
-                EnergyRhsKernel::compute(shape, fz, v_avg, &self.zone_dofs, n, &mut rhs_e);
-                self.me_inv.apply(&rhs_e, &mut de);
-            },
-        );
-        if let Some(g) = &self.exec.gpu {
-            g.idle(t);
-        }
+        let de = {
+            let mut ws = self.scratch.borrow_mut();
+            let ws = &mut *ws;
+            ensure_zeroed(&mut ws.rhs_e, nth);
+            // The de/dt vector leaves the scratch pool for the caller
+            // (`try_step` hands it back once consumed).
+            let mut de = std::mem::take(&mut ws.de);
+            ensure_zeroed(&mut de, nth);
+            let ((), t) = self.exec.host.run_phase(
+                "energy_solve",
+                &traffic,
+                threads,
+                CG_CPU_EFF,
+                CpuPowerState::Busy,
+                || {
+                    EnergyRhsKernel::compute(shape, fz, v_avg, &self.zone_dofs, n, &mut ws.rhs_e);
+                    self.me_inv.apply(&ws.rhs_e, &mut de);
+                },
+            );
+            if let Some(g) = &self.exec.gpu {
+                g.idle(t);
+            }
+            de
+        };
         Self::check_finite("de/dt", &de)?;
         Ok(de)
     }
@@ -919,35 +1022,61 @@ impl<const D: usize> Hydro<D> {
         }
         let n = self.kin.num_dofs();
         let vlen = D * n;
-        let s0 = state.clone();
+        // Stage vectors come from the step scratch (handed back at the
+        // end, so steady-state steps allocate nothing; an error path drops
+        // them and the next step re-grows).
+        let (mut s0_v, mut s0_e, mut s0_x, mut v_half, mut e_half, mut x_half, mut v_avg) = {
+            let mut ws = self.scratch.borrow_mut();
+            (
+                std::mem::take(&mut ws.s0_v),
+                std::mem::take(&mut ws.s0_e),
+                std::mem::take(&mut ws.s0_x),
+                std::mem::take(&mut ws.v_half),
+                std::mem::take(&mut ws.e_half),
+                std::mem::take(&mut ws.x_half),
+                std::mem::take(&mut ws.v_avg),
+            )
+        };
+        s0_v.clone_from(&state.v);
+        s0_e.clone_from(&state.e);
+        s0_x.clone_from(&state.x);
+        let t0 = state.t;
         let mut cg_total = 0;
 
         // -- Stage 1: evaluate at S0, advance to the midpoint.
-        let ev1 = self.eval_force(&s0.v, &s0.e, &s0.x)?;
+        let ev1 = self.eval_force(&s0_v, &s0_e, &s0_x)?;
         cg_total += ev1.cg_iterations;
-        let mut v_half = s0.v.clone();
+        v_half.clone_from(&s0_v);
         blast_la::dense::axpy(0.5 * dt, &ev1.accel, &mut v_half);
         let de1 = self.energy_rate(&ev1.fz, &v_half)?;
-        let mut e_half = s0.e.clone();
+        e_half.clone_from(&s0_e);
         blast_la::dense::axpy(0.5 * dt, &de1, &mut e_half);
-        let mut x_half = s0.x.clone();
+        x_half.clone_from(&s0_x);
         blast_la::dense::axpy(0.5 * dt, &v_half, &mut x_half);
+        {
+            // Stage 1's outputs are fully consumed: hand the buffers back
+            // to the pools so stage 2 reuses them.
+            let mut ws = self.scratch.borrow_mut();
+            ws.fz = ev1.fz;
+            ws.accel = ev1.accel;
+            ws.de = de1;
+        }
 
         // -- Stage 2: evaluate at the midpoint, take the full step with the
         // averaged velocity (v0 + v_new)/2 = v0 + dt/2 * accel2.
         let ev2 = self.eval_force(&v_half, &e_half, &x_half)?;
         cg_total += ev2.cg_iterations;
-        let mut v_avg = s0.v.clone();
+        v_avg.clone_from(&s0_v);
         blast_la::dense::axpy(0.5 * dt, &ev2.accel, &mut v_avg);
         let de2 = self.energy_rate(&ev2.fz, &v_avg)?;
 
-        state.v.copy_from_slice(&s0.v);
+        state.v.copy_from_slice(&s0_v);
         blast_la::dense::axpy(dt, &ev2.accel, &mut state.v);
-        state.e.copy_from_slice(&s0.e);
+        state.e.copy_from_slice(&s0_e);
         blast_la::dense::axpy(dt, &de2, &mut state.e);
-        state.x.copy_from_slice(&s0.x);
+        state.x.copy_from_slice(&s0_x);
         blast_la::dense::axpy(dt, &v_avg, &mut state.x);
-        state.t = s0.t + dt;
+        state.t = t0 + dt;
 
         // Host-side time integration cost ("the time integration ... is
         // still done on CPU").
@@ -969,11 +1098,23 @@ impl<const D: usize> Hydro<D> {
             g.idle(t);
         }
 
-        Ok(StepOutcome {
-            dt_used: dt,
-            dt_est: self.cfl / ev2.max_inv_dt.max(1e-300),
-            cg_iterations: cg_total,
-        })
+        let dt_est = self.cfl / ev2.max_inv_dt.max(1e-300);
+        {
+            // Hand every stage buffer back to the scratch for the next step.
+            let mut ws = self.scratch.borrow_mut();
+            ws.fz = ev2.fz;
+            ws.accel = ev2.accel;
+            ws.de = de2;
+            ws.s0_v = s0_v;
+            ws.s0_e = s0_e;
+            ws.s0_x = s0_x;
+            ws.v_half = v_half;
+            ws.e_half = e_half;
+            ws.x_half = x_half;
+            ws.v_avg = v_avg;
+        }
+
+        Ok(StepOutcome { dt_used: dt, dt_est, cg_iterations: cg_total })
     }
 
     /// Runs until `t_final` (or `max_steps`), with adaptive dt: grow by 2%
@@ -1084,7 +1225,15 @@ impl<const D: usize> Hydro<D> {
         let mut rollback_redos = 0usize;
         let mut cfl_redos = 0usize;
         loop {
-            let saved = state.clone();
+            // Snapshot the pre-step state into the scratch (reused every
+            // iteration, so accepted steps snapshot without allocating).
+            {
+                let mut ws = self.scratch.borrow_mut();
+                ws.saved_v.clone_from(&state.v);
+                ws.saved_e.clone_from(&state.e);
+                ws.saved_x.clone_from(&state.x);
+            }
+            let saved_t = state.t;
             // On a redo attempt, watch the device fault counter across the
             // step so faults injected *during the redo* are accounted.
             let pre_injected = (redos > 0)
@@ -1101,7 +1250,7 @@ impl<const D: usize> Hydro<D> {
                 Ok(out) => out,
                 Err(e) if e.recoverable_by_rollback() && rollback_redos < MAX_STEP_REDOS => {
                     // Roll back to the pre-step state, redo with half dt.
-                    *state = saved;
+                    self.restore_saved(state, saved_t);
                     dt *= 0.5;
                     redos += 1;
                     rollback_redos += 1;
@@ -1111,7 +1260,7 @@ impl<const D: usize> Hydro<D> {
             };
             if out.dt_est < dt * 0.999 && cfl_redos < MAX_CFL_REDOS {
                 // Overshot the CFL bound: redo with a safer dt.
-                *state = saved;
+                self.restore_saved(state, saved_t);
                 dt = 0.85 * out.dt_est;
                 redos += 1;
                 cfl_redos += 1;
@@ -1120,6 +1269,16 @@ impl<const D: usize> Hydro<D> {
             let dt_next = out.dt_est.min(1.02 * dt);
             return Ok(AdvanceOutcome { outcome: out, redos, dt_next });
         }
+    }
+
+    /// Copies the scratch's pre-step snapshot back into `state` (the
+    /// rollback half of [`Self::try_advance`]'s redo loop).
+    fn restore_saved(&self, state: &mut HydroState, saved_t: f64) {
+        let ws = self.scratch.borrow();
+        state.v.copy_from_slice(&ws.saved_v);
+        state.e.copy_from_slice(&ws.saved_e);
+        state.x.copy_from_slice(&ws.saved_x);
+        state.t = saved_t;
     }
 
     /// Snapshots the run into a [`Checkpoint`] (state + PCG warm-start
@@ -1179,7 +1338,7 @@ impl<const D: usize> Hydro<D> {
                 slot.1 += ev.time_s;
                 slot.2 += 1;
             } else {
-                agg.push((ev.name.clone(), ev.time_s, 1));
+                agg.push((ev.name.to_string(), ev.time_s, 1));
             }
         }
         agg.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
@@ -1189,6 +1348,15 @@ impl<const D: usize> Hydro<D> {
     /// Simulated wall-clock so far (host timeline, includes GPU waits).
     pub fn wall_time(&self) -> f64 {
         self.exec.host.now()
+    }
+
+    /// Pre-grows the host telemetry buffers for `steps` upcoming
+    /// timesteps so recording them does not reallocate. A CPU step logs
+    /// seven phases (2x corner_force, 2x cg_solver, 2x energy_solve, one
+    /// integration); the zero-allocation harness calls this before its
+    /// measurement window.
+    pub fn reserve_host_telemetry(&self, steps: usize) {
+        self.exec.host.reserve_telemetry(steps * 7);
     }
 }
 

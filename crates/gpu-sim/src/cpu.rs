@@ -26,6 +26,11 @@ pub struct CpuSpec {
     pub dram_bw_gbs: f64,
     /// Parallel efficiency at full thread count (memory contention, NUMA).
     pub parallel_efficiency: f64,
+    /// Single-thread GFLOP/s the autotuned host micro-kernels actually
+    /// sustain on the corner-force GEMM shape (`None` until
+    /// [`CpuSpec::calibrate_host_gflops`] has been fed a measurement,
+    /// e.g. from `autotune::host_tiles`).
+    pub measured_host_gflops: Option<f64>,
     /// RAPL-style power model.
     pub power: CpuPowerModel,
 }
@@ -39,6 +44,7 @@ impl CpuSpec {
             peak_gflops_dp: 166.4,
             dram_bw_gbs: 51.2,
             parallel_efficiency: 0.85,
+            measured_host_gflops: None,
             power: CpuPowerModel::e5_2670(),
         }
     }
@@ -51,6 +57,7 @@ impl CpuSpec {
             peak_gflops_dp: 67.2,
             dram_bw_gbs: 32.0,
             parallel_efficiency: 0.82,
+            measured_host_gflops: None,
             power: CpuPowerModel::x5660(),
         }
     }
@@ -63,6 +70,7 @@ impl CpuSpec {
             peak_gflops_dp: 140.8,
             dram_bw_gbs: 51.2,
             parallel_efficiency: 0.78,
+            measured_host_gflops: None,
             power: CpuPowerModel::opteron_6274(),
         }
     }
@@ -105,6 +113,27 @@ impl CpuSpec {
         self.parallel_efficiency
     }
 
+    /// Records the single-thread GFLOP/s measured on the tiled host
+    /// micro-kernels (e.g. `autotune::host_tiles`' winner) and returns
+    /// the implied corner-force flop efficiency. Non-finite or
+    /// non-positive measurements are ignored.
+    pub fn calibrate_host_gflops(&mut self, gflops: f64) -> Option<f64> {
+        if gflops.is_finite() && gflops > 0.0 {
+            self.measured_host_gflops = Some(gflops);
+        }
+        self.host_flop_efficiency()
+    }
+
+    /// Fraction of one core's DP peak the measured host micro-kernels
+    /// sustain — the *measured* replacement for the modeled
+    /// order-dependent corner-force efficiency once
+    /// [`CpuSpec::calibrate_host_gflops`] has run. Clamped to `(0, 1]`;
+    /// `None` until a measurement is recorded.
+    pub fn host_flop_efficiency(&self) -> Option<f64> {
+        let per_core_peak = self.peak_gflops_dp / self.cores as f64;
+        self.measured_host_gflops.map(|g| (g / per_core_peak).clamp(1e-3, 1.0))
+    }
+
     /// Roofline time for a phase run on `threads` cores. CPU code achieves a
     /// fraction of peak well below 1 even when compute-bound; BLAST's corner
     /// force sustains ~15% of peak on Xeon (unvectorized irregular inner
@@ -133,8 +162,10 @@ impl CpuSpec {
 /// One recorded CPU phase.
 #[derive(Clone, Debug)]
 pub struct CpuEvent {
-    /// Phase name.
-    pub name: String,
+    /// Phase name (a static label: phase names are compile-time known, and
+    /// a `String` here would put one heap allocation in every hot-path
+    /// phase).
+    pub name: &'static str,
     /// Simulated start time.
     pub start_s: f64,
     /// Duration, seconds.
@@ -181,7 +212,7 @@ impl CpuDevice {
     /// and the modeled time.
     pub fn run_phase<R>(
         &self,
-        name: &str,
+        name: &'static str,
         traffic: &Traffic,
         threads: u32,
         flop_efficiency: f64,
@@ -196,9 +227,19 @@ impl CpuDevice {
         let mut st = self.state.lock();
         let start = st.clock_s;
         st.trace.push(start, time_s, power_w);
-        st.events.push(CpuEvent { name: name.to_string(), start_s: start, time_s, power_w });
+        st.events.push(CpuEvent { name, start_s: start, time_s, power_w });
         st.clock_s += time_s;
         (result, time_s)
+    }
+
+    /// Pre-grows the event log and power trace so the next `phases` phase
+    /// recordings do not reallocate. Steady-state timesteps are otherwise
+    /// allocation-free; this keeps the telemetry side quiet too (used by
+    /// the zero-allocation harness before its measurement window).
+    pub fn reserve_telemetry(&self, phases: usize) {
+        let mut st = self.state.lock();
+        st.events.reserve(phases);
+        st.trace.reserve(phases);
     }
 
     /// Advances the clock through an idle / waiting gap.

@@ -39,6 +39,42 @@ pub struct AzPipelineOut {
     pub detj: Vec<f64>,
 }
 
+/// Reusable intermediates for [`compute_az_pipeline_into`]. All buffers
+/// grow to the problem's high-water size on the first call and are then
+/// reused, so steady-state corner-force evaluations perform no heap
+/// allocation (asserted by `tests/zero_alloc_steady_state.rs`).
+#[derive(Clone, Debug, Default)]
+pub struct PipelineScratch {
+    jac: BatchedMats,
+    grad_v_ref: BatchedMats,
+    adj: BatchedMats,
+    grad_v: BatchedMats,
+    sigma: BatchedMats,
+    s: BatchedMats,
+    hmin: Vec<f64>,
+    inv_det: Vec<f64>,
+    /// `A_z` batch (`nvdof x npts` per zone) — pipeline output.
+    pub az: BatchedMats,
+    /// Per-point `inv_dt` controls — pipeline output.
+    pub inv_dt: Vec<f64>,
+    /// Per-point `|J|` — pipeline output.
+    pub detj: Vec<f64>,
+}
+
+impl PipelineScratch {
+    /// Empty scratch; buffers are shaped on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Zero-fills `v` at length `n`, reusing its heap buffer when possible.
+fn ensure_vec(v: &mut Vec<f64>, n: usize) {
+    v.truncate(n);
+    v.iter_mut().for_each(|x| *x = 0.0);
+    v.resize(n, 0.0);
+}
+
 /// Executes the full `A_z` math (the composition of kernels 3, 1, 5, 2, 6,
 /// 4) on the host buffers. Both the base kernel and the CPU reference call
 /// this; the optimized GPU path launches the individual kernels instead,
@@ -58,51 +94,102 @@ pub fn compute_az_pipeline(
     consts: &ZoneConstants,
     use_viscosity: bool,
 ) -> AzPipelineOut {
+    let mut ws = PipelineScratch::new();
+    compute_az_pipeline_into(
+        shape,
+        x,
+        v,
+        e,
+        num_h1_dofs,
+        zone_dofs,
+        kin_grads,
+        thermo_vals,
+        alpha,
+        rho0detj0,
+        consts,
+        use_viscosity,
+        &mut ws,
+    );
+    AzPipelineOut { az: ws.az, inv_dt: ws.inv_dt, detj: ws.detj }
+}
+
+/// Allocation-free variant of [`compute_az_pipeline`]: all intermediates
+/// and outputs live in `ws` and are reused across timesteps. Outputs are
+/// `ws.az`, `ws.inv_dt`, and `ws.detj`.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_az_pipeline_into(
+    shape: &ProblemShape,
+    x: &[f64],
+    v: &[f64],
+    e: &[f64],
+    num_h1_dofs: usize,
+    zone_dofs: &[usize],
+    kin_grads: &[DMatrix],
+    thermo_vals: &DMatrix,
+    alpha: &[f64],
+    rho0detj0: &[f64],
+    consts: &ZoneConstants,
+    use_viscosity: bool,
+    ws: &mut PipelineScratch,
+) {
     let d = shape.dim;
     let total = shape.total_points();
 
     // Kernel 3 math: J and ∇̂v̂ at all points.
-    let mut jac = BatchedMats::zeros(d, d, total);
-    CoefGradKernel::compute(shape, x, num_h1_dofs, zone_dofs, kin_grads, &mut jac);
-    let mut grad_v_ref = BatchedMats::zeros(d, d, total);
-    CoefGradKernel::compute(shape, v, num_h1_dofs, zone_dofs, kin_grads, &mut grad_v_ref);
+    ws.jac.ensure(d, d, total);
+    CoefGradKernel::compute(shape, x, num_h1_dofs, zone_dofs, kin_grads, &mut ws.jac);
+    ws.grad_v_ref.ensure(d, d, total);
+    CoefGradKernel::compute(shape, v, num_h1_dofs, zone_dofs, kin_grads, &mut ws.grad_v_ref);
 
     // Kernel 1 math: adj(J), |J|, sigma_min(J).
-    let mut adj = BatchedMats::zeros(d, d, total);
-    let mut detj = vec![0.0; total];
-    let mut hmin = vec![0.0; total];
-    AdjugateDetKernel::compute(shape, &jac, &mut adj, &mut detj, &mut hmin);
+    ws.adj.ensure(d, d, total);
+    ensure_vec(&mut ws.detj, total);
+    ensure_vec(&mut ws.hmin, total);
+    AdjugateDetKernel::compute(shape, &ws.jac, &mut ws.adj, &mut ws.detj, &mut ws.hmin);
 
     // Kernel 5 math: spatial gradient ∇v = ∇̂v̂ adj(J) / |J|.
-    let inv_det: Vec<f64> = detj.iter().map(|&dd| 1.0 / dd).collect();
-    let mut grad_v = BatchedMats::zeros(d, d, total);
+    ensure_vec(&mut ws.inv_det, total);
+    for (inv, &dd) in ws.inv_det.iter_mut().zip(&ws.detj) {
+        *inv = 1.0 / dd;
+    }
+    ws.grad_v.ensure(d, d, total);
     BatchedDimGemm { transpose: Transpose::NN, mats_per_block: 32 }.compute(
-        &grad_v_ref,
-        &adj,
-        Some(&inv_det),
-        &mut grad_v,
+        &ws.grad_v_ref,
+        &ws.adj,
+        Some(&ws.inv_det),
+        &mut ws.grad_v,
     );
 
     // Kernel 2 math: EOS + viscosity -> sigma, inv_dt.
     let stress = StressKernel { workspace: Workspace::Registers, use_viscosity };
-    let mut sigma = BatchedMats::zeros(d, d, total);
-    let mut inv_dt = vec![0.0; total];
+    ws.sigma.ensure(d, d, total);
+    ensure_vec(&mut ws.inv_dt, total);
     stress.compute(
-        shape, e, thermo_vals, &grad_v, &jac, &detj, &hmin, rho0detj0, consts, &mut sigma,
-        &mut inv_dt,
+        shape,
+        e,
+        thermo_vals,
+        &ws.grad_v,
+        &ws.jac,
+        &ws.detj,
+        &ws.hmin,
+        rho0detj0,
+        consts,
+        &mut ws.sigma,
+        &mut ws.inv_dt,
     );
 
     // Kernel 6 math: S = sigma adj(J)^T (= sigma |J| J^{-T}).
-    let mut s = BatchedMats::zeros(d, d, total);
+    ws.s.ensure(d, d, total);
     BatchedDimGemm { transpose: Transpose::NT, mats_per_block: 32 }.compute(
-        &sigma, &adj, None, &mut s,
+        &ws.sigma,
+        &ws.adj,
+        None,
+        &mut ws.s,
     );
 
     // Kernel 4 math: A_z columns.
-    let mut az = BatchedMats::zeros(shape.nvdof(), shape.npts, shape.zones);
-    AzKernel::compute(shape, &s, kin_grads, alpha, &mut az);
-
-    AzPipelineOut { az, inv_dt, detj }
+    ws.az.ensure(shape.nvdof(), shape.npts, shape.zones);
+    AzKernel::compute(shape, &ws.s, kin_grads, alpha, &mut ws.az);
 }
 
 impl MonolithicCornerForce {

@@ -62,6 +62,21 @@ impl MomentumRhsKernel {
         num_h1_dofs: usize,
         rhs: &mut [f64],
     ) {
+        let mut local = Vec::new();
+        Self::compute_with(shape, fz, zone_dofs, num_h1_dofs, rhs, &mut local);
+    }
+
+    /// Like [`MomentumRhsKernel::compute`], but stages the per-zone row sums
+    /// in the caller-provided `local` buffer (grown once, reused across
+    /// timesteps) so the hot path stays allocation-free.
+    pub fn compute_with(
+        shape: &ProblemShape,
+        fz: &BatchedMats,
+        zone_dofs: &[usize],
+        num_h1_dofs: usize,
+        rhs: &mut [f64],
+        local: &mut Vec<f64>,
+    ) {
         let d = shape.dim;
         let nkin = shape.nkin;
         let nvdof = shape.nvdof();
@@ -72,7 +87,9 @@ impl MomentumRhsKernel {
         assert_eq!(rhs.len(), d * num_h1_dofs);
 
         // Parallel per-zone row sums (the DGEMV against the ones vector)...
-        let mut local = vec![0.0f64; shape.zones * nvdof];
+        local.truncate(shape.zones * nvdof);
+        local.iter_mut().for_each(|x| *x = 0.0);
+        local.resize(shape.zones * nvdof, 0.0);
         local
             .par_chunks_exact_mut(nvdof)
             .enumerate()

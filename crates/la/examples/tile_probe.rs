@@ -1,0 +1,87 @@
+//! Quick single-thread GEMM throughput probe on the paper's Table-3 shapes.
+//!
+//! Run with `cargo run -p blast-la --release --example tile_probe`.
+
+use blast_la::dense::naive;
+use blast_la::tile::{self, Op};
+use std::time::Instant;
+
+fn fill(buf: &mut [f64], seed: usize) {
+    for (i, v) in buf.iter_mut().enumerate() {
+        let s = i.wrapping_mul(2654435761).wrapping_add(seed) % 1000;
+        *v = (s as f64 - 500.0) * 1e-3;
+    }
+}
+
+/// Min-of-samples timing: robust against steal-time noise on shared cores.
+fn time(mut f: impl FnMut()) -> f64 {
+    // Calibrate the inner repeat count to ~1 ms per sample.
+    f();
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let inner = (1e-3 / once).ceil().max(1.0) as u32;
+    let mut best = f64::INFINITY;
+    for _ in 0..25 {
+        let t0 = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / inner as f64);
+    }
+    best
+}
+
+fn main() {
+    // (m, n, k) for the F_z = B_kin^T * sigma-like NT products, Q1..Q4 3D
+    // plus the 2D Q4 shape.
+    let shapes = [
+        (24usize, 1usize, 8usize, "Q1 3D"),
+        (50, 16, 36, "Q4 2D"),
+        (81, 8, 64, "Q2 3D"),
+        (192, 27, 125, "Q3 3D"),
+        (375, 64, 216, "Q4 3D"),
+    ];
+    for &(m, n, k, label) in &shapes {
+        let mut a = vec![0.0; m * k];
+        let mut b = vec![0.0; n * k]; // B^T operand: n x k stored k-major per row
+        let mut c = vec![0.0; m * n];
+        fill(&mut a, 1);
+        fill(&mut b, 2);
+        let flops = (2 * m * n * k) as f64;
+
+        let tn = time(|| naive::gemm_nt_raw(m, n, k, 1.0, &a, &b, 0.0, &mut c));
+        println!("{label:6} {m}x{n}x{k}: naive {:.2} GF", flops / tn / 1e9);
+        let mut ws = tile::GemmWorkspace::default();
+        for (ci, cfg) in tile::CANDIDATES.iter().enumerate() {
+            let td = time(|| {
+                tile::gemm_tiled_direct(*cfg, m, n, k, 1.0, &a, Op::N, &b, Op::T, 0.0, &mut c)
+            });
+            let tp = time(|| {
+                tile::gemm_tiled_packed(
+                    *cfg,
+                    m,
+                    n,
+                    k,
+                    1.0,
+                    &a,
+                    Op::N,
+                    &b,
+                    Op::T,
+                    0.0,
+                    &mut c,
+                    &mut ws,
+                )
+            });
+            println!(
+                "  cfg{ci} {:?}/kc{}: direct {:.2} GF ({:.2}x) | packed {:.2} GF ({:.2}x)",
+                cfg.micro,
+                cfg.kc,
+                flops / td / 1e9,
+                tn / td,
+                flops / tp / 1e9,
+                tn / tp,
+            );
+        }
+    }
+}

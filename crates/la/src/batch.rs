@@ -13,7 +13,7 @@ use rayon::prelude::*;
 use crate::dense::{gemm_nn_raw, gemm_nt_raw, gemv_n_raw, gemv_t_raw};
 
 /// A packed batch of equally-shaped column-major matrices.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct BatchedMats {
     rows: usize,
     cols: usize,
@@ -25,6 +25,27 @@ impl BatchedMats {
     /// Zero-initialized batch of `count` matrices of shape `rows x cols`.
     pub fn zeros(rows: usize, cols: usize, count: usize) -> Self {
         Self { rows, cols, count, data: vec![0.0; rows * cols * count] }
+    }
+
+    /// Empty batch (`0 x 0 x 0`); a placeholder for scratch slots that are
+    /// shaped later via [`BatchedMats::ensure`].
+    pub fn empty() -> Self {
+        Self { rows: 0, cols: 0, count: 0, data: Vec::new() }
+    }
+
+    /// Reshapes `self` to `rows x cols x count` and fills it with zeros,
+    /// reusing the existing heap buffer whenever it is large enough. The
+    /// result is indistinguishable from [`BatchedMats::zeros`], but
+    /// steady-state callers that hold the batch in a workspace perform no
+    /// heap allocation.
+    pub fn ensure(&mut self, rows: usize, cols: usize, count: usize) {
+        let len = rows * cols * count;
+        self.rows = rows;
+        self.cols = cols;
+        self.count = count;
+        self.data.truncate(len);
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+        self.data.resize(len, 0.0);
     }
 
     /// Builds from packed data (`count * rows * cols` column-major values).

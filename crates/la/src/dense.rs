@@ -212,19 +212,148 @@ pub fn gemm_tn(alpha: f64, a: &DMatrix, b: &DMatrix, beta: f64, c: &mut DMatrix)
     let (kb, n) = b.shape();
     assert_eq!(k, kb, "gemm_tn inner dimension mismatch");
     assert_eq!(c.shape(), (m, n), "gemm_tn output shape mismatch");
-    for j in 0..n {
-        for i in 0..m {
-            let mut acc = 0.0;
-            for p in 0..k {
-                acc += a[(p, i)] * b[(p, j)];
+    gemm_tn_raw(m, n, k, alpha, a.as_slice(), b.as_slice(), beta, c.as_mut_slice());
+}
+
+/// Reference triple-loop implementations of the GEMM/GEMV variants.
+///
+/// These are the pre-tiling kernels, kept verbatim: the property tests
+/// assert the tiled core is bitwise identical to them (NN/NT) or
+/// ULP-bounded (TN), and the `host_kernels` bench experiment uses them as
+/// the wall-clock baseline. Production callers go through the tiled
+/// [`crate::tile`] core instead.
+pub mod naive {
+    /// Raw-slice DGEMM NN on column-major data.
+    #[inline]
+    pub fn gemm_nn_raw(
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        a: &[f64],
+        b: &[f64],
+        beta: f64,
+        c: &mut [f64],
+    ) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        // j-p-i loop order: streams through columns of C and A contiguously.
+        for j in 0..n {
+            let cj = &mut c[j * m..(j + 1) * m];
+            if beta == 0.0 {
+                cj.iter_mut().for_each(|x| *x = 0.0);
+            } else if beta != 1.0 {
+                cj.iter_mut().for_each(|x| *x *= beta);
             }
-            c[(i, j)] = alpha * acc + beta * c[(i, j)];
+            for p in 0..k {
+                let bpj = alpha * b[p + j * k];
+                if bpj != 0.0 {
+                    let ap = &a[p * m..(p + 1) * m];
+                    for (ci, &ai) in cj.iter_mut().zip(ap) {
+                        *ci += bpj * ai;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Raw-slice DGEMM NT on column-major data: `C = alpha A B^T + beta C`,
+    /// `A (m x k)`, `B (n x k)`.
+    #[inline]
+    pub fn gemm_nt_raw(
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        a: &[f64],
+        b: &[f64],
+        beta: f64,
+        c: &mut [f64],
+    ) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), n * k);
+        debug_assert_eq!(c.len(), m * n);
+        for j in 0..n {
+            let cj = &mut c[j * m..(j + 1) * m];
+            if beta == 0.0 {
+                cj.iter_mut().for_each(|x| *x = 0.0);
+            } else if beta != 1.0 {
+                cj.iter_mut().for_each(|x| *x *= beta);
+            }
+            for p in 0..k {
+                // B^T(p, j) = B(j, p), column-major B: b[j + p*n].
+                let bjp = alpha * b[j + p * n];
+                if bjp != 0.0 {
+                    let ap = &a[p * m..(p + 1) * m];
+                    for (ci, &ai) in cj.iter_mut().zip(ap) {
+                        *ci += bjp * ai;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Raw-slice DGEMM TN on column-major data: `C = alpha A^T B + beta C`,
+    /// `A (k x m)`, `B (k x n)`, dot-product accumulation order.
+    #[inline]
+    pub fn gemm_tn_raw(
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        a: &[f64],
+        b: &[f64],
+        beta: f64,
+        c: &mut [f64],
+    ) {
+        debug_assert_eq!(a.len(), k * m);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        for j in 0..n {
+            for i in 0..m {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[p + i * k] * b[p + j * k];
+                }
+                let cij = &mut c[i + j * m];
+                *cij = alpha * acc + beta * *cij;
+            }
+        }
+    }
+
+    /// Raw-slice DGEMV N on column-major `A (m x n)` (per-column axpy).
+    #[inline]
+    pub fn gemv_n_raw(
+        m: usize,
+        n: usize,
+        alpha: f64,
+        a: &[f64],
+        x: &[f64],
+        beta: f64,
+        y: &mut [f64],
+    ) {
+        debug_assert_eq!(a.len(), m * n);
+        if beta == 0.0 {
+            y.iter_mut().for_each(|v| *v = 0.0);
+        } else if beta != 1.0 {
+            y.iter_mut().for_each(|v| *v *= beta);
+        }
+        for j in 0..n {
+            let axj = alpha * x[j];
+            if axj != 0.0 {
+                let col = &a[j * m..(j + 1) * m];
+                for (yi, &aij) in y.iter_mut().zip(col) {
+                    *yi += axj * aij;
+                }
+            }
         }
     }
 }
 
 /// Raw-slice DGEMM NN on column-major data (used by the batched routines so
-/// the GPU kernels and CPU reference share one inner loop).
+/// the GPU kernels and CPU reference share one inner loop). Routed through
+/// the register-tiled core; bitwise identical to [`naive::gemm_nn_raw`].
 #[inline]
 pub fn gemm_nn_raw(
     m: usize,
@@ -239,28 +368,12 @@ pub fn gemm_nn_raw(
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    // j-p-i loop order: streams through columns of C and A contiguously.
-    for j in 0..n {
-        let cj = &mut c[j * m..(j + 1) * m];
-        if beta == 0.0 {
-            cj.iter_mut().for_each(|x| *x = 0.0);
-        } else if beta != 1.0 {
-            cj.iter_mut().for_each(|x| *x *= beta);
-        }
-        for p in 0..k {
-            let bpj = alpha * b[p + j * k];
-            if bpj != 0.0 {
-                let ap = &a[p * m..(p + 1) * m];
-                for (ci, &ai) in cj.iter_mut().zip(ap) {
-                    *ci += bpj * ai;
-                }
-            }
-        }
-    }
+    crate::tile::gemm(m, n, k, alpha, a, crate::tile::Op::N, b, crate::tile::Op::N, beta, c);
 }
 
 /// Raw-slice DGEMM NT on column-major data: `C = alpha A B^T + beta C`,
-/// `A (m x k)`, `B (n x k)`.
+/// `A (m x k)`, `B (n x k)`. Routed through the register-tiled core;
+/// bitwise identical to [`naive::gemm_nt_raw`].
 #[inline]
 pub fn gemm_nt_raw(
     m: usize,
@@ -275,24 +388,28 @@ pub fn gemm_nt_raw(
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
-    for j in 0..n {
-        let cj = &mut c[j * m..(j + 1) * m];
-        if beta == 0.0 {
-            cj.iter_mut().for_each(|x| *x = 0.0);
-        } else if beta != 1.0 {
-            cj.iter_mut().for_each(|x| *x *= beta);
-        }
-        for p in 0..k {
-            // B^T(p, j) = B(j, p), column-major B: b[j + p*n].
-            let bjp = alpha * b[j + p * n];
-            if bjp != 0.0 {
-                let ap = &a[p * m..(p + 1) * m];
-                for (ci, &ai) in cj.iter_mut().zip(ap) {
-                    *ci += bjp * ai;
-                }
-            }
-        }
-    }
+    crate::tile::gemm(m, n, k, alpha, a, crate::tile::Op::N, b, crate::tile::Op::T, beta, c);
+}
+
+/// Raw-slice DGEMM TN on column-major data: `C = alpha A^T B + beta C`,
+/// `A (k x m)`, `B (k x n)`. Routed through the register-tiled core (axpy
+/// accumulation order, so ULP-close — not bitwise — to
+/// [`naive::gemm_tn_raw`]).
+#[inline]
+pub fn gemm_tn_raw(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    crate::tile::gemm(m, n, k, alpha, a, crate::tile::Op::T, b, crate::tile::Op::N, beta, c);
 }
 
 /// `y = alpha * A * x + beta * y` (DGEMV, no transpose). `A (m x n)`.
@@ -312,6 +429,11 @@ pub fn gemv_t(alpha: f64, a: &DMatrix, x: &[f64], beta: f64, y: &mut [f64]) {
 }
 
 /// Raw-slice DGEMV N on column-major `A (m x n)`.
+///
+/// Column-blocked by 4: each block makes one pass over `y` fusing four
+/// axpys, quartering the `y` store traffic of [`naive::gemv_n_raw`] while
+/// keeping the identical per-element accumulation order (ascending `j`
+/// with the same zero short-circuit), so results stay bitwise equal.
 #[inline]
 pub fn gemv_n_raw(m: usize, n: usize, alpha: f64, a: &[f64], x: &[f64], beta: f64, y: &mut [f64]) {
     debug_assert_eq!(a.len(), m * n);
@@ -320,7 +442,36 @@ pub fn gemv_n_raw(m: usize, n: usize, alpha: f64, a: &[f64], x: &[f64], beta: f6
     } else if beta != 1.0 {
         y.iter_mut().for_each(|v| *v *= beta);
     }
-    for j in 0..n {
+    let mut j = 0;
+    while j + 4 <= n {
+        let ax = [alpha * x[j], alpha * x[j + 1], alpha * x[j + 2], alpha * x[j + 3]];
+        if ax.iter().all(|&v| v != 0.0) {
+            let (c0, rest) = a[j * m..(j + 4) * m].split_at(m);
+            let (c1, rest) = rest.split_at(m);
+            let (c2, c3) = rest.split_at(m);
+            for (i, yi) in y.iter_mut().enumerate() {
+                let mut acc = *yi;
+                acc += ax[0] * c0[i];
+                acc += ax[1] * c1[i];
+                acc += ax[2] * c2[i];
+                acc += ax[3] * c3[i];
+                *yi = acc;
+            }
+        } else {
+            // A zero coefficient in the block: fall back to the reference's
+            // per-column skip so the op sequence stays identical.
+            for (jj, &axj) in ax.iter().enumerate() {
+                if axj != 0.0 {
+                    let col = &a[(j + jj) * m..(j + jj + 1) * m];
+                    for (yi, &aij) in y.iter_mut().zip(col) {
+                        *yi += axj * aij;
+                    }
+                }
+            }
+        }
+        j += 4;
+    }
+    while j < n {
         let axj = alpha * x[j];
         if axj != 0.0 {
             let col = &a[j * m..(j + 1) * m];
@@ -328,6 +479,7 @@ pub fn gemv_n_raw(m: usize, n: usize, alpha: f64, a: &[f64], x: &[f64], beta: f6
                 *yi += axj * aij;
             }
         }
+        j += 1;
     }
 }
 

@@ -28,6 +28,7 @@ pub mod lu;
 pub mod pcg;
 pub mod small;
 pub mod svd;
+pub mod tile;
 
 pub use batch::{batched_gemm_nn, batched_gemm_nt, batched_gemv_n, batched_gemv_t, BatchedMats};
 pub use blockdiag::BlockDiag;
@@ -35,9 +36,11 @@ pub use csr::{CsrBuilder, CsrMatrix};
 pub use dense::DMatrix;
 pub use eig::{sym_eig2, sym_eig3, SymEig};
 pub use lu::LuFactors;
-pub use pcg::{pcg_solve, DiagPrecond, LinearOperator, PcgOptions, PcgResult};
+pub use pcg::{pcg_solve, pcg_solve_ws, DiagPrecond, LinearOperator, PcgOptions, PcgResult,
+    PcgWorkspace};
 pub use small::SmallMat;
 pub use svd::{svd2, svd3, Svd};
+pub use tile::{GemmWorkspace, MicroTile, TileConfig};
 
 /// Relative tolerance used by validation helpers throughout the workspace.
 pub const VALIDATE_TOL: f64 = 1e-12;

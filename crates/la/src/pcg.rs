@@ -91,6 +91,33 @@ pub struct PcgResult {
     pub residual: f64,
 }
 
+/// Reusable iteration vectors for [`pcg_solve_ws`]. Sized on first use and
+/// then reused, so repeated solves of the same system perform no heap
+/// allocation (the solver's steady-state contract).
+#[derive(Clone, Debug, Default)]
+pub struct PcgWorkspace {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl PcgWorkspace {
+    /// Empty workspace (vectors grow on first solve).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.r.len() != n {
+            self.r.resize(n, 0.0);
+            self.z.resize(n, 0.0);
+            self.p.resize(n, 0.0);
+            self.ap.resize(n, 0.0);
+        }
+    }
+}
+
 /// Solves `A x = b` by preconditioned CG. `x` holds the initial guess on
 /// entry and the solution on exit.
 ///
@@ -104,17 +131,30 @@ pub fn pcg_solve<Op: LinearOperator>(
     x: &mut [f64],
     opts: &PcgOptions,
 ) -> PcgResult {
+    pcg_solve_ws(op, precond, b, x, opts, &mut PcgWorkspace::new())
+}
+
+/// [`pcg_solve`] with caller-provided iteration vectors (allocation-free
+/// once the workspace has warmed up).
+pub fn pcg_solve_ws<Op: LinearOperator>(
+    op: &mut Op,
+    precond: &DiagPrecond,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &PcgOptions,
+    ws: &mut PcgWorkspace,
+) -> PcgResult {
     let n = op.dim();
     assert_eq!(b.len(), n, "pcg rhs length mismatch");
     assert_eq!(x.len(), n, "pcg solution length mismatch");
 
-    let mut r = vec![0.0; n];
-    let mut z = vec![0.0; n];
-    let mut p = vec![0.0; n];
-    let mut ap = vec![0.0; n];
+    ws.ensure(n);
+    let PcgWorkspace { r, z, p, ap } = ws;
+    let (r, z, p, ap) =
+        (r.as_mut_slice(), z.as_mut_slice(), p.as_mut_slice(), ap.as_mut_slice());
 
     // r = b - A x
-    op.apply(x, &mut r);
+    op.apply(x, r);
     for (ri, &bi) in r.iter_mut().zip(b) {
         *ri = bi - *ri;
     }
@@ -122,34 +162,34 @@ pub fn pcg_solve<Op: LinearOperator>(
     let bnorm = nrm2(b).max(opts.abs_tol);
     let target = (opts.rel_tol * bnorm).max(opts.abs_tol);
 
-    let mut rnorm = nrm2(&r);
+    let mut rnorm = nrm2(r);
     if rnorm <= target {
         return PcgResult { converged: true, iterations: 0, residual: rnorm };
     }
 
-    precond.apply(&r, &mut z);
-    p.copy_from_slice(&z);
-    let mut rz = dot(&r, &z);
+    precond.apply(r, z);
+    p.copy_from_slice(z);
+    let mut rz = dot(r, z);
 
     for iter in 1..=opts.max_iter {
-        op.apply(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        op.apply(p, ap);
+        let pap = dot(p, ap);
         if pap <= 0.0 || !pap.is_finite() {
             // Operator not SPD (or breakdown): report non-convergence.
             return PcgResult { converged: false, iterations: iter, residual: rnorm };
         }
         let alpha = rz / pap;
-        axpy(alpha, &p, x);
-        axpy(-alpha, &ap, &mut r);
-        rnorm = nrm2(&r);
+        axpy(alpha, p, x);
+        axpy(-alpha, ap, r);
+        rnorm = nrm2(r);
         if rnorm <= target {
             return PcgResult { converged: true, iterations: iter, residual: rnorm };
         }
-        precond.apply(&r, &mut z);
-        let rz_new = dot(&r, &z);
+        precond.apply(r, z);
+        let rz_new = dot(r, z);
         let beta = rz_new / rz;
         rz = rz_new;
-        for (pi, &zi) in p.iter_mut().zip(&z) {
+        for (pi, &zi) in p.iter_mut().zip(z.iter()) {
             *pi = zi + beta * *pi;
         }
     }

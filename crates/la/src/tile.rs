@@ -1,0 +1,1114 @@
+//! Cache-blocked, register-tiled GEMM micro-kernels (the host-side analog
+//! of the paper's batched CUDA kernels).
+//!
+//! One generic core serves all three public transpose variants
+//! (`gemm_nn/nt/tn`): the operand layout is absorbed either by the strided
+//! loads of the *direct* path or by the packing step of the *packed* path,
+//! and the micro-kernel itself only ever sees an `MR x NR` register tile
+//! fed from contiguous panels.
+//!
+//! Blocking scheme (BLIS-style):
+//!
+//! * `MR x NR` register tile: a fixed-size `[[f64; MR]; NR]` accumulator
+//!   that LLVM keeps entirely in vector registers; `chunks_exact` iterators
+//!   over the panels eliminate bounds checks so the inner loop
+//!   autovectorizes.
+//! * `KC`: the k-dimension cache block. C is read into registers once per
+//!   KC block and written back once, instead of once per rank-1 update as
+//!   the naive axpy loop does — that store-traffic reduction is where the
+//!   speedup comes from at the paper's Table-3 shapes.
+//! * `MC`/`NC`: L2-size blocks of packed A panels (`KC x MR` slivers) and
+//!   packed B panels (`KC x NR` slivers, with `alpha` folded in at pack
+//!   time), used by the packed path for operands too large to stream.
+//!
+//! # Determinism contract
+//!
+//! Every element of C is produced by the same accumulation chain
+//! regardless of the tile configuration: `c = beta*c` first, then one
+//! update per `p` in ascending order, with C round-tripping through
+//! memory exactly (f64 store/load is lossless) between KC blocks. The
+//! results are therefore **bitwise independent of the tile
+//! configuration** (any `MR`, `NR`, `KC`, packed or direct), which lets
+//! the autotuner switch tiles freely without breaking the PR-3
+//! thread-count determinism guarantee (`tests/host_determinism.rs`).
+//!
+//! Relative to the naive reference ([`crate::dense::naive`]) there are
+//! two regimes, selected once per process by runtime CPU detection:
+//!
+//! * **Scalar baseline** (no AVX2+FMA): the update is the reference's
+//!   exact two-rounding `c += (alpha*b[p,j]) * a[i,p]`, including its
+//!   skip of terms whose folded B entry is exactly `0.0` — NN/NT results
+//!   are *bitwise identical* to the reference.
+//! * **Wide clones** (AVX2+FMA or AVX-512+FMA): the update is a single
+//!   fused multiply-add (one rounding) and the zero-skip is dropped, so
+//!   results are ULP-bounded-close to the reference rather than equal.
+//!   Still fully deterministic: the same host always produces the same
+//!   bits at any thread count and any tile configuration.
+//!
+//! The TN variant additionally trades the reference's dot-product
+//! accumulation for the same axpy order as NN/NT, so it is ULP-close to
+//! its naive counterpart in both regimes.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Operand orientation for [`gemm`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Use the operand as stored (column-major).
+    N,
+    /// Use the transpose of the stored operand.
+    T,
+}
+
+/// Register micro-tile shapes the core is monomorphized over.
+///
+/// `Mr8Nr4` is the default: 8 accumulator lanes per column x 4 columns
+/// fills about 11 of the 16 AVX2 vector registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MicroTile {
+    /// 4 x 4 register tile.
+    Mr4Nr4,
+    /// 8 x 4 register tile.
+    Mr8Nr4,
+    /// 12 x 4 register tile (fills the AVX2 register file).
+    Mr12Nr4,
+    /// 4 x 8 register tile.
+    Mr4Nr8,
+}
+
+impl MicroTile {
+    /// Rows of the register tile.
+    pub fn mr(&self) -> usize {
+        match self {
+            MicroTile::Mr4Nr4 | MicroTile::Mr4Nr8 => 4,
+            MicroTile::Mr8Nr4 => 8,
+            MicroTile::Mr12Nr4 => 12,
+        }
+    }
+
+    /// Columns of the register tile.
+    pub fn nr(&self) -> usize {
+        match self {
+            MicroTile::Mr4Nr4 | MicroTile::Mr8Nr4 | MicroTile::Mr12Nr4 => 4,
+            MicroTile::Mr4Nr8 => 8,
+        }
+    }
+}
+
+/// L2-size block of packed A rows (rounded up to a multiple of `MR`).
+pub const MC: usize = 256;
+/// Block of C columns sharing one packed B panel.
+pub const NC: usize = 4096;
+
+/// Host tile parameters: the register tile plus the `KC` cache block.
+/// These are the knobs `autotune::host_tiles` searches per FE order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Register micro-tile shape.
+    pub micro: MicroTile,
+    /// k-dimension cache block.
+    pub kc: usize,
+}
+
+impl TileConfig {
+    /// Default configuration (used until the autotuner has run).
+    pub const DEFAULT: TileConfig = TileConfig { micro: MicroTile::Mr8Nr4, kc: 256 };
+}
+
+/// The candidate grid the host-tile autotuner searches. Every candidate
+/// produces bitwise-identical NN/NT results (see the module docs), so the
+/// choice is purely a performance knob.
+pub const CANDIDATES: [TileConfig; 12] = [
+    TileConfig { micro: MicroTile::Mr4Nr4, kc: 64 },
+    TileConfig { micro: MicroTile::Mr4Nr4, kc: 128 },
+    TileConfig { micro: MicroTile::Mr4Nr4, kc: 256 },
+    TileConfig { micro: MicroTile::Mr8Nr4, kc: 64 },
+    TileConfig { micro: MicroTile::Mr8Nr4, kc: 128 },
+    TileConfig { micro: MicroTile::Mr8Nr4, kc: 256 },
+    TileConfig { micro: MicroTile::Mr12Nr4, kc: 64 },
+    TileConfig { micro: MicroTile::Mr12Nr4, kc: 128 },
+    TileConfig { micro: MicroTile::Mr12Nr4, kc: 256 },
+    TileConfig { micro: MicroTile::Mr4Nr8, kc: 64 },
+    TileConfig { micro: MicroTile::Mr4Nr8, kc: 128 },
+    TileConfig { micro: MicroTile::Mr4Nr8, kc: 256 },
+];
+
+/// Index of [`TileConfig::DEFAULT`] in [`CANDIDATES`].
+const DEFAULT_INDEX: usize = 5;
+
+static ACTIVE: AtomicUsize = AtomicUsize::new(DEFAULT_INDEX);
+
+/// Installs `CANDIDATES[index]` as the process-wide active tile
+/// configuration. Panics if the index is out of range.
+pub fn set_active_tile_index(index: usize) {
+    assert!(index < CANDIDATES.len(), "tile candidate index out of range");
+    ACTIVE.store(index, Ordering::Relaxed);
+}
+
+/// The currently active tile configuration.
+pub fn active_tile() -> TileConfig {
+    CANDIDATES[ACTIVE.load(Ordering::Relaxed)]
+}
+
+/// Reusable packing buffers for the packed path. One per thread is enough;
+/// the buffers grow to the high-water panel size and are then reused, so
+/// steady-state GEMM calls perform no heap allocation.
+#[derive(Debug, Default)]
+pub struct GemmWorkspace {
+    apanel: Vec<f64>,
+    bpanel: Vec<f64>,
+}
+
+impl GemmWorkspace {
+    /// Empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, a_len: usize, b_len: usize) {
+        if self.apanel.len() < a_len {
+            self.apanel.resize(a_len, 0.0);
+        }
+        if self.bpanel.len() < b_len {
+            self.bpanel.resize(b_len, 0.0);
+        }
+    }
+}
+
+thread_local! {
+    static TLS_WS: RefCell<GemmWorkspace> = RefCell::new(GemmWorkspace::new());
+}
+
+/// Operand sizes (in elements) up to which the direct path is used; larger
+/// operands go through the packed path so the micro-kernel reads
+/// contiguous, L2-resident panels. 2 MiB per operand: the `host_kernels`
+/// measurements show the direct path still well ahead of packed at the
+/// largest Table-3 shape (Q4 3D, 375x64x216 ~ 0.65 MiB), so packing only
+/// pays once operands genuinely exceed L2.
+const DIRECT_MAX_ELEMS: usize = 1 << 18;
+
+/// Whether [`gemm`] would take the direct (non-packing) path for this
+/// shape. Exposed so the host-tile autotuner can time exactly the path
+/// production calls will use.
+pub fn prefers_direct(m: usize, n: usize, k: usize) -> bool {
+    m * k <= DIRECT_MAX_ELEMS && k * n <= DIRECT_MAX_ELEMS
+}
+
+/// `C = alpha * op_a(A) * op_b(B) + beta * C` on column-major slices, via
+/// the active tile configuration. `(m, n, k)` are the shapes *after*
+/// applying the transpositions; `A^T B^T` is not supported (no caller
+/// needs it).
+pub fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    op_a: Op,
+    b: &[f64],
+    op_b: Op,
+    beta: f64,
+    c: &mut [f64],
+) {
+    assert!(!(op_a == Op::T && op_b == Op::T), "gemm: A^T * B^T is not supported");
+    debug_assert!(a.len() >= m * k);
+    debug_assert!(b.len() >= k * n);
+    debug_assert!(c.len() >= m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == 0.0 {
+        scale_like_naive(beta, &mut c[..m * n]);
+        return;
+    }
+    let cfg = active_tile();
+    if prefers_direct(m, n, k) {
+        gemm_tiled_direct(cfg, m, n, k, alpha, a, op_a, b, op_b, beta, c);
+    } else {
+        TLS_WS.with(|w| {
+            gemm_tiled_packed(cfg, m, n, k, alpha, a, op_a, b, op_b, beta, c, &mut w.borrow_mut());
+        });
+    }
+}
+
+/// The direct (non-packing) tiled path: register tiling + KC blocking,
+/// operands read in place. Needs no workspace, which keeps the batched
+/// per-zone calls allocation-free on every thread.
+pub fn gemm_tiled_direct(
+    cfg: TileConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    op_a: Op,
+    b: &[f64],
+    op_b: Op,
+    beta: f64,
+    c: &mut [f64],
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == 0.0 {
+        scale_like_naive(beta, &mut c[..m * n]);
+        return;
+    }
+    match (cfg.micro, op_a, op_b) {
+        (MicroTile::Mr4Nr4, Op::N, Op::N) => {
+            direct::<4, 4, false, false>(m, n, k, alpha, a, b, beta, c, cfg.kc)
+        }
+        (MicroTile::Mr4Nr4, Op::N, Op::T) => {
+            direct::<4, 4, false, true>(m, n, k, alpha, a, b, beta, c, cfg.kc)
+        }
+        (MicroTile::Mr4Nr4, Op::T, _) => {
+            direct::<4, 4, true, false>(m, n, k, alpha, a, b, beta, c, cfg.kc)
+        }
+        (MicroTile::Mr8Nr4, Op::N, Op::N) => {
+            direct::<8, 4, false, false>(m, n, k, alpha, a, b, beta, c, cfg.kc)
+        }
+        (MicroTile::Mr8Nr4, Op::N, Op::T) => {
+            direct::<8, 4, false, true>(m, n, k, alpha, a, b, beta, c, cfg.kc)
+        }
+        (MicroTile::Mr8Nr4, Op::T, _) => {
+            direct::<8, 4, true, false>(m, n, k, alpha, a, b, beta, c, cfg.kc)
+        }
+        (MicroTile::Mr12Nr4, Op::N, Op::N) => {
+            direct::<12, 4, false, false>(m, n, k, alpha, a, b, beta, c, cfg.kc)
+        }
+        (MicroTile::Mr12Nr4, Op::N, Op::T) => {
+            direct::<12, 4, false, true>(m, n, k, alpha, a, b, beta, c, cfg.kc)
+        }
+        (MicroTile::Mr12Nr4, Op::T, _) => {
+            direct::<12, 4, true, false>(m, n, k, alpha, a, b, beta, c, cfg.kc)
+        }
+        (MicroTile::Mr4Nr8, Op::N, Op::N) => {
+            direct::<4, 8, false, false>(m, n, k, alpha, a, b, beta, c, cfg.kc)
+        }
+        (MicroTile::Mr4Nr8, Op::N, Op::T) => {
+            direct::<4, 8, false, true>(m, n, k, alpha, a, b, beta, c, cfg.kc)
+        }
+        (MicroTile::Mr4Nr8, Op::T, _) => {
+            direct::<4, 8, true, false>(m, n, k, alpha, a, b, beta, c, cfg.kc)
+        }
+    }
+}
+
+/// The packed tiled path: A is repacked into `KC x MR` slivers and B into
+/// `KC x NR` slivers (with `alpha` folded in), so the micro-kernel streams
+/// contiguous panels regardless of the transpose flags.
+pub fn gemm_tiled_packed(
+    cfg: TileConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    op_a: Op,
+    b: &[f64],
+    op_b: Op,
+    beta: f64,
+    c: &mut [f64],
+    ws: &mut GemmWorkspace,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == 0.0 {
+        scale_like_naive(beta, &mut c[..m * n]);
+        return;
+    }
+    match (cfg.micro, op_a, op_b) {
+        (MicroTile::Mr4Nr4, Op::N, Op::N) => {
+            packed::<4, 4, false, false>(m, n, k, alpha, a, b, beta, c, cfg.kc, ws)
+        }
+        (MicroTile::Mr4Nr4, Op::N, Op::T) => {
+            packed::<4, 4, false, true>(m, n, k, alpha, a, b, beta, c, cfg.kc, ws)
+        }
+        (MicroTile::Mr4Nr4, Op::T, _) => {
+            packed::<4, 4, true, false>(m, n, k, alpha, a, b, beta, c, cfg.kc, ws)
+        }
+        (MicroTile::Mr8Nr4, Op::N, Op::N) => {
+            packed::<8, 4, false, false>(m, n, k, alpha, a, b, beta, c, cfg.kc, ws)
+        }
+        (MicroTile::Mr8Nr4, Op::N, Op::T) => {
+            packed::<8, 4, false, true>(m, n, k, alpha, a, b, beta, c, cfg.kc, ws)
+        }
+        (MicroTile::Mr8Nr4, Op::T, _) => {
+            packed::<8, 4, true, false>(m, n, k, alpha, a, b, beta, c, cfg.kc, ws)
+        }
+        (MicroTile::Mr12Nr4, Op::N, Op::N) => {
+            packed::<12, 4, false, false>(m, n, k, alpha, a, b, beta, c, cfg.kc, ws)
+        }
+        (MicroTile::Mr12Nr4, Op::N, Op::T) => {
+            packed::<12, 4, false, true>(m, n, k, alpha, a, b, beta, c, cfg.kc, ws)
+        }
+        (MicroTile::Mr12Nr4, Op::T, _) => {
+            packed::<12, 4, true, false>(m, n, k, alpha, a, b, beta, c, cfg.kc, ws)
+        }
+        (MicroTile::Mr4Nr8, Op::N, Op::N) => {
+            packed::<4, 8, false, false>(m, n, k, alpha, a, b, beta, c, cfg.kc, ws)
+        }
+        (MicroTile::Mr4Nr8, Op::N, Op::T) => {
+            packed::<4, 8, false, true>(m, n, k, alpha, a, b, beta, c, cfg.kc, ws)
+        }
+        (MicroTile::Mr4Nr8, Op::T, _) => {
+            packed::<4, 8, true, false>(m, n, k, alpha, a, b, beta, c, cfg.kc, ws)
+        }
+    }
+}
+
+/// The `beta`-only degenerate case, matching the naive reference's exact
+/// branch structure (`beta == 1` leaves C untouched bitwise).
+fn scale_like_naive(beta: f64, c: &mut [f64]) {
+    if beta == 0.0 {
+        c.iter_mut().for_each(|x| *x = 0.0);
+    } else if beta != 1.0 {
+        c.iter_mut().for_each(|x| *x *= beta);
+    }
+}
+
+/// Loads the C tile into the accumulator. On the first KC block `beta` is
+/// applied exactly as the naive reference does; later blocks resume from
+/// the stored partial sums.
+#[inline(always)]
+fn load_acc<const MR: usize, const NR: usize>(
+    m: usize,
+    i0: usize,
+    j0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+    beta: f64,
+    first: bool,
+    c: &[f64],
+    acc: &mut [[f64; MR]; NR],
+) {
+    for (jr, accj) in acc.iter_mut().enumerate().take(nr_eff) {
+        let cj = &c[(j0 + jr) * m + i0..(j0 + jr) * m + i0 + mr_eff];
+        for (av, &cv) in accj.iter_mut().zip(cj) {
+            *av = if !first {
+                cv
+            } else if beta == 0.0 {
+                0.0
+            } else if beta == 1.0 {
+                cv
+            } else {
+                cv * beta
+            };
+        }
+    }
+}
+
+/// Writes the valid lanes of the accumulator back to C.
+#[inline(always)]
+fn store_acc<const MR: usize, const NR: usize>(
+    m: usize,
+    i0: usize,
+    j0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+    c: &mut [f64],
+    acc: &[[f64; MR]; NR],
+) {
+    for (jr, accj) in acc.iter().enumerate().take(nr_eff) {
+        let cj = &mut c[(j0 + jr) * m + i0..(j0 + jr) * m + i0 + mr_eff];
+        cj.copy_from_slice(&accj[..mr_eff]);
+    }
+}
+
+/// One accumulator update. With `FMA` the multiply-add fuses into a single
+/// hardware instruction (single rounding) — used only inside the ISA clones
+/// whose `target_feature` includes `fma`, so it never lowers to a libm
+/// call. The non-`FMA` form is the naive reference's exact two-rounding
+/// sequence.
+#[inline(always)]
+fn fmadd<const FMA: bool>(cv: &mut f64, a: f64, b: f64) {
+    *cv = if FMA { a.mul_add(b, *cv) } else { *cv + a * b };
+}
+
+/// Rank-`kc` update of one register tile from contiguous packed panels.
+/// `ap` holds `kc` rows of `MR` A lanes, `bp` holds `kc` rows of `NR`
+/// alpha-folded B entries; the `chunks_exact` pairing removes all bounds
+/// checks from the loop body.
+#[inline(always)]
+fn micro_update_packed<const MR: usize, const NR: usize, const FMA: bool>(
+    kc: usize,
+    ap: &[f64],
+    bp: &[f64],
+    acc: &mut [[f64; MR]; NR],
+) {
+    for (arow, brow) in ap[..kc * MR].chunks_exact(MR).zip(bp[..kc * NR].chunks_exact(NR)) {
+        // Fixed-size views so the lane loops have compile-time bounds and
+        // the accumulator stays in registers.
+        let arow: &[f64; MR] = arow.try_into().expect("packed sliver");
+        let brow: &[f64; NR] = brow.try_into().expect("packed sliver");
+        // Hoisted zero short-circuit, same as the direct path: one branch
+        // per row with a branchless all-nonzero body; the per-column skip
+        // (which also skips the padded edge columns) only runs when some
+        // folded entry is exactly 0.0, matching the naive reference.
+        if FMA || brow.iter().all(|&x| x != 0.0) {
+            for (accj, &bpj) in acc.iter_mut().zip(brow) {
+                for (cv, &av) in accj.iter_mut().zip(arow) {
+                    fmadd::<FMA>(cv, av, bpj);
+                }
+            }
+        } else {
+            for (accj, &bpj) in acc.iter_mut().zip(brow) {
+                if bpj != 0.0 {
+                    for (cv, &av) in accj.iter_mut().zip(arow) {
+                        fmadd::<FMA>(cv, av, bpj);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Full `MR x NR` register tile, compile-time loop bounds throughout: the
+/// accumulator stays in vector registers for the whole KC block, so C is
+/// loaded and stored once per block instead of once per rank-1 update.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn tile_full<const MR: usize, const NR: usize, const AT: bool, const BT: bool, const FMA: bool>(
+    m: usize,
+    n: usize,
+    k: usize,
+    i0: usize,
+    j0: usize,
+    p0: usize,
+    kc: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    first: bool,
+    c: &mut [f64],
+) {
+    let mut acc = [[0.0f64; MR]; NR];
+    for (jr, accj) in acc.iter_mut().enumerate() {
+        let cj: &[f64; MR] = c[(j0 + jr) * m + i0..][..MR].try_into().expect("full tile");
+        for (av, &cv) in accj.iter_mut().zip(cj) {
+            *av = if !first {
+                cv
+            } else if beta == 0.0 {
+                0.0
+            } else if beta == 1.0 {
+                cv
+            } else {
+                cv * beta
+            };
+        }
+    }
+    for p in p0..p0 + kc {
+        let av: [f64; MR] = if AT {
+            core::array::from_fn(|ir| a[p + (i0 + ir) * k])
+        } else {
+            *<&[f64; MR]>::try_from(&a[p * m + i0..][..MR]).expect("full tile")
+        };
+        // Fold alpha into the B row up front (`1.0 * x == x` bitwise, so
+        // the alpha == 1 fast path changes nothing), then hoist the naive
+        // reference's zero short-circuit: one predictable branch per row
+        // instead of one per column keeps the common all-nonzero body
+        // branchless. Skipping only fires on folded entries that are
+        // exactly 0.0, exactly as the reference skips them.
+        let bv: [f64; NR] = core::array::from_fn(|jr| {
+            let bpj = if BT { b[(j0 + jr) + p * n] } else { b[p + (j0 + jr) * k] };
+            if alpha == 1.0 {
+                bpj
+            } else {
+                alpha * bpj
+            }
+        });
+        if FMA || bv.iter().all(|&x| x != 0.0) {
+            for (accj, &bpj) in acc.iter_mut().zip(&bv) {
+                for (cv, &avv) in accj.iter_mut().zip(&av) {
+                    fmadd::<FMA>(cv, avv, bpj);
+                }
+            }
+        } else {
+            for (accj, &bpj) in acc.iter_mut().zip(&bv) {
+                if bpj != 0.0 {
+                    for (cv, &avv) in accj.iter_mut().zip(&av) {
+                        fmadd::<FMA>(cv, avv, bpj);
+                    }
+                }
+            }
+        }
+    }
+    for (jr, accj) in acc.iter().enumerate() {
+        c[(j0 + jr) * m + i0..][..MR].copy_from_slice(accj);
+    }
+}
+
+/// Ragged-edge tile: runtime `mr_eff x nr_eff` bounds, same accumulation
+/// order as the full tile (padded A lanes are zero and padded B columns
+/// are skipped, so only the valid lanes are ever written back).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn tile_edge<const MR: usize, const NR: usize, const AT: bool, const BT: bool, const FMA: bool>(
+    m: usize,
+    n: usize,
+    k: usize,
+    i0: usize,
+    j0: usize,
+    p0: usize,
+    kc: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    first: bool,
+    c: &mut [f64],
+) {
+    let mr_eff = MR.min(m - i0);
+    let nr_eff = NR.min(n - j0);
+    let mut acc = [[0.0f64; MR]; NR];
+    load_acc(m, i0, j0, mr_eff, nr_eff, beta, first, c, &mut acc);
+    for p in p0..p0 + kc {
+        let mut av = [0.0f64; MR];
+        if AT {
+            for (ir, lane) in av.iter_mut().enumerate().take(mr_eff) {
+                *lane = a[p + (i0 + ir) * k];
+            }
+        } else {
+            for (lane, &ai) in av.iter_mut().zip(&a[p * m + i0..p * m + i0 + mr_eff]) {
+                *lane = ai;
+            }
+        }
+        for (jr, accj) in acc.iter_mut().enumerate().take(nr_eff) {
+            let bpj = alpha * if BT { b[(j0 + jr) + p * n] } else { b[p + (j0 + jr) * k] };
+            if FMA || bpj != 0.0 {
+                for (cv, &avv) in accj.iter_mut().zip(&av) {
+                    fmadd::<FMA>(cv, avv, bpj);
+                }
+            }
+        }
+    }
+    store_acc(m, i0, j0, mr_eff, nr_eff, c, &acc);
+}
+
+/// Widest SIMD level the host supports, detected once. The kernels are
+/// plain safe Rust either way — the level only changes which autovectorized
+/// clone of the (bitwise-identical) loop nest runs.
+#[cfg(target_arch = "x86_64")]
+fn simd_level() -> u8 {
+    use std::sync::OnceLock;
+    static LEVEL: OnceLock<u8> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        let fma = std::arch::is_x86_feature_detected!("fma");
+        let detected = if fma
+            && std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            2
+        } else if fma && std::arch::is_x86_feature_detected!("avx2") {
+            1
+        } else {
+            0
+        };
+        // `BLAST_TILE_SIMD=0|1|2` caps the level (diagnostics / perf
+        // comparisons); the hardware-detected level is always the ceiling.
+        match std::env::var("BLAST_TILE_SIMD") {
+            Ok(v) => v.trim().parse::<u8>().map_or(detected, |cap| cap.min(detected)),
+            Err(_) => detected,
+        }
+    })
+}
+
+/// Whether the wide (fused multiply-add) clones are in use on this host —
+/// i.e. whether tiled NN/NT results are ULP-close to the naive reference
+/// instead of bitwise identical (see the module docs).
+pub fn fma_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        simd_level() >= 1
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Dispatches `direct_body` to the widest ISA clone the host supports.
+///
+/// Rust never contracts `a * b + c` into a fused multiply-add, and
+/// vectorization is element-wise, so every clone performs the identical
+/// IEEE operation sequence — the bitwise determinism contract holds on
+/// every machine; only throughput differs.
+#[allow(clippy::too_many_arguments)]
+fn direct<const MR: usize, const NR: usize, const AT: bool, const BT: bool>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    kc_blk: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let level = simd_level();
+        if level >= 2 {
+            // SAFETY: avx512f+avx512vl presence checked at runtime above.
+            return unsafe { direct_avx512::<MR, NR, AT, BT>(m, n, k, alpha, a, b, beta, c, kc_blk) };
+        }
+        if level >= 1 {
+            // SAFETY: avx2 presence checked at runtime above.
+            return unsafe { direct_avx2::<MR, NR, AT, BT>(m, n, k, alpha, a, b, beta, c, kc_blk) };
+        }
+    }
+    direct_body::<MR, NR, AT, BT, false>(m, n, k, alpha, a, b, beta, c, kc_blk);
+}
+
+/// `direct_body` recompiled with 256-bit vectors and fused multiply-adds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn direct_avx2<const MR: usize, const NR: usize, const AT: bool, const BT: bool>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    kc_blk: usize,
+) {
+    direct_body::<MR, NR, AT, BT, true>(m, n, k, alpha, a, b, beta, c, kc_blk);
+}
+
+/// `direct_body` recompiled with 512-bit vectors and fused multiply-adds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn direct_avx512<const MR: usize, const NR: usize, const AT: bool, const BT: bool>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    kc_blk: usize,
+) {
+    direct_body::<MR, NR, AT, BT, true>(m, n, k, alpha, a, b, beta, c, kc_blk);
+}
+
+/// Direct-path driver: `KC` blocking over `k` (ascending, so the
+/// per-element accumulation order matches the reference), register tiles
+/// over `(m, n)`, operands read in place through the transpose flags.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn direct_body<const MR: usize, const NR: usize, const AT: bool, const BT: bool, const FMA: bool>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    kc_blk: usize,
+) {
+    let m_full = m - m % MR;
+    let n_full = n - n % NR;
+    let mut p0 = 0;
+    let mut first = true;
+    while p0 < k {
+        let kc = kc_blk.min(k - p0);
+        let mut j0 = 0;
+        while j0 < n_full {
+            let mut i0 = 0;
+            while i0 < m_full {
+                tile_full::<MR, NR, AT, BT, FMA>(m, n, k, i0, j0, p0, kc, alpha, a, b, beta, first, c);
+                i0 += MR;
+            }
+            if i0 < m {
+                tile_edge::<MR, NR, AT, BT, FMA>(m, n, k, i0, j0, p0, kc, alpha, a, b, beta, first, c);
+            }
+            j0 += NR;
+        }
+        if j0 < n {
+            // Ragged column strip: re-dispatch the full i-tiles to a
+            // narrower const-NR register tile so only the bottom-right
+            // corner pays the runtime-bounded edge cost.
+            let nr_eff = n - j0;
+            let mut i0 = 0;
+            while i0 < m_full {
+                jedge_full::<MR, AT, BT, FMA>(
+                    m, n, k, i0, j0, p0, kc, nr_eff, alpha, a, b, beta, first, c,
+                );
+                i0 += MR;
+            }
+            if i0 < m {
+                tile_edge::<MR, NR, AT, BT, FMA>(m, n, k, i0, j0, p0, kc, alpha, a, b, beta, first, c);
+            }
+        }
+        p0 += kc;
+        first = false;
+    }
+}
+
+/// Dispatches a full-height, ragged-width tile (`MR x nr_eff`) to the
+/// matching const-NR instantiation of [`tile_full`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn jedge_full<const MR: usize, const AT: bool, const BT: bool, const FMA: bool>(
+    m: usize,
+    n: usize,
+    k: usize,
+    i0: usize,
+    j0: usize,
+    p0: usize,
+    kc: usize,
+    nr_eff: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    first: bool,
+    c: &mut [f64],
+) {
+    match nr_eff {
+        1 => tile_full::<MR, 1, AT, BT, FMA>(m, n, k, i0, j0, p0, kc, alpha, a, b, beta, first, c),
+        2 => tile_full::<MR, 2, AT, BT, FMA>(m, n, k, i0, j0, p0, kc, alpha, a, b, beta, first, c),
+        3 => tile_full::<MR, 3, AT, BT, FMA>(m, n, k, i0, j0, p0, kc, alpha, a, b, beta, first, c),
+        4 => tile_full::<MR, 4, AT, BT, FMA>(m, n, k, i0, j0, p0, kc, alpha, a, b, beta, first, c),
+        5 => tile_full::<MR, 5, AT, BT, FMA>(m, n, k, i0, j0, p0, kc, alpha, a, b, beta, first, c),
+        6 => tile_full::<MR, 6, AT, BT, FMA>(m, n, k, i0, j0, p0, kc, alpha, a, b, beta, first, c),
+        7 => tile_full::<MR, 7, AT, BT, FMA>(m, n, k, i0, j0, p0, kc, alpha, a, b, beta, first, c),
+        _ => unreachable!("nr_eff < NR <= 8"),
+    }
+}
+
+/// Dispatches `packed_body` to the widest ISA clone the host supports
+/// (same bitwise-identity argument as [`direct`]).
+#[allow(clippy::too_many_arguments)]
+fn packed<const MR: usize, const NR: usize, const AT: bool, const BT: bool>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    kc_blk: usize,
+    ws: &mut GemmWorkspace,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let level = simd_level();
+        if level >= 2 {
+            // SAFETY: avx512f+avx512vl presence checked at runtime above.
+            return unsafe {
+                packed_avx512::<MR, NR, AT, BT>(m, n, k, alpha, a, b, beta, c, kc_blk, ws)
+            };
+        }
+        if level >= 1 {
+            // SAFETY: avx2 presence checked at runtime above.
+            return unsafe {
+                packed_avx2::<MR, NR, AT, BT>(m, n, k, alpha, a, b, beta, c, kc_blk, ws)
+            };
+        }
+    }
+    packed_body::<MR, NR, AT, BT, false>(m, n, k, alpha, a, b, beta, c, kc_blk, ws);
+}
+
+/// `packed_body` recompiled with 256-bit vectors and fused multiply-adds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn packed_avx2<const MR: usize, const NR: usize, const AT: bool, const BT: bool>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    kc_blk: usize,
+    ws: &mut GemmWorkspace,
+) {
+    packed_body::<MR, NR, AT, BT, true>(m, n, k, alpha, a, b, beta, c, kc_blk, ws);
+}
+
+/// `packed_body` recompiled with 512-bit vectors and fused multiply-adds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn packed_avx512<const MR: usize, const NR: usize, const AT: bool, const BT: bool>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    kc_blk: usize,
+    ws: &mut GemmWorkspace,
+) {
+    packed_body::<MR, NR, AT, BT, true>(m, n, k, alpha, a, b, beta, c, kc_blk, ws);
+}
+
+/// Packed-path driver (BLIS loop nest `NC -> KC -> MC -> NR -> MR`).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn packed_body<const MR: usize, const NR: usize, const AT: bool, const BT: bool, const FMA: bool>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    kc_blk: usize,
+    ws: &mut GemmWorkspace,
+) {
+    let kc_max = kc_blk.min(k);
+    // MC rounded down to a whole number of MR slivers (MC itself need not
+    // divide evenly, e.g. MR = 12).
+    let mc_blk = (MC / MR) * MR;
+    let a_len = mc_blk.min(m.div_ceil(MR) * MR).max(MR) * kc_max;
+    let b_len = NC.min(n.div_ceil(NR) * NR).max(NR) * kc_max;
+    ws.ensure(a_len, b_len);
+
+    let mut jc = 0;
+    while jc < n {
+        let nc_eff = NC.min(n - jc);
+        let n_jtiles = nc_eff.div_ceil(NR);
+        let mut p0 = 0;
+        let mut first = true;
+        while p0 < k {
+            let kc = kc_blk.min(k - p0);
+            // Pack B: `KC x NR` slivers, alpha folded, edges zero-padded
+            // (the zero short-circuit in the micro-kernel skips the pads).
+            for jt in 0..n_jtiles {
+                let j0 = jc + jt * NR;
+                let nr_eff = NR.min(jc + nc_eff - j0);
+                let dst = &mut ws.bpanel[jt * kc * NR..(jt + 1) * kc * NR];
+                for (pp, row) in dst.chunks_exact_mut(NR).enumerate() {
+                    let p = p0 + pp;
+                    for (jr, slot) in row.iter_mut().enumerate() {
+                        *slot = if jr < nr_eff {
+                            alpha * if BT { b[(j0 + jr) + p * n] } else { b[p + (j0 + jr) * k] }
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+            let mut ic = 0;
+            while ic < m {
+                let mc_eff = mc_blk.min(m - ic);
+                let n_itiles = mc_eff.div_ceil(MR);
+                // Pack A: `KC x MR` slivers, edges zero-padded.
+                for it in 0..n_itiles {
+                    let i0 = ic + it * MR;
+                    let mr_eff = MR.min(ic + mc_eff - i0);
+                    let dst = &mut ws.apanel[it * kc * MR..(it + 1) * kc * MR];
+                    for (pp, row) in dst.chunks_exact_mut(MR).enumerate() {
+                        let p = p0 + pp;
+                        for (ir, slot) in row.iter_mut().enumerate() {
+                            *slot = if ir < mr_eff {
+                                if AT {
+                                    a[p + (i0 + ir) * k]
+                                } else {
+                                    a[(i0 + ir) + p * m]
+                                }
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                }
+                for jt in 0..n_jtiles {
+                    let j0 = jc + jt * NR;
+                    let nr_eff = NR.min(jc + nc_eff - j0);
+                    let bp = &ws.bpanel[jt * kc * NR..(jt + 1) * kc * NR];
+                    for it in 0..n_itiles {
+                        let i0 = ic + it * MR;
+                        let mr_eff = MR.min(ic + mc_eff - i0);
+                        let ap = &ws.apanel[it * kc * MR..(it + 1) * kc * MR];
+                        let mut acc = [[0.0f64; MR]; NR];
+                        if mr_eff == MR && nr_eff == NR {
+                            // Full tile: compile-time bounds keep the
+                            // accumulator in registers across the panel.
+                            for (jr, accj) in acc.iter_mut().enumerate() {
+                                let cj: &[f64; MR] = c[(j0 + jr) * m + i0..][..MR]
+                                    .try_into()
+                                    .expect("full tile");
+                                for (av, &cv) in accj.iter_mut().zip(cj) {
+                                    *av = if !first {
+                                        cv
+                                    } else if beta == 0.0 {
+                                        0.0
+                                    } else if beta == 1.0 {
+                                        cv
+                                    } else {
+                                        cv * beta
+                                    };
+                                }
+                            }
+                            micro_update_packed::<MR, NR, FMA>(kc, ap, bp, &mut acc);
+                            for (jr, accj) in acc.iter().enumerate() {
+                                c[(j0 + jr) * m + i0..][..MR].copy_from_slice(accj);
+                            }
+                        } else {
+                            load_acc(m, i0, j0, mr_eff, nr_eff, beta, first, c, &mut acc);
+                            micro_update_packed::<MR, NR, FMA>(kc, ap, bp, &mut acc);
+                            store_acc(m, i0, j0, mr_eff, nr_eff, c, &acc);
+                        }
+                    }
+                }
+                ic += mc_blk;
+            }
+            p0 += kc;
+            first = false;
+        }
+        jc += NC;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::naive;
+
+    fn fill(len: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                // Mix in exact zeros so the zero-skip path is exercised.
+                if s.is_multiple_of(11) {
+                    0.0
+                } else {
+                    (s % 1000) as f64 / 500.0 - 1.0
+                }
+            })
+            .collect()
+    }
+
+    /// The contract from the module docs: every config and both paths are
+    /// bitwise identical to each other; vs the naive reference the results
+    /// are bitwise equal on non-FMA hosts and ULP-bounded otherwise.
+    fn check_bitwise_nn_nt(m: usize, n: usize, k: usize, alpha: f64, beta: f64) {
+        let a = fill(m * k, (m * 31 + k) as u64);
+        let c0 = fill(m * n, (n * 7 + m) as u64);
+        for (op_b, blen) in [(Op::N, k * n), (Op::T, n * k)] {
+            let b = fill(blen, (k * 13 + n) as u64);
+            let mut c_ref = c0.clone();
+            match op_b {
+                Op::N => naive::gemm_nn_raw(m, n, k, alpha, &a, &b, beta, &mut c_ref),
+                Op::T => naive::gemm_nt_raw(m, n, k, alpha, &a, &b, beta, &mut c_ref),
+            }
+            let mut first: Option<Vec<f64>> = None;
+            for cfg in CANDIDATES {
+                let mut c = c0.clone();
+                gemm_tiled_direct(cfg, m, n, k, alpha, &a, Op::N, &b, op_b, beta, &mut c);
+                match &first {
+                    None => {
+                        if fma_active() {
+                            for (x, y) in c.iter().zip(&c_ref) {
+                                let scale = x.abs().max(y.abs()).max(1.0);
+                                assert!(
+                                    (x - y).abs() <= 1e-12 * scale,
+                                    "{x} vs naive {y} at {m}x{n}x{k} {op_b:?}"
+                                );
+                            }
+                        } else {
+                            assert!(
+                                c.iter().zip(&c_ref).all(|(x, y)| x.to_bits() == y.to_bits()),
+                                "non-FMA host must match naive bitwise at {m}x{n}x{k} {op_b:?}"
+                            );
+                        }
+                        first = Some(c);
+                    }
+                    Some(c1) => assert!(
+                        c.iter().zip(c1).all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "direct {cfg:?} {op_b:?} config-dependent at {m}x{n}x{k} a={alpha} b={beta}"
+                    ),
+                }
+                let mut c = c0.clone();
+                let mut ws = GemmWorkspace::new();
+                gemm_tiled_packed(cfg, m, n, k, alpha, &a, Op::N, &b, op_b, beta, &mut c, &mut ws);
+                let c1 = first.as_ref().unwrap();
+                assert!(
+                    c.iter().zip(c1).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "packed {cfg:?} {op_b:?} config-dependent at {m}x{n}x{k} a={alpha} b={beta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bitwise_equal_to_naive_on_table3_shapes() {
+        // Per-zone F_z = A_z B^T shapes for Q1..Q4 (3D), plus ragged edges.
+        for (m, n, k) in [(24, 1, 8), (81, 8, 64), (192, 27, 125), (375, 64, 216)] {
+            check_bitwise_nn_nt(m, n, k, 1.0, 0.0);
+        }
+        for (m, n, k) in [(1, 1, 1), (5, 3, 7), (17, 9, 33), (13, 1, 2)] {
+            for (alpha, beta) in [(1.0, 0.0), (2.5, 1.0), (-0.5, 3.0), (0.0, 2.0), (1.0, 1.0)] {
+                check_bitwise_nn_nt(m, n, k, alpha, beta);
+            }
+        }
+    }
+
+    #[test]
+    fn tn_matches_naive_within_ulps() {
+        for (m, n, k) in [(5, 3, 7), (27, 81, 64), (33, 9, 17)] {
+            let a = fill(k * m, 3);
+            let b = fill(k * n, 4);
+            let c0 = fill(m * n, 5);
+            let mut c_ref = c0.clone();
+            naive::gemm_tn_raw(m, n, k, 1.5, &a, &b, 0.5, &mut c_ref);
+            for cfg in CANDIDATES {
+                let mut c = c0.clone();
+                gemm_tiled_direct(cfg, m, n, k, 1.5, &a, Op::T, &b, Op::N, 0.5, &mut c);
+                for (x, y) in c.iter().zip(&c_ref) {
+                    let scale = y.abs().max(1.0);
+                    assert!((x - y).abs() <= 1e-12 * scale, "{x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_and_alpha_zero_match_naive_beta_semantics() {
+        let c0 = fill(12, 9);
+        for beta in [0.0, 1.0, 2.0] {
+            let mut c_ref = c0.clone();
+            naive::gemm_nn_raw(3, 4, 0, 1.0, &[], &[], beta, &mut c_ref);
+            let mut c = c0.clone();
+            gemm(3, 4, 0, 1.0, &[], Op::N, &[], Op::N, beta, &mut c);
+            assert_eq!(c, c_ref);
+            let a = fill(6, 1);
+            let b = fill(8, 2);
+            let mut c_ref = c0.clone();
+            naive::gemm_nn_raw(3, 4, 2, 0.0, &a, &b, beta, &mut c_ref);
+            let mut c = c0.clone();
+            gemm(3, 4, 2, 0.0, &a, Op::N, &b, Op::N, beta, &mut c);
+            assert_eq!(c, c_ref);
+        }
+    }
+
+    #[test]
+    fn active_tile_roundtrip() {
+        assert_eq!(active_tile(), TileConfig::DEFAULT);
+        set_active_tile_index(0);
+        assert_eq!(active_tile(), CANDIDATES[0]);
+        set_active_tile_index(DEFAULT_INDEX);
+        assert_eq!(active_tile(), TileConfig::DEFAULT);
+    }
+}

@@ -1,6 +1,7 @@
 //! Property-based tests for the linear-algebra kernels.
 
-use blast_la::dense::{gemm_nn, gemm_nt, gemv_n, gemv_t, DMatrix};
+use blast_la::dense::{gemm_nn, gemm_nt, gemv_n, gemv_t, naive, DMatrix};
+use blast_la::tile::{self, Op};
 use blast_la::{
     approx_eq, batched_gemm_nn, pcg_solve, sym_eig2, sym_eig3, svd2, svd3, BatchedMats,
     CsrBuilder, DiagPrecond, LuFactors, PcgOptions, SmallMat,
@@ -258,6 +259,97 @@ proptest! {
     }
 
     #[test]
+    fn tiled_gemm_matches_naive_and_is_config_invariant(
+        dims in (1usize..26, 1usize..26, 1usize..26),
+        coeff in (0usize..3, 0usize..3, 0usize..2),
+        data_a in proptest::collection::vec(finite_small(), 26 * 26),
+        data_b in proptest::collection::vec(finite_small(), 26 * 26),
+        data_c in proptest::collection::vec(finite_small(), 26 * 26),
+    ) {
+        let (m, n, k) = dims;
+        let alpha = [1.0, 0.0, 0.37][coeff.0];
+        let beta = [0.0, 1.0, -0.625][coeff.1];
+        let op_b = [Op::N, Op::T][coeff.2];
+        // The N and T layouts of B hold the same k*n element count, so one
+        // random buffer serves both operand shapes.
+        let a = &data_a[..m * k];
+        let b = &data_b[..n * k];
+
+        let mut c_naive = data_c[..m * n].to_vec();
+        match op_b {
+            Op::N => naive::gemm_nn_raw(m, n, k, alpha, a, b, beta, &mut c_naive),
+            Op::T => naive::gemm_nt_raw(m, n, k, alpha, a, b, beta, &mut c_naive),
+        }
+
+        // One candidate per micro-tile family: the tiled result must be
+        // bitwise invariant across every blocking configuration, packed or
+        // direct (each element's accumulation chain is identical).
+        let mut ws = tile::GemmWorkspace::new();
+        let mut c_ref: Option<Vec<f64>> = None;
+        for &ci in &[0usize, 5, 8, 11] {
+            let cfg = tile::CANDIDATES[ci];
+            let mut c_direct = data_c[..m * n].to_vec();
+            tile::gemm_tiled_direct(cfg, m, n, k, alpha, a, Op::N, b, op_b, beta, &mut c_direct);
+            let mut c_packed = data_c[..m * n].to_vec();
+            tile::gemm_tiled_packed(
+                cfg, m, n, k, alpha, a, Op::N, b, op_b, beta, &mut c_packed, &mut ws,
+            );
+            for (d, p) in c_direct.iter().zip(&c_packed) {
+                prop_assert!(d.to_bits() == p.to_bits(), "packed diverged from direct");
+            }
+            match &c_ref {
+                None => c_ref = Some(c_direct),
+                Some(r) => {
+                    for (d, r) in c_direct.iter().zip(r) {
+                        prop_assert!(
+                            d.to_bits() == r.to_bits(),
+                            "tile config {ci} changed the result"
+                        );
+                    }
+                }
+            }
+        }
+
+        // vs naive: bitwise on non-FMA hosts; ULP-bounded where the wide
+        // clones contract multiply-add (see tile.rs determinism contract).
+        let c_ref = c_ref.expect("at least one config ran");
+        if tile::fma_active() {
+            let tol = 1e-11 * (k as f64 + 1.0) * 2500.0;
+            for (t, nv) in c_ref.iter().zip(&c_naive) {
+                prop_assert!((t - nv).abs() <= tol, "tiled {t} vs naive {nv}");
+            }
+        } else {
+            for (t, nv) in c_ref.iter().zip(&c_naive) {
+                prop_assert!(t.to_bits() == nv.to_bits(), "tiled {t} vs naive {nv}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_gemv_bitwise_matches_naive(
+        dims in (1usize..41, 1usize..41),
+        coeff in (0usize..3, 0usize..3),
+        data_a in proptest::collection::vec(finite_small(), 41 * 41),
+        data_x in proptest::collection::vec(finite_small(), 41),
+        data_y in proptest::collection::vec(finite_small(), 41),
+    ) {
+        let (m, n) = dims;
+        let alpha = [1.0, 0.0, 0.37][coeff.0];
+        let beta = [0.0, 1.0, -0.625][coeff.1];
+        let a = &data_a[..m * n];
+        let x = &data_x[..n];
+        let mut y_naive = data_y[..m].to_vec();
+        naive::gemv_n_raw(m, n, alpha, a, x, beta, &mut y_naive);
+        let mut y_blocked = data_y[..m].to_vec();
+        blast_la::dense::gemv_n_raw(m, n, alpha, a, x, beta, &mut y_blocked);
+        // The blocked GEMV preserves the naive accumulation order exactly,
+        // so equality is bitwise on every host.
+        for (u, v) in y_blocked.iter().zip(&y_naive) {
+            prop_assert!(u.to_bits() == v.to_bits(), "gemv {u} vs {v}");
+        }
+    }
+
+    #[test]
     fn small_inverse_roundtrip_2(a in mat2()) {
         prop_assume!(a.det().abs() > 1e-3);
         let p = a * a.inverse();
@@ -279,6 +371,41 @@ proptest! {
             for j in 0..3 {
                 let id = if i == j { 1.0 } else { 0.0 };
                 prop_assert!((p[(i,j)] - id).abs() <= 1e-6);
+            }
+        }
+    }
+}
+
+/// Table-3 operand shapes (the `F_z`-style NT products, Q1-Q4): the tiled
+/// path must agree with naive on exactly the shapes the solver runs,
+/// including the ragged register-tile edges they produce.
+#[test]
+fn tiled_gemm_matches_naive_on_table3_shapes() {
+    let shapes =
+        [(24usize, 1usize, 8usize), (50, 16, 36), (81, 8, 64), (192, 27, 125), (375, 64, 216)];
+    let mut ws = tile::GemmWorkspace::new();
+    for &(m, n, k) in &shapes {
+        let a: Vec<f64> =
+            (0..m * k).map(|i| ((i * 2654435761 % 1000) as f64 - 500.0) * 1e-3).collect();
+        let b: Vec<f64> =
+            (0..n * k).map(|i| ((i * 40503 % 1000) as f64 - 500.0) * 1e-3).collect();
+        let mut c_naive = vec![0.0; m * n];
+        naive::gemm_nt_raw(m, n, k, 1.0, &a, &b, 0.0, &mut c_naive);
+        let tol = 1e-12 * (k as f64 + 1.0);
+        for &cfg in &tile::CANDIDATES {
+            let mut c_direct = vec![0.0; m * n];
+            tile::gemm_tiled_direct(cfg, m, n, k, 1.0, &a, Op::N, &b, Op::T, 0.0, &mut c_direct);
+            let mut c_packed = vec![0.0; m * n];
+            tile::gemm_tiled_packed(
+                cfg, m, n, k, 1.0, &a, Op::N, &b, Op::T, 0.0, &mut c_packed, &mut ws,
+            );
+            for ((d, p), nv) in c_direct.iter().zip(&c_packed).zip(&c_naive) {
+                assert_eq!(d.to_bits(), p.to_bits(), "packed vs direct at {m}x{n}x{k}");
+                if tile::fma_active() {
+                    assert!((d - nv).abs() <= tol, "{d} vs naive {nv} at {m}x{n}x{k}");
+                } else {
+                    assert_eq!(d.to_bits(), nv.to_bits(), "{d} vs naive {nv} at {m}x{n}x{k}");
+                }
             }
         }
     }

@@ -57,6 +57,12 @@ impl PowerTrace {
         &self.segments
     }
 
+    /// Pre-grows the segment storage so the next `additional` pushes do
+    /// not reallocate (lets callers keep a measurement window heap-quiet).
+    pub fn reserve(&mut self, additional: usize) {
+        self.segments.reserve(additional);
+    }
+
     /// End time of the last segment (0 for an empty trace).
     pub fn end_time(&self) -> f64 {
         self.segments.last().map_or(0.0, |s| s.start + s.duration)

@@ -130,14 +130,27 @@ where
         return Vec::new();
     }
     let nblocks = len.min(MAX_BLOCKS);
-    let blocks = split_grid(producer, len, nblocks);
     let threads = if in_pool() { 1 } else { current_num_threads().min(nblocks) };
     if threads <= 1 {
         // Same grid, same in-block order, same combination order as the
         // parallel path — the serial run is the determinism reference.
-        return blocks.into_iter().map(|p| consumer.consume(p.into_iter())).collect();
+        // Blocks are consumed as they are split off rather than collected
+        // first, so a unit-result `for_each` performs zero heap
+        // allocations (`Vec<()>` never allocates either).
+        let mut out = Vec::with_capacity(if std::mem::size_of::<R>() == 0 { 0 } else { nblocks });
+        let mut rest = producer;
+        let mut taken = 0;
+        for b in 1..nblocks {
+            let end = b * len / nblocks;
+            let (left, right) = rest.split_at(end - taken);
+            taken = end;
+            rest = right;
+            out.push(consumer.consume(left.into_iter()));
+        }
+        out.push(consumer.consume(rest.into_iter()));
+        return out;
     }
-    parallel_drive(blocks, &consumer, threads)
+    parallel_drive(split_grid(producer, len, nblocks), &consumer, threads)
 }
 
 /// Cuts the producer into `nblocks` contiguous blocks of near-equal
