@@ -1,0 +1,93 @@
+//! CI `trace-smoke` gate: run an instrumented Q2 triple-point on the
+//! CPU-GPU path, export the unified telemetry as Chrome trace-event JSON,
+//! and hold the observability contract — non-empty trace, structurally
+//! valid JSON with parent/child containment, non-negative monotonic span
+//! ends per lane, and every span inside its lane's power-trace extent.
+//!
+//! Writes `TRACE_smoke.json` (uploaded as a CI artifact, loadable in
+//! Perfetto) and exits non-zero if any check fails.
+//!
+//! ```text
+//! cargo run -p blast-bench --release --bin trace_smoke [out.json]
+//! ```
+
+use blast_bench::experiments::scenarios::triple_point;
+use blast_core::{ExecMode, RunConfig};
+use blast_telemetry::{chrome, Track};
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "TRACE_smoke.json".into());
+    let mut failures = 0usize;
+    let mut check = |ok: bool, what: &str| {
+        println!("  [{}] {what}", if ok { "ok" } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    println!("trace-smoke: instrumented Q2 triple point (GPU path)");
+    let (mut h, mut s) =
+        triple_point(2, 2, ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 });
+    let stats = h.run(&mut s, RunConfig::to(0.5).max_steps(12)).expect("instrumented run");
+    println!("  ran {} steps (+{} retries) to t = {:.4}", stats.steps, stats.retries, s.t);
+
+    let exec = h.executor();
+    let tel = exec.telemetry().clone();
+    let host_power = exec.host.power_trace();
+    let gpu_power = exec.gpu.as_ref().expect("gpu").power_trace();
+    let json = chrome::chrome_trace_with_power(
+        &tel,
+        &[(Track::Host, &host_power), (Track::Gpu, &gpu_power)],
+    );
+
+    // Structural round trip (valid JSON, ph/ts/dur contract, parent/child
+    // containment per lane).
+    match chrome::validate_chrome_trace(&json) {
+        Ok(summary) => {
+            check(summary.spans > 0, "trace carries spans");
+            check(summary.counter_samples > 0, "power lanes sampled");
+            println!(
+                "  {} spans, {} instants, {} power samples, ends {:.4} s",
+                summary.spans, summary.instants, summary.counter_samples, summary.max_end_s
+            );
+        }
+        Err(e) => check(false, &format!("structural validation: {e}")),
+    }
+
+    // Span-level contract on the recorder's own records.
+    let spans = tel.spans();
+    check(!spans.is_empty(), "recorder is non-empty");
+    let eps = 1e-9;
+    check(spans.iter().all(|sp| sp.start_s >= -eps && sp.dur_s >= 0.0), "timestamps non-negative");
+    // Completed spans are recorded in end order: per lane, span ends are
+    // monotonically non-decreasing.
+    let monotonic = Track::all().iter().all(|t| {
+        spans
+            .iter()
+            .filter(|sp| sp.track == *t)
+            .map(|sp| sp.start_s + sp.dur_s)
+            .try_fold(0.0_f64, |prev, end| (end + eps >= prev).then_some(end.max(prev)))
+            .is_some()
+    });
+    check(monotonic, "span ends monotonic per lane");
+    let host_end = host_power.end_time();
+    let gpu_end = gpu_power.end_time();
+    let contained = spans.iter().all(|sp| {
+        let end = sp.start_s + sp.dur_s;
+        match sp.track {
+            Track::Gpu => end <= gpu_end + eps,
+            _ => end <= host_end + eps,
+        }
+    });
+    check(contained, "spans inside power-trace extent");
+    check(tel.dropped_spans() == 0, "no spans dropped");
+
+    std::fs::write(&out_path, &json).expect("write trace artifact");
+    println!("  wrote {out_path} ({} bytes)", json.len());
+
+    if failures > 0 {
+        eprintln!("trace-smoke: {failures} check(s) failed");
+        std::process::exit(1);
+    }
+    println!("trace-smoke: all checks passed");
+}

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use blast_core::{ExecMode, Executor, Hydro, HydroConfig, Sedov};
+use blast_core::{ExecMode, Executor, Hydro, Sedov};
 use blast_kernels::k3::CoefGradKernel;
 use blast_kernels::k56::BatchedDimGemm;
 use blast_kernels::k7::FzKernel;
@@ -97,7 +97,7 @@ pub fn execution_modes() -> Vec<(&'static str, f64)> {
         let gpu = matches!(mode, ExecMode::Gpu { .. } | ExecMode::Hybrid { .. })
             .then(|| Arc::new(GpuDevice::new(GpuSpec::k20())));
         let exec = Executor::new(mode, CpuSpec::e5_2670(), gpu);
-        let mut h = Hydro::<2>::new(&problem, [16, 16], HydroConfig::default(), exec)
+        let mut h = Hydro::<2>::builder(&problem, [16, 16]).executor(exec).build()
             .expect("fits");
         let mut s = h.initial_state();
         run_steps(&mut h, &mut s, 4)
@@ -123,7 +123,7 @@ pub fn hyperq_sweep() -> Vec<(u32, f64, f64)> {
                 CpuSpec::e5_2670(),
                 Some(gpu.clone()),
             );
-            let mut h = Hydro::<3>::new(&problem, [6; 3], HydroConfig::default(), exec)
+            let mut h = Hydro::<3>::builder(&problem, [6; 3]).executor(exec).build()
                 .expect("fits");
             let mut s = h.initial_state();
             let wall = run_steps(&mut h, &mut s, 2);

@@ -6,13 +6,13 @@
 //! ~65% of the (much smaller) total while the replacement kernels take 25%.
 
 use blast_core::ExecMode;
+use blast_telemetry::{table, PhaseTotal, Track};
 
 use crate::experiments::scenarios::{run_steps, sedov3d};
-use crate::table;
 
 /// `(kernel, share)` lists for base and optimized runs plus the total GPU
 /// times.
-pub fn measure() -> (Vec<(String, f64)>, Vec<(String, f64)>, f64, f64) {
+pub fn measure() -> (Vec<(&'static str, f64)>, Vec<(&'static str, f64)>, f64, f64) {
     let shares = |base: bool| {
         let (mut h, mut s) =
             sedov3d(2, 12, ExecMode::Gpu { base, gpu_pcg: true, mpi_queues: 1 });
@@ -20,10 +20,8 @@ pub fn measure() -> (Vec<(String, f64)>, Vec<(String, f64)>, f64, f64) {
         let dev = h.executor().gpu.as_ref().expect("gpu").clone();
         let summary = dev.kernel_summary();
         let total: f64 = summary.iter().map(|(_, t, _)| t).sum();
-        let shares: Vec<(String, f64)> = summary
-            .into_iter()
-            .map(|(name, t, _)| (name, t / total))
-            .collect();
+        let shares: Vec<(&'static str, f64)> =
+            summary.into_iter().map(|(name, t, _)| (name, t / total)).collect();
         (shares, total)
     };
     let (base_shares, base_total) = shares(true);
@@ -31,27 +29,31 @@ pub fn measure() -> (Vec<(String, f64)>, Vec<(String, f64)>, f64, f64) {
     (base_shares, opt_shares, base_total, opt_total)
 }
 
+/// Per-kernel time table for one run flavor, straight from the device's
+/// launch ledger, rendered by the shared telemetry table exporter.
+fn kernel_table(title: &str, base: bool) -> String {
+    let (mut h, mut s) = sedov3d(2, 12, ExecMode::Gpu { base, gpu_pcg: true, mpi_queues: 1 });
+    run_steps(&mut h, &mut s, 2);
+    let dev = h.executor().gpu.as_ref().expect("gpu").clone();
+    let totals: Vec<PhaseTotal> = dev
+        .kernel_summary()
+        .into_iter()
+        .map(|(name, seconds, calls)| PhaseTotal {
+            track: Track::Gpu,
+            name,
+            seconds,
+            calls: calls as u64,
+        })
+        .collect();
+    table::render_totals(title, &totals)
+}
+
 /// Regenerates Fig. 6.
 pub fn report() -> String {
-    let (base, opt, t_base, t_opt) = measure();
-    let fmt = |shares: &[(String, f64)]| -> Vec<Vec<String>> {
-        shares
-            .iter()
-            .take(8)
-            .map(|(n, s)| vec![n.clone(), table::pct(*s)])
-            .collect()
-    };
-    let mut out = table::render(
-        "Fig. 6 (left) — base implementation kernel shares",
-        &["kernel", "share"],
-        &fmt(&base),
-    );
+    let (_, _, t_base, t_opt) = measure();
+    let mut out = kernel_table("Fig. 6 (left) — base implementation kernel times", true);
     out.push('\n');
-    out.push_str(&table::render(
-        "Fig. 6 (right) — redesigned/optimized kernel shares",
-        &["kernel", "share"],
-        &fmt(&opt),
-    ));
+    out.push_str(&kernel_table("Fig. 6 (right) — redesigned/optimized kernel times", false));
     out.push_str(&format!(
         "\nTotal GPU time: base {:.3} ms -> optimized {:.3} ms ({:.0}% less; paper: ~60% less \
          time to solution). The SpMV's absolute time is unchanged; its share grows because \
@@ -69,8 +71,8 @@ mod tests {
     #[cfg_attr(debug_assertions, ignore = "hydro-scale experiment: run with --release")]
     fn breakdown_shifts_from_monolith_to_spmv() {
         let (base, opt, t_base, t_opt) = super::measure();
-        let share = |list: &[(String, f64)], name: &str| {
-            list.iter().find(|(n, _)| n == name).map(|(_, s)| *s).unwrap_or(0.0)
+        let share = |list: &[(&'static str, f64)], name: &str| {
+            list.iter().find(|(n, _)| *n == name).map(|(_, s)| *s).unwrap_or(0.0)
         };
         // Base: the monolithic kernel is the single largest consumer.
         let mono = share(&base, "kernel_loop_quadrature_point");

@@ -54,7 +54,7 @@ pub fn scenario_power_on(
         let mut e = 0.0;
         let mut t = 0.0;
         for ev in dev.events() {
-            if cf_kernels.contains(&ev.name.as_str()) {
+            if cf_kernels.contains(&ev.name) {
                 e += ev.stats.power_w * ev.stats.time_s;
                 t += ev.stats.time_s;
             }
@@ -80,7 +80,7 @@ fn pcg_power() -> f64 {
     let mut e = 0.0;
     let mut t = 0.0;
     for ev in dev.events() {
-        if solver.contains(&ev.name.as_str()) {
+        if solver.contains(&ev.name) {
             e += ev.stats.power_w * ev.stats.time_s;
             t += ev.stats.time_s;
         }

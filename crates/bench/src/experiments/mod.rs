@@ -27,6 +27,7 @@ pub mod tab5_autobalance;
 pub mod tab6_validation;
 pub mod resilience_overhead;
 pub mod tab7_greenup;
+pub mod telemetry_profile;
 
 /// Names of all registered experiments (for the `paper_report` binary and
 /// registry tests).
@@ -55,6 +56,7 @@ pub fn all_experiment_names() -> Vec<&'static str> {
         "resilience_overhead",
         "host_speedup",
         "host_kernels",
+        "telemetry_profile",
     ]
 }
 
@@ -84,6 +86,7 @@ pub fn run_by_name(name: &str) -> Option<String> {
         "resilience_overhead" => resilience_overhead::report(),
         "host_speedup" => host_speedup::report(),
         "host_kernels" => host_kernels::report(),
+        "telemetry_profile" => telemetry_profile::report(),
         _ => return None,
     })
 }

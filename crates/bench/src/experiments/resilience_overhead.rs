@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use blast_core::{
-    CheckpointPolicy, CheckpointStore, ExecMode, Executor, Hydro, HydroConfig, Sedov,
+    CheckpointPolicy, CheckpointStore, ExecMode, Executor, Hydro, RunConfig, Sedov,
 };
 use cluster_sim::comm::ClusterFaultPlan;
 use cluster_sim::{campaign_overhead_pct, run_chaos_campaign, CampaignConfig, RankOutcome};
@@ -66,11 +66,16 @@ fn single_node_row() -> OverheadRow {
     );
     let problem = Sedov::default();
     let mut hydro =
-        Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), exec).expect("setup");
+        Hydro::<2>::builder(&problem, [4, 4]).executor(exec).build().expect("setup");
     let mut state = hydro.initial_state();
     let mut store = CheckpointStore::in_memory();
     let stats = hydro
-        .try_run_to_checkpointed(&mut state, 0.05, 60, &CheckpointPolicy::EverySteps(3), &mut store)
+        .run(
+            &mut state,
+            RunConfig::to(0.05)
+                .max_steps(60)
+                .checkpointed(CheckpointPolicy::EverySteps(3), &mut store),
+        )
         .expect("transient faults are absorbed");
     let report = hydro.executor().resilience_report(stats.retries);
     let energy = run_energy(hydro.executor());

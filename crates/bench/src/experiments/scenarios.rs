@@ -36,7 +36,10 @@ pub fn sedov3d_on(
     let exec = Executor::new(mode, CpuSpec::e5_2670(), gpu);
     let problem = Sedov::default();
     let cfg = HydroConfig { order, ..Default::default() };
-    let hydro = Hydro::<3>::new(&problem, [zones_axis; 3], cfg, exec)
+    let hydro = Hydro::<3>::builder(&problem, [zones_axis; 3])
+        .config(cfg)
+        .executor(exec)
+        .build()
         .expect("scenario fits the device");
     let state = hydro.initial_state();
     (hydro, state)
@@ -53,7 +56,10 @@ pub fn sedov2d(order: usize, zones_axis: usize, mode: ExecMode) -> (Hydro<2>, Hy
     let exec = Executor::new(mode, CpuSpec::e5_2670(), gpu);
     let problem = Sedov::default();
     let cfg = HydroConfig { order, ..Default::default() };
-    let hydro = Hydro::<2>::new(&problem, [zones_axis; 2], cfg, exec)
+    let hydro = Hydro::<2>::builder(&problem, [zones_axis; 2])
+        .config(cfg)
+        .executor(exec)
+        .build()
         .expect("scenario fits the device");
     let state = hydro.initial_state();
     (hydro, state)
@@ -85,7 +91,10 @@ pub fn triple_point_with_cfl(
     let exec = Executor::new(mode, CpuSpec::e5_2670(), gpu);
     let problem = TriplePoint::default();
     let cfg = HydroConfig { order, cfl, ..Default::default() };
-    let hydro = Hydro::<2>::new(&problem, [7 * base_zones, 3 * base_zones], cfg, exec)
+    let hydro = Hydro::<2>::builder(&problem, [7 * base_zones, 3 * base_zones])
+        .config(cfg)
+        .executor(exec)
+        .build()
         .expect("scenario fits the device");
     let state = hydro.initial_state();
     (hydro, state)

@@ -30,10 +30,10 @@ pub fn measure() -> Vec<(String, f64, f64)> {
 }
 
 fn share<const D: usize>(hydro: &blast_core::Hydro<D>, phase: &str) -> f64 {
-    let prof = hydro.profile();
+    let prof = hydro.phase_profile();
     let total: f64 = prof.iter().map(|(_, t, _)| t).sum();
     prof.iter()
-        .find(|(n, _, _)| n == phase)
+        .find(|(n, _, _)| *n == phase)
         .map(|(_, t, _)| t / total)
         .unwrap_or(0.0)
 }

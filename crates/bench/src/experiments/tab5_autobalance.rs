@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use blast_core::{ExecMode, Executor, Hydro, HydroConfig, Sedov, TriplePoint};
+use blast_core::{ExecMode, Executor, Hydro, Sedov, TriplePoint};
 use gpu_sim::{CpuSpec, GpuDevice, GpuSpec};
 
 use crate::table;
@@ -21,13 +21,10 @@ pub fn measure() -> Vec<(String, f64, usize)> {
     let mut out = Vec::new();
 
     let sedov = Sedov::default();
-    let mut h = Hydro::<2>::new(
-        &sedov,
-        [16, 16],
-        HydroConfig::default(),
-        westmere_fermi_exec(),
-    )
-    .expect("fits");
+    let mut h = Hydro::<2>::builder(&sedov, [16, 16])
+        .executor(westmere_fermi_exec())
+        .build()
+        .expect("fits");
     let mut s = h.initial_state();
     let mut dt = h.suggest_dt(&s);
     for _ in 0..40 {
@@ -45,13 +42,10 @@ pub fn measure() -> Vec<(String, f64, usize)> {
     ));
 
     let tp = TriplePoint::default();
-    let mut h = Hydro::<2>::new(
-        &tp,
-        [21, 9],
-        HydroConfig::default(),
-        westmere_fermi_exec(),
-    )
-    .expect("fits");
+    let mut h = Hydro::<2>::builder(&tp, [21, 9])
+        .executor(westmere_fermi_exec())
+        .build()
+        .expect("fits");
     let mut s = h.initial_state();
     let mut dt = h.suggest_dt(&s);
     for _ in 0..40 {

@@ -1,0 +1,55 @@
+//! Unified-telemetry profile — the observability layer's own artifact: one
+//! instrumented triple-point run, reported straight from the telemetry
+//! sink (per-phase tables on the host and GPU lanes plus the counters),
+//! with no hand-rolled aggregation in between.
+
+use blast_core::{ExecMode, RunConfig};
+use blast_telemetry::{table, Track};
+
+use crate::experiments::scenarios::triple_point;
+
+/// Runs a short instrumented 2D triple point in GPU mode and renders the
+/// telemetry sink's view of it.
+pub fn report() -> String {
+    let (mut h, mut s) =
+        triple_point(2, 2, ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 });
+    h.run(&mut s, RunConfig::to(0.02).max_steps(12)).expect("short instrumented run");
+    let tel = h.executor().telemetry().clone();
+
+    let mut out = table::render_totals(
+        "Telemetry — host phases (spans on the simulated-time axis)",
+        &tel.phase_totals(Some(Track::Host)),
+    );
+    out.push('\n');
+    out.push_str(&table::render_totals(
+        "Telemetry — GPU kernels and transfers",
+        &tel.phase_totals(Some(Track::Gpu)),
+    ));
+    out.push('\n');
+    let mut counters = tel.counters();
+    counters.sort_by(|a, b| a.0.cmp(b.0));
+    for (name, value) in counters {
+        out.push_str(&format!("  {name:<24} {value}\n"));
+    }
+    out.push_str(
+        "\nThe same sink feeds the Chrome trace exporter: see examples/trace_run.rs \
+         for a Perfetto-loadable JSON of this run.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use blast_telemetry::names;
+
+    #[test]
+    fn report_contains_phases_and_counters() {
+        let rep = super::report();
+        // GPU mode: the corner force lives on the GPU lane as kernels; the
+        // host lane still carries the step envelope and integration.
+        assert!(rep.contains(names::phases::STEP));
+        assert!(rep.contains(names::phases::INTEGRATION));
+        assert!(rep.contains(names::counters::STEPS));
+        assert!(rep.contains(names::counters::GPU_LAUNCHES));
+    }
+}

@@ -26,6 +26,7 @@
 //!   the same peer escalate to [`CommError::PeerDead`] (off by default —
 //!   [`Communicator::set_suspicion_threshold`] arms it).
 
+use blast_telemetry::{names, TelemetrySink};
 use std::cell::{Cell, RefCell};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -265,6 +266,9 @@ pub struct Communicator {
     /// `u32::MAX` disables the detector (the default — a plain timeout
     /// keeps surfacing as [`CommError::Timeout`]).
     suspicion_threshold: u32,
+    /// Optional telemetry sink: message/byte/drop/death counters (see
+    /// `blast_telemetry::names::counters::MSGS_*`).
+    sink: Option<TelemetrySink>,
 }
 
 impl Communicator {
@@ -286,6 +290,14 @@ impl Communicator {
     /// Fault statistics observed on this rank's sends.
     pub fn fault_stats(&self) -> CommFaultStats {
         self.stats.get()
+    }
+
+    /// Attaches a telemetry sink: subsequent sends and failure-detector
+    /// verdicts are accumulated into its monotonic counters (messages,
+    /// payload bytes, drops, rank deaths). The sink is shared, so all
+    /// ranks of a job may feed one recorder.
+    pub fn attach_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = Some(sink);
     }
 
     /// Arms the failure detector: `k` consecutive receive timeouts against
@@ -314,6 +326,10 @@ impl Communicator {
         let idx = self.sends.get();
         self.sends.set(idx + 1);
         let mut stats = self.stats.get();
+        if let Some(sink) = &self.sink {
+            sink.counter_add(names::counters::MSGS_SENT, 1);
+            sink.counter_add(names::counters::MSG_BYTES, (data.len() * 8) as u64);
+        }
 
         // A dead rank transmits nothing, ever again. Checked against the
         // pre-increment index so `after_sends: 0` means "never sent once".
@@ -335,6 +351,9 @@ impl Communicator {
             if fault_draw(self.faults.seed, self.rank, idx * 2) < self.faults.drop_rate {
                 stats.dropped += 1;
                 self.stats.set(stats);
+                if let Some(sink) = &self.sink {
+                    sink.counter_add(names::counters::MSGS_DROPPED, 1);
+                }
                 return; // charged but never delivered
             }
             if fault_draw(self.faults.seed, self.rank, idx * 2 + 1) < self.faults.corrupt_rate {
@@ -389,6 +408,9 @@ impl Communicator {
                     let mut suspicion = self.suspicion.borrow_mut();
                     suspicion[from] = suspicion[from].saturating_add(1);
                     if suspicion[from] >= self.suspicion_threshold {
+                        if let Some(sink) = &self.sink {
+                            sink.counter_add(names::counters::RANK_DEATHS, 1);
+                        }
                         return Err(CommError::PeerDead { from, tag });
                     }
                     return Err(CommError::Timeout { from, tag });
@@ -531,6 +553,7 @@ pub fn try_run_ranks_with_faults<R: Send>(
             stats: Cell::new(CommFaultStats::default()),
             suspicion: RefCell::new(vec![0; size]),
             suspicion_threshold: u32::MAX,
+            sink: None,
         })
         .collect();
     drop(senders);
@@ -837,6 +860,44 @@ mod tests {
         if gpu_sim::fault_seed_from_env().is_none() {
             assert_eq!(p.seed, 123);
         }
+    }
+
+    #[test]
+    fn attached_sink_counts_messages_bytes_and_drops() {
+        let sink = blast_telemetry::Telemetry::sink();
+        let plan = ClusterFaultPlan::seeded(11).with_drop_rate(0.5);
+        let sink2 = sink.clone();
+        let dropped = run_ranks_with_faults(2, plan, move |mut c| {
+            if c.rank() == 0 {
+                c.attach_telemetry(sink2.clone());
+                for i in 0..16 {
+                    c.send(1, i, vec![i as f64; 4]);
+                }
+                c.fault_stats().dropped
+            } else {
+                0
+            }
+        })[0];
+        assert_eq!(sink.counter(names::counters::MSGS_SENT), 16);
+        assert_eq!(sink.counter(names::counters::MSG_BYTES), 16 * 4 * 8);
+        assert_eq!(sink.counter(names::counters::MSGS_DROPPED), dropped as u64);
+    }
+
+    #[test]
+    fn attached_sink_counts_rank_deaths() {
+        let sink = blast_telemetry::Telemetry::sink();
+        let plan = ClusterFaultPlan::none().with_rank_death(0, 0);
+        let sink2 = sink.clone();
+        run_ranks_with_faults(2, plan, move |mut c| {
+            if c.rank() == 1 {
+                c.attach_telemetry(sink2.clone());
+                c.set_suspicion_threshold(2);
+                for _ in 0..2 {
+                    let _ = c.recv_timeout(0, 9, Duration::from_millis(5));
+                }
+            }
+        });
+        assert_eq!(sink.counter(names::counters::RANK_DEATHS), 1);
     }
 
     #[test]

@@ -39,7 +39,7 @@ use std::time::Duration;
 use autotune::AutoBalancer;
 use blast_core::checkpoint::CheckpointStore;
 use blast_core::exec::RECOVERY_QUIESCE_S;
-use blast_core::{ExecMode, Executor, Hydro, HydroConfig, HydroState, Sedov};
+use blast_core::{ExecMode, Executor, Hydro, HydroState, Sedov};
 use blast_fem::CartMesh;
 use gpu_sim::{CpuSpec, FaultPlan, GpuDevice, GpuSpec};
 use powermon::ResilienceReport;
@@ -245,9 +245,13 @@ fn campaign_rank(
         Some(dev),
     );
     let problem = Sedov::default();
-    let config = HydroConfig { cfl: cfg.cfl, ..HydroConfig::default() };
-    let mut hydro = Hydro::<2>::new(&problem, [cfg.zones, cfg.zones], config, exec)
+    let mut hydro = Hydro::<2>::builder(&problem, [cfg.zones, cfg.zones])
+        .cfl(cfg.cfl)
+        .executor(exec)
+        .build()
         .expect("campaign problem setup");
+    // One sink per rank: comm counters land next to the solver's spans.
+    comm.attach_telemetry(hydro.executor().telemetry().clone());
     let mut state = hydro.initial_state();
     let mesh = CartMesh::<2>::unit(cfg.zones);
     let mut partition = Partition::balanced(&mesh, cfg.ranks);
@@ -453,6 +457,15 @@ fn campaign_rank(
             retries = loaded.checkpoint.retries as usize;
             dt = loaded.checkpoint.dt;
             hydro.executor().bill_checkpoint_restore(loaded.bytes);
+            {
+                // Mark the end of the recovery window on the cluster lane.
+                let exec = hydro.executor();
+                exec.telemetry().instant(
+                    blast_telemetry::Track::Cluster,
+                    blast_telemetry::names::phases::RECOVERY_COMPLETE,
+                    exec.host.now(),
+                );
+            }
             steps_since = 0;
             epoch += 1;
             continue;

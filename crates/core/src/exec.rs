@@ -4,6 +4,7 @@ use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 use autotune::AutoBalancer;
+use blast_telemetry::{names, Telemetry, TelemetrySink, Track};
 use gpu_sim::{CpuDevice, CpuSpec, GpuDevice, Traffic};
 use powermon::{CpuPowerState, ResilienceReport};
 
@@ -107,12 +108,31 @@ pub struct Executor {
     degraded_reason: RefCell<Option<String>>,
     /// Checkpoint/restore/rank-death cost accounting.
     ledger: ResilienceLedger,
+    /// The unified telemetry recorder both devices emit into (shared, so
+    /// host phases and GPU launches land on one simulated-time axis).
+    telemetry: TelemetrySink,
+    /// Pool counters at the last [`Executor::record_pool_counters`] sample
+    /// (the shim's statistics are process-cumulative; deltas attribute
+    /// them to this executor's run).
+    pool_baseline: Cell<rayon::PoolStats>,
 }
 
 impl Executor {
     /// Builds an executor for `mode` with the given host CPU and optional
     /// GPU.
     pub fn new(mode: ExecMode, host_spec: CpuSpec, gpu: Option<Arc<GpuDevice>>) -> Self {
+        Self::with_telemetry(mode, host_spec, gpu, Telemetry::sink())
+    }
+
+    /// [`Executor::new`] with a caller-supplied telemetry sink — the hook
+    /// for sharing one recorder across several executors (e.g. the ranks
+    /// of a cluster campaign) or for a prereserved ring capacity.
+    pub fn with_telemetry(
+        mode: ExecMode,
+        host_spec: CpuSpec,
+        gpu: Option<Arc<GpuDevice>>,
+        telemetry: TelemetrySink,
+    ) -> Self {
         match &mode {
             ExecMode::CpuSerial => {}
             ExecMode::CpuParallel { threads } | ExecMode::Hybrid { threads } => {
@@ -133,15 +153,40 @@ impl Executor {
             dev.set_active_queues(*mpi_queues);
         }
         let balancer = matches!(mode, ExecMode::Hybrid { .. }).then(|| AutoBalancer::new(0.5));
+        let host = CpuDevice::new(host_spec);
+        host.attach_telemetry(telemetry.clone());
+        if let Some(dev) = &gpu {
+            dev.attach_telemetry(telemetry.clone());
+        }
         Self {
             mode,
-            host: CpuDevice::new(host_spec),
+            host,
             gpu,
             balancer,
             degraded: Cell::new(false),
             degraded_reason: RefCell::new(None),
             ledger: ResilienceLedger::default(),
+            telemetry,
+            pool_baseline: Cell::new(rayon::pool_stats()),
         }
+    }
+
+    /// The unified telemetry recorder this executor's devices emit into.
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
+    }
+
+    /// Samples the work-stealing pool's process-wide counters and charges
+    /// the delta since the previous sample to this executor's telemetry
+    /// (steal/block/parallel-call counters plus the active-thread gauge).
+    pub fn record_pool_counters(&self) {
+        let now = rayon::pool_stats();
+        let prev = self.pool_baseline.replace(now);
+        let tel = &self.telemetry;
+        tel.counter_add(names::counters::POOL_CALLS, now.parallel_calls - prev.parallel_calls);
+        tel.counter_add(names::counters::POOL_BLOCKS, now.blocks_executed - prev.blocks_executed);
+        tel.counter_add(names::counters::POOL_STEALS, now.steals - prev.steals);
+        tel.gauge_set(names::gauges::POOL_THREADS, rayon::current_num_threads() as f64);
     }
 
     /// Corner-force flop efficiency fed to the roofline: the *measured*
@@ -172,6 +217,7 @@ impl Executor {
         }
         let reason = reason.into();
         eprintln!("blast-core: GPU fault persisted past retries, degrading to CPU: {reason}");
+        self.telemetry.instant(Track::Host, names::phases::DEGRADE_TO_CPU, self.host.now());
         *self.degraded_reason.borrow_mut() = Some(reason);
     }
 
@@ -239,14 +285,16 @@ impl Executor {
     pub fn bill_checkpoint_write(&self, bytes: usize) -> f64 {
         self.ledger.checkpoints_written.set(self.ledger.checkpoints_written.get() + 1);
         self.ledger.checkpoint_bytes.set(self.ledger.checkpoint_bytes.get() + bytes as u64);
-        self.bill_phase("checkpoint_write", bytes)
+        self.telemetry.counter_add(names::counters::CHECKPOINTS_WRITTEN, 1);
+        self.bill_phase(names::phases::CHECKPOINT_WRITE, bytes)
     }
 
     /// Bills one checkpoint restore of `bytes` (validation + decode + state
     /// rewrite). Returns the modeled seconds.
     pub fn bill_checkpoint_restore(&self, bytes: usize) -> f64 {
         self.ledger.restores.set(self.ledger.restores.get() + 1);
-        self.bill_phase("checkpoint_restore", bytes)
+        self.telemetry.counter_add(names::counters::CHECKPOINT_RESTORES, 1);
+        self.bill_phase(names::phases::CHECKPOINT_RESTORE, bytes)
     }
 
     /// Bills a recovery quiesce barrier ([`RECOVERY_QUIESCE_S`] by
@@ -254,6 +302,12 @@ impl Executor {
     /// and agree on the dead set.
     pub fn bill_recovery_quiesce(&self, seconds: f64) {
         assert!(seconds >= 0.0);
+        self.telemetry.span(
+            Track::Cluster,
+            names::phases::RECOVERY_QUIESCE,
+            self.host.now(),
+            seconds,
+        );
         self.host.idle(seconds);
         if let Some(g) = &self.gpu {
             g.idle(seconds);
@@ -270,6 +324,9 @@ impl Executor {
     /// Records peer ranks declared permanently dead.
     pub fn note_rank_deaths(&self, n: u64) {
         self.ledger.rank_deaths.set(self.ledger.rank_deaths.get() + n);
+        for _ in 0..n {
+            self.telemetry.instant(Track::Cluster, names::phases::RANK_DEATH, self.host.now());
+        }
     }
 
     /// Records device faults that fired during a rollback redo attempt

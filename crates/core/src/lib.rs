@@ -40,5 +40,7 @@ pub use checkpoint::{
 pub use error::HydroError;
 pub use exec::{ExecMode, Executor};
 pub use problems::{Problem, Sedov, TaylorGreen, TriplePoint};
-pub use solver::{AdvanceOutcome, Hydro, HydroConfig, RunStats, StepOutcome};
+pub use solver::{
+    AdvanceOutcome, Hydro, HydroBuilder, HydroConfig, RunConfig, RunStats, StepOutcome,
+};
 pub use state::{EnergyBreakdown, HydroState};

@@ -17,11 +17,13 @@ use blast_kernels::k8_10::{EnergyRhsKernel, MomentumRhsKernel};
 use blast_kernels::k9::GpuPcg;
 use blast_kernels::{GemmVariant, ProblemShape, Workspace};
 use blast_la::{
-    pcg_solve_ws, BatchedMats, BlockDiag, CsrMatrix, DiagPrecond, LinearOperator, PcgOptions,
-    PcgWorkspace,
+    pcg_solve_instrumented, BatchedMats, BlockDiag, CsrMatrix, DiagPrecond, LinearOperator,
+    PcgOptions, PcgWorkspace,
 };
-use gpu_sim::LaunchConfig;
+use blast_telemetry::{names, Track, TelemetrySink};
+use gpu_sim::{CpuSpec, FaultPlan, GpuDevice, LaunchConfig};
 use powermon::CpuPowerState;
+use std::sync::Arc;
 
 use crate::checkpoint::{Checkpoint, CheckpointPolicy, CheckpointStore};
 use crate::error::HydroError;
@@ -170,6 +172,198 @@ fn ensure_zeroed(v: &mut Vec<f64>, n: usize) {
     v.resize(n, 0.0);
 }
 
+/// Declarative configuration for one [`Hydro::run`] call: the target
+/// time, a step budget, and (optionally) a checkpoint policy + store.
+///
+/// Built fluently:
+///
+/// ```ignore
+/// hydro.run(&mut state, RunConfig::to(0.1))?;
+/// hydro.run(&mut state, RunConfig::to(0.1).max_steps(50))?;
+/// hydro.run(&mut state, RunConfig::to(0.1).checkpointed(policy, &mut store))?;
+/// ```
+pub struct RunConfig<'a> {
+    /// Simulation time to run until.
+    pub t_final: f64,
+    /// Accepted-step budget (defaults to effectively unbounded).
+    pub max_steps: usize,
+    /// Checkpoint cadence; `None` falls back to the solver's builder-time
+    /// default policy ([`CheckpointPolicy::Never`] unless overridden).
+    pub policy: Option<CheckpointPolicy>,
+    /// Where checkpoint generations go (and where restart looks on entry).
+    /// `None` runs with a throwaway in-memory store.
+    pub store: Option<&'a mut CheckpointStore>,
+}
+
+impl<'a> RunConfig<'a> {
+    /// Runs until `t_final` with no step budget and no checkpointing.
+    pub fn to(t_final: f64) -> RunConfig<'static> {
+        RunConfig { t_final, max_steps: usize::MAX, policy: None, store: None }
+    }
+
+    /// Caps the number of accepted steps.
+    #[must_use]
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Enables coordinated checkpoint/restart against `store` (restart
+    /// resumes from the newest valid generation ahead of the state).
+    #[must_use]
+    pub fn checkpointed(
+        self,
+        policy: CheckpointPolicy,
+        store: &'a mut CheckpointStore,
+    ) -> RunConfig<'a> {
+        RunConfig { policy: Some(policy), store: Some(store), ..self }
+    }
+}
+
+/// Fluent constructor for [`Hydro`] — the required inputs (problem, mesh
+/// resolution) are taken by [`Hydro::builder`]; everything else has a
+/// default: serial execution on an E5-2670 host, order-2 elements, no
+/// faults, a fresh telemetry sink.
+///
+/// ```ignore
+/// let mut hydro = Hydro::<2>::builder(&problem, [32, 32])
+///     .order(3)
+///     .mode(ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 })
+///     .gpu(device)
+///     .telemetry(sink)
+///     .build()?;
+/// ```
+pub struct HydroBuilder<'p, const D: usize> {
+    problem: &'p dyn Problem<D>,
+    zones_per_axis: [usize; D],
+    config: HydroConfig,
+    mode: ExecMode,
+    host_spec: CpuSpec,
+    gpu: Option<Arc<GpuDevice>>,
+    executor: Option<Executor>,
+    telemetry: Option<TelemetrySink>,
+    gpu_fault_plan: Option<FaultPlan>,
+    step_faults: usize,
+    checkpoint_policy: CheckpointPolicy,
+}
+
+impl<'p, const D: usize> HydroBuilder<'p, D> {
+    /// Kinematic order `k` of the `Q_k`-`Q_{k-1}` method (default 2).
+    #[must_use]
+    pub fn order(mut self, order: usize) -> Self {
+        self.config.order = order;
+        self
+    }
+
+    /// CFL safety factor (default 0.3).
+    #[must_use]
+    pub fn cfl(mut self, cfl: f64) -> Self {
+        self.config.cfl = cfl;
+        self
+    }
+
+    /// PCG options for the momentum solve.
+    #[must_use]
+    pub fn pcg(mut self, pcg: PcgOptions) -> Self {
+        self.config.pcg = pcg;
+        self
+    }
+
+    /// Replaces the whole solver config at once.
+    #[must_use]
+    pub fn config(mut self, config: HydroConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Execution mode (default [`ExecMode::CpuSerial`]). GPU and hybrid
+    /// modes also need [`Self::gpu`].
+    #[must_use]
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Host CPU model (default `CpuSpec::e5_2670()`).
+    #[must_use]
+    pub fn host_spec(mut self, spec: CpuSpec) -> Self {
+        self.host_spec = spec;
+        self
+    }
+
+    /// Simulated GPU for device / hybrid modes.
+    #[must_use]
+    pub fn gpu(mut self, gpu: Arc<GpuDevice>) -> Self {
+        self.gpu = Some(gpu);
+        self
+    }
+
+    /// Uses a pre-built executor verbatim, overriding
+    /// [`Self::mode`] / [`Self::host_spec`] / [`Self::gpu`] /
+    /// [`Self::telemetry`] (the executor already carries all four).
+    #[must_use]
+    pub fn executor(mut self, exec: Executor) -> Self {
+        self.executor = Some(exec);
+        self
+    }
+
+    /// Telemetry sink every span / counter of this solver lands in
+    /// (default: a fresh sink, retrievable via
+    /// `hydro.executor().telemetry()`).
+    #[must_use]
+    pub fn telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+
+    /// Installs a deterministic device fault plan on the GPU at build
+    /// time (applies to [`Self::gpu`] or the executor's device).
+    #[must_use]
+    pub fn gpu_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.gpu_fault_plan = Some(plan);
+        self
+    }
+
+    /// Schedules `n` injected recoverable step faults (the chaos hook,
+    /// same as [`Hydro::inject_step_faults`]).
+    #[must_use]
+    pub fn step_faults(mut self, n: usize) -> Self {
+        self.step_faults = n;
+        self
+    }
+
+    /// Default checkpoint policy for [`Hydro::run`] calls whose
+    /// [`RunConfig`] does not name one (default [`CheckpointPolicy::Never`]).
+    #[must_use]
+    pub fn checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint_policy = policy;
+        self
+    }
+
+    /// Builds the solver. Fails when the simulated GPU cannot hold the
+    /// working set (the paper's Q4-Q3 memory limit at `16^3` on K20).
+    pub fn build(self) -> Result<Hydro<D>, HydroError> {
+        let exec = match self.executor {
+            Some(exec) => exec,
+            None => match self.telemetry {
+                Some(sink) => Executor::with_telemetry(self.mode, self.host_spec, self.gpu, sink),
+                None => Executor::new(self.mode, self.host_spec, self.gpu),
+            },
+        };
+        if let Some(plan) = self.gpu_fault_plan {
+            if let Some(gpu) = &exec.gpu {
+                gpu.set_fault_plan(plan);
+            }
+        }
+        let mut hydro = Hydro::build_impl(self.problem, self.zones_per_axis, self.config, exec)?;
+        hydro.default_ckpt_policy = self.checkpoint_policy;
+        if self.step_faults > 0 {
+            hydro.inject_step_faults(self.step_faults);
+        }
+        Ok(hydro)
+    }
+}
+
 /// The BLAST solver over a structured `D`-dimensional domain.
 pub struct Hydro<const D: usize> {
     kin: H1Space<D>,
@@ -205,16 +399,51 @@ pub struct Hydro<const D: usize> {
     /// Reusable hot-path buffers (see [`StepScratch`]). A `RefCell`
     /// because force/energy evaluations borrow it from `&self` helpers.
     scratch: std::cell::RefCell<StepScratch>,
+    /// Checkpoint policy [`Self::run`] falls back to when the
+    /// [`RunConfig`] names none (builder default: `Never`).
+    default_ckpt_policy: CheckpointPolicy,
 }
 
 impl<const D: usize> Hydro<D> {
+    /// Starts a fluent solver construction from the required inputs; see
+    /// [`HydroBuilder`] for the optional knobs.
+    pub fn builder(
+        problem: &dyn Problem<D>,
+        zones_per_axis: [usize; D],
+    ) -> HydroBuilder<'_, D> {
+        HydroBuilder {
+            problem,
+            zones_per_axis,
+            config: HydroConfig::default(),
+            mode: ExecMode::CpuSerial,
+            host_spec: CpuSpec::e5_2670(),
+            gpu: None,
+            executor: None,
+            telemetry: None,
+            gpu_fault_plan: None,
+            step_faults: 0,
+            checkpoint_policy: CheckpointPolicy::Never,
+        }
+    }
+
+    /// Positional constructor kept for source compatibility.
+    #[deprecated(note = "use `Hydro::builder(problem, zones).executor(exec).build()`")]
+    pub fn new(
+        problem: &dyn Problem<D>,
+        zones_per_axis: [usize; D],
+        config: HydroConfig,
+        exec: Executor,
+    ) -> Result<Self, HydroError> {
+        Self::build_impl(problem, zones_per_axis, config, exec)
+    }
+
     /// Sets up the solver: spaces, quadrature, mass matrices (assembled
     /// once — `ρ|J|` is frozen in the Lagrangian frame), initial state, and
     /// device memory accounting.
     ///
     /// Fails when the simulated GPU cannot hold the working set (the
     /// paper's Q4-Q3 memory limit at `16^3` on K20).
-    pub fn new(
+    fn build_impl(
         problem: &dyn Problem<D>,
         zones_per_axis: [usize; D],
         config: HydroConfig,
@@ -355,6 +584,7 @@ impl<const D: usize> Hydro<D> {
             device_bytes,
             step_fault_budget: std::cell::Cell::new(0),
             scratch: std::cell::RefCell::new(StepScratch::default()),
+            default_ckpt_policy: CheckpointPolicy::Never,
         })
     }
 
@@ -548,7 +778,7 @@ impl<const D: usize> Hydro<D> {
             let mut ws = self.scratch.borrow_mut();
             let ws = &mut *ws;
             let ((), t) = host.run_phase(
-                "corner_force",
+                names::phases::CORNER_FORCE,
                 &traffic,
                 threads,
                 self.exec.cf_eff(self.shape.order),
@@ -645,13 +875,16 @@ impl<const D: usize> Hydro<D> {
                     tmp: &mut ws.mom_tmp,
                 };
                 ws.mom_xk.copy_from_slice(&accel[c * n..(c + 1) * n]);
-                let res = pcg_solve_ws(
+                // The instrumented wrapper is bit-identical to
+                // `pcg_solve_ws`; it only adds solve/iteration counters.
+                let res = pcg_solve_instrumented(
                     &mut op,
                     &self.mv_precond,
                     &rhs[c * n..(c + 1) * n],
                     &mut ws.mom_xk,
                     &self.pcg_opts,
                     &mut ws.pcg,
+                    self.exec.telemetry(),
                 );
                 if !res.converged {
                     ws.accel = accel; // hand the pool buffer back
@@ -676,7 +909,7 @@ impl<const D: usize> Hydro<D> {
         } else {
             CpuPowerState::Busy
         };
-        let (_, t) = self.exec.host.run_phase("cg_solver", &traffic, threads, CG_CPU_EFF, state, || ());
+        let (_, t) = self.exec.host.run_phase(names::phases::CG_SOLVER, &traffic, threads, CG_CPU_EFF, state, || ());
         if let Some(g) = &self.exec.gpu {
             g.idle(t);
         }
@@ -867,7 +1100,7 @@ impl<const D: usize> Hydro<D> {
         let (fz, mut rhs, max_inv_dt) = {
             let mut ws = self.scratch.borrow_mut();
             let ws = &mut *ws;
-            let (_, _stats) = gpu.launch("corner_force(hybrid)", &cfg, &gpu_traffic, || {
+            let (_, _stats) = gpu.launch(names::phases::CORNER_FORCE_HYBRID, &cfg, &gpu_traffic, || {
                 compute_az_pipeline_into(
                     &shape,
                     x,
@@ -902,7 +1135,7 @@ impl<const D: usize> Hydro<D> {
 
         let threads = self.exec.cpu_threads();
         let (_, t_cpu) = self.exec.host.run_phase(
-            "corner_force(hybrid cpu)",
+            names::phases::CORNER_FORCE_HYBRID_CPU,
             &cpu_traffic,
             threads,
             self.exec.cf_eff(self.shape.order),
@@ -979,7 +1212,7 @@ impl<const D: usize> Hydro<D> {
             let mut de = std::mem::take(&mut ws.de);
             ensure_zeroed(&mut de, nth);
             let ((), t) = self.exec.host.run_phase(
-                "energy_solve",
+                names::phases::ENERGY_SOLVE,
                 &traffic,
                 threads,
                 CG_CPU_EFF,
@@ -1011,8 +1244,24 @@ impl<const D: usize> Hydro<D> {
     /// Fallible variant of [`Self::step`]. On error, `state` is left
     /// exactly as it was — all failures surface before the state vectors
     /// are written — so the caller can roll back by simply retrying with a
-    /// smaller dt (which is what [`Self::try_run_to`] does).
+    /// smaller dt (which is what [`Self::run`] does).
+    ///
+    /// Every attempt is wrapped in a `step` telemetry span on the host
+    /// track, so the four phase spans it bills nest underneath it in the
+    /// exported trace. The span closes on both success and error paths.
     pub fn try_step(&mut self, state: &mut HydroState, dt: f64) -> Result<StepOutcome, HydroError> {
+        let tel = self.exec.telemetry().clone();
+        tel.begin(Track::Host, names::phases::STEP, self.exec.host.now());
+        let res = self.try_step_inner(state, dt);
+        tel.end(Track::Host, self.exec.host.now());
+        res
+    }
+
+    fn try_step_inner(
+        &mut self,
+        state: &mut HydroState,
+        dt: f64,
+    ) -> Result<StepOutcome, HydroError> {
         assert!(dt > 0.0, "dt must be positive");
         if self.step_fault_budget.get() > 0 {
             // Injected step fault: fires before any work, so the state is
@@ -1087,7 +1336,7 @@ impl<const D: usize> Hydro<D> {
             CpuPowerState::Busy
         };
         let (_, t) = self.exec.host.run_phase(
-            "integration",
+            names::phases::INTEGRATION,
             &integration_traffic(2 * vlen + state.e.len()),
             threads,
             CG_CPU_EFF,
@@ -1121,45 +1370,26 @@ impl<const D: usize> Hydro<D> {
     /// per accepted step, redo a step at 85% of the estimate if it
     /// overshoots the CFL bound discovered mid-step.
     ///
-    /// Panics on unrecoverable solver errors; see [`Self::try_run_to`].
+    /// Panics on unrecoverable solver errors; see [`Self::run`].
+    #[deprecated(note = "use `run(state, RunConfig::to(t_final).max_steps(n))`")]
     pub fn run_to(&mut self, state: &mut HydroState, t_final: f64, max_steps: usize) -> RunStats {
-        self.try_run_to(state, t_final, max_steps).unwrap_or_else(|e| panic!("{e}"))
+        self.run(state, RunConfig::to(t_final).max_steps(max_steps))
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Fallible variant of [`Self::run_to`] with checkpointed rollback: a
-    /// step that fails recoverably (mesh inversion, PCG breakdown, NaN/Inf)
-    /// is rolled back to the pre-step state and redone with dt halved, up
-    /// to [`MAX_STEP_REDOS`] consecutive times before the error is
-    /// returned. Redone steps count into [`RunStats::retries`] alongside
-    /// CFL-overshoot redos. Persistent GPU faults never surface here —
-    /// `eval_force` degrades to the CPU path internally and continues.
+    /// Fallible run without checkpointing; see [`Self::run`].
+    #[deprecated(note = "use `run(state, RunConfig::to(t_final).max_steps(n))`")]
     pub fn try_run_to(
         &mut self,
         state: &mut HydroState,
         t_final: f64,
         max_steps: usize,
     ) -> Result<RunStats, HydroError> {
-        self.try_run_to_checkpointed(
-            state,
-            t_final,
-            max_steps,
-            &CheckpointPolicy::Never,
-            &mut CheckpointStore::in_memory(),
-        )
+        self.run(state, RunConfig::to(t_final).max_steps(max_steps))
     }
 
-    /// [`Self::try_run_to`] with coordinated checkpoint/restart.
-    ///
-    /// On entry, if `store` holds a valid checkpoint *ahead* of `state`,
-    /// the run resumes from it (state, warm-start cache, dt, and counters
-    /// restored; the restore is billed to the power trace). Corrupt or
-    /// truncated generations are skipped via their CRC — restart falls back
-    /// to the newest generation that validates. During the run, `policy`
-    /// decides when to write a new generation; each write is billed as a
-    /// host DRAM phase with the device quiescing at idle watts.
-    ///
-    /// The returned [`RunStats`] counts from the beginning of the logical
-    /// run, including steps replayed from the checkpoint's counters.
+    /// Checkpointed run; see [`Self::run`].
+    #[deprecated(note = "use `run(state, RunConfig::to(t_final).checkpointed(policy, store))`")]
     pub fn try_run_to_checkpointed(
         &mut self,
         state: &mut HydroState,
@@ -1168,6 +1398,58 @@ impl<const D: usize> Hydro<D> {
         policy: &CheckpointPolicy,
         store: &mut CheckpointStore,
     ) -> Result<RunStats, HydroError> {
+        self.run(
+            state,
+            RunConfig {
+                t_final,
+                max_steps,
+                policy: Some(*policy),
+                store: Some(store),
+            },
+        )
+    }
+
+    /// Runs the solver under a declarative [`RunConfig`] — the single
+    /// entry point the former `run_to` / `try_run_to` /
+    /// `try_run_to_checkpointed` trio collapsed into.
+    ///
+    /// Stepping: adaptive dt (grow by 2% per accepted step, redo at 85%
+    /// of the estimate on a CFL overshoot discovered mid-step). A step
+    /// that fails recoverably (mesh inversion, PCG breakdown, NaN/Inf) is
+    /// rolled back and redone with dt halved, up to [`MAX_STEP_REDOS`]
+    /// consecutive times. Redone steps count into [`RunStats::retries`].
+    /// Persistent GPU faults never surface here — `eval_force` degrades
+    /// to the CPU path internally and continues.
+    ///
+    /// Checkpointing (when the config or the builder default enables it):
+    /// on entry, if the store holds a valid checkpoint *ahead* of
+    /// `state`, the run resumes from it (state, warm-start cache, dt, and
+    /// counters restored; the restore is billed to the power trace).
+    /// Corrupt or truncated generations are skipped via their CRC.
+    /// During the run the policy decides when to write a new generation;
+    /// each write is billed as a host DRAM phase with the device
+    /// quiescing at idle watts. The returned [`RunStats`] counts from the
+    /// beginning of the logical run, including steps replayed from the
+    /// checkpoint's counters.
+    ///
+    /// On return the executor's pool counters (`pool_calls`,
+    /// `pool_blocks`, `pool_steals`, `pool_threads`) are refreshed in the
+    /// telemetry sink.
+    pub fn run(
+        &mut self,
+        state: &mut HydroState,
+        cfg: RunConfig<'_>,
+    ) -> Result<RunStats, HydroError> {
+        let RunConfig { t_final, max_steps, policy, store } = cfg;
+        let policy = policy.unwrap_or(self.default_ckpt_policy);
+        let mut scratch_store;
+        let store = match store {
+            Some(s) => s,
+            None => {
+                scratch_store = CheckpointStore::in_memory();
+                &mut scratch_store
+            }
+        };
         let mut steps = 0usize;
         let mut retries = 0usize;
         let mut dt = None;
@@ -1186,19 +1468,28 @@ impl<const D: usize> Hydro<D> {
         };
         let mut steps_since_ckpt = 0usize;
         let mut wall_at_ckpt = self.exec.host.now();
-        while state.t < t_final - 1e-14 && steps < max_steps {
-            let adv = self.try_advance(state, dt.min(t_final - state.t))?;
+        let res = loop {
+            if state.t >= t_final - 1e-14 || steps >= max_steps {
+                break Ok(RunStats { steps, retries, t: state.t, wall_s: self.exec.host.now() });
+            }
+            let adv = match self.try_advance(state, dt.min(t_final - state.t)) {
+                Ok(adv) => adv,
+                Err(e) => break Err(e),
+            };
             retries += adv.redos;
             steps += 1;
             steps_since_ckpt += 1;
             dt = adv.dt_next;
             if policy.due(steps_since_ckpt, self.exec.host.now() - wall_at_ckpt) {
-                self.write_checkpoint(state, dt, steps, retries, store)?;
+                if let Err(e) = self.write_checkpoint(state, dt, steps, retries, store) {
+                    break Err(e);
+                }
                 steps_since_ckpt = 0;
                 wall_at_ckpt = self.exec.host.now();
             }
-        }
-        Ok(RunStats { steps, retries, t: state.t, wall_s: self.exec.host.now() })
+        };
+        self.exec.record_pool_counters();
+        res
     }
 
     /// Takes exactly one *accepted* step at (at most) `dt`, absorbing
@@ -1267,6 +1558,11 @@ impl<const D: usize> Hydro<D> {
                 continue;
             }
             let dt_next = out.dt_est.min(1.02 * dt);
+            let tel = self.exec.telemetry();
+            tel.counter_add(names::counters::STEPS, 1);
+            if redos > 0 {
+                tel.counter_add(names::counters::STEP_REDOS, redos as u64);
+            }
             return Ok(AdvanceOutcome { outcome: out, redos, dt_next });
         }
     }
@@ -1330,19 +1626,28 @@ impl<const D: usize> Hydro<D> {
     }
 
     /// Host-phase profile: `(name, total_seconds, calls)` aggregated over
-    /// the run — Table 1's corner-force / CG breakdown.
-    pub fn profile(&self) -> Vec<(String, f64, usize)> {
-        let mut agg: Vec<(String, f64, usize)> = Vec::new();
+    /// the run — Table 1's corner-force / CG breakdown. Names are the
+    /// interned [`blast_telemetry::names::phases`] constants, so they can
+    /// be compared by value against telemetry span names without
+    /// allocating (the old `String`-keyed `profile()` is a thin wrapper).
+    pub fn phase_profile(&self) -> Vec<(&'static str, f64, usize)> {
+        let mut agg: Vec<(&'static str, f64, usize)> = Vec::new();
         for ev in self.exec.host.events() {
             if let Some(slot) = agg.iter_mut().find(|(n, _, _)| *n == ev.name) {
                 slot.1 += ev.time_s;
                 slot.2 += 1;
             } else {
-                agg.push((ev.name.to_string(), ev.time_s, 1));
+                agg.push((ev.name, ev.time_s, 1));
             }
         }
         agg.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
         agg
+    }
+
+    /// String-keyed variant of [`Self::phase_profile`].
+    #[deprecated(note = "use `phase_profile()` (interned `&'static str` names)")]
+    pub fn profile(&self) -> Vec<(String, f64, usize)> {
+        self.phase_profile().into_iter().map(|(n, t, c)| (n.to_string(), t, c)).collect()
     }
 
     /// Simulated wall-clock so far (host timeline, includes GPU waits).
@@ -1353,10 +1658,12 @@ impl<const D: usize> Hydro<D> {
     /// Pre-grows the host telemetry buffers for `steps` upcoming
     /// timesteps so recording them does not reallocate. A CPU step logs
     /// seven phases (2x corner_force, 2x cg_solver, 2x energy_solve, one
-    /// integration); the zero-allocation harness calls this before its
-    /// measurement window.
+    /// integration) plus one enclosing `step` span; the zero-allocation
+    /// harness calls this before its measurement window.
     pub fn reserve_host_telemetry(&self, steps: usize) {
         self.exec.host.reserve_telemetry(steps * 7);
+        // One STEP span plus up to seven phase/solver child spans per step.
+        self.exec.telemetry().reserve_spans(steps * 8);
     }
 }
 
@@ -1382,7 +1689,7 @@ mod tests {
 
     fn small_sedov_2d(exec: Executor) -> (Hydro<2>, HydroState) {
         let problem = Sedov::default();
-        let hydro = Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), exec).unwrap();
+        let hydro = Hydro::<2>::builder(&problem, [4, 4]).executor(exec).build().unwrap();
         let state = hydro.initial_state();
         (hydro, state)
     }
@@ -1424,7 +1731,7 @@ mod tests {
     fn multi_step_run_conserves_energy_cpu() {
         let (mut hydro, mut state) = small_sedov_2d(cpu_exec());
         let e0 = hydro.energies(&state);
-        let stats = hydro.run_to(&mut state, 0.1, 50);
+        let stats = hydro.run(&mut state, RunConfig::to(0.1).max_steps(50)).unwrap();
         assert!(stats.steps >= 3, "took {} steps", stats.steps);
         let e1 = hydro.energies(&state);
         assert!(e1.relative_change(&e0).abs() < 1e-10, "drift {}", e1.relative_change(&e0));
@@ -1455,10 +1762,10 @@ mod tests {
         // Large enough that kernel traffic (not launch overhead) dominates.
         let problem = Sedov::default();
         let mut h_opt =
-            Hydro::<2>::new(&problem, [32, 32], HydroConfig::default(), gpu_exec(false, false))
+            Hydro::<2>::builder(&problem, [32, 32]).executor(gpu_exec(false, false)).build()
                 .unwrap();
         let mut h_base =
-            Hydro::<2>::new(&problem, [32, 32], HydroConfig::default(), gpu_exec(true, false))
+            Hydro::<2>::builder(&problem, [32, 32]).executor(gpu_exec(true, false)).build()
                 .unwrap();
         let mut s_opt = h_opt.initial_state();
         let mut s_base = h_base.initial_state();
@@ -1482,11 +1789,11 @@ mod tests {
         let exec = Executor::new(ExecMode::Hybrid { threads: 6 }, CpuSpec::x5660(), Some(dev));
         let problem = Sedov::default();
         let mut h_hyb =
-            Hydro::<2>::new(&problem, [16, 16], HydroConfig::default(), exec).unwrap();
+            Hydro::<2>::builder(&problem, [16, 16]).executor(exec).build().unwrap();
         let mut s_hyb = h_hyb.initial_state();
         let cpu = Executor::new(ExecMode::CpuSerial, CpuSpec::x5660(), None);
         let mut h_cpu =
-            Hydro::<2>::new(&problem, [16, 16], HydroConfig::default(), cpu).unwrap();
+            Hydro::<2>::builder(&problem, [16, 16]).executor(cpu).build().unwrap();
         let mut s_cpu = h_cpu.initial_state();
         let dt = 1e-4;
         for _ in 0..10 {
@@ -1504,14 +1811,14 @@ mod tests {
     fn triple_point_runs_and_conserves() {
         let problem = TriplePoint::default();
         let mut hydro =
-            Hydro::<2>::new(&problem, [14, 6], HydroConfig { order: 2, ..Default::default() }, cpu_exec())
+            Hydro::<2>::builder(&problem, [14, 6]).order(2).executor(cpu_exec()).build()
                 .unwrap();
         let mut state = hydro.initial_state();
         let e0 = hydro.energies(&state);
         // Total energy of the standard triple point on [0,7]x[0,3]:
         // IE = sum over regions of rho*e*area = 2*3 + (0.25/0.4)*... check >0
         assert!(e0.internal > 0.0);
-        hydro.run_to(&mut state, 0.01, 30);
+        hydro.run(&mut state, RunConfig::to(0.01).max_steps(30)).unwrap();
         let e1 = hydro.energies(&state);
         assert!(e1.relative_change(&e0).abs() < 1e-10);
     }
@@ -1519,17 +1826,15 @@ mod tests {
     #[test]
     fn taylor_green_smooth_flow_no_viscosity() {
         let problem = TaylorGreen::default();
-        let mut hydro = Hydro::<2>::new(
-            &problem,
-            [4, 4],
-            HydroConfig { order: 3, ..Default::default() },
-            cpu_exec(),
-        )
-        .unwrap();
+        let mut hydro = Hydro::<2>::builder(&problem, [4, 4])
+            .order(3)
+            .executor(cpu_exec())
+            .build()
+            .unwrap();
         let mut state = hydro.initial_state();
         let e0 = hydro.energies(&state);
         assert!(e0.kinetic > 0.0, "TG starts with motion");
-        hydro.run_to(&mut state, 0.01, 20);
+        hydro.run(&mut state, RunConfig::to(0.01).max_steps(20)).unwrap();
         let e1 = hydro.energies(&state);
         assert!(e1.relative_change(&e0).abs() < 1e-10);
     }
@@ -1537,16 +1842,14 @@ mod tests {
     #[test]
     fn sedov_3d_steps_stably() {
         let problem = Sedov::default();
-        let mut hydro = Hydro::<3>::new(
-            &problem,
-            [3, 3, 3],
-            HydroConfig { order: 1, ..Default::default() },
-            cpu_exec(),
-        )
-        .unwrap();
+        let mut hydro = Hydro::<3>::builder(&problem, [3, 3, 3])
+            .order(1)
+            .executor(cpu_exec())
+            .build()
+            .unwrap();
         let mut state = hydro.initial_state();
         let e0 = hydro.energies(&state);
-        let stats = hydro.run_to(&mut state, 0.005, 20);
+        let stats = hydro.run(&mut state, RunConfig::to(0.005).max_steps(20)).unwrap();
         assert!(stats.steps >= 1);
         let e1 = hydro.energies(&state);
         assert!(e1.relative_change(&e0).abs() < 1e-10);
@@ -1558,7 +1861,7 @@ mod tests {
         // After some Sedov evolution, material near the origin moves out:
         // radial velocity positive, mesh nodes displaced outward.
         let (mut hydro, mut state) = small_sedov_2d(cpu_exec());
-        hydro.run_to(&mut state, 0.2, 300);
+        hydro.run(&mut state, RunConfig::to(0.2).max_steps(300)).unwrap();
         let n = hydro.kin_space().num_dofs();
         let x0 = hydro.kin_space().initial_coords();
         // Nodes inside the blast radius must have been pushed outward.
@@ -1588,20 +1891,20 @@ mod tests {
         let (mut h_ref, mut s_ref) = small_sedov_2d(cpu_exec());
         let mut store_ref = CheckpointStore::in_memory();
         let stats_ref =
-            h_ref.try_run_to_checkpointed(&mut s_ref, 0.06, 60, &policy, &mut store_ref).unwrap();
+            h_ref.run(&mut s_ref, RunConfig::to(0.06).max_steps(60).checkpointed(policy, &mut store_ref)).unwrap();
         assert!(stats_ref.steps >= 4, "need several steps: {}", stats_ref.steps);
 
         // Interrupted: stop midway by step budget, drop the solver and
         // state ("process death"), resume in a fresh solver from the store.
         let (mut h1, mut s1) = small_sedov_2d(cpu_exec());
         let mut store = CheckpointStore::in_memory();
-        h1.try_run_to_checkpointed(&mut s1, 0.06, stats_ref.steps / 2, &policy, &mut store)
+        h1.run(&mut s1, RunConfig::to(0.06).max_steps(stats_ref.steps / 2).checkpointed(policy, &mut store))
             .unwrap();
         assert!(store.latest_valid().is_some(), "first half must have checkpointed");
         drop((h1, s1));
 
         let (mut h2, mut s2) = small_sedov_2d(cpu_exec());
-        let stats2 = h2.try_run_to_checkpointed(&mut s2, 0.06, 60, &policy, &mut store).unwrap();
+        let stats2 = h2.run(&mut s2, RunConfig::to(0.06).max_steps(60).checkpointed(policy, &mut store)).unwrap();
         assert_eq!(s2.v, s_ref.v, "resumed velocity differs");
         assert_eq!(s2.e, s_ref.e, "resumed energy differs");
         assert_eq!(s2.x, s_ref.x, "resumed mesh differs");
@@ -1630,21 +1933,118 @@ mod tests {
         for _ in 0..3 {
             hydro.step(&mut state, dt);
         }
-        let prof = hydro.profile();
-        let names: Vec<&str> = prof.iter().map(|(n, _, _)| n.as_str()).collect();
-        assert!(names.contains(&"corner_force"));
-        assert!(names.contains(&"cg_solver"));
-        assert!(names.contains(&"energy_solve"));
+        let prof = hydro.phase_profile();
+        let phase_names: Vec<&'static str> = prof.iter().map(|(n, _, _)| *n).collect();
+        assert!(phase_names.contains(&names::phases::CORNER_FORCE));
+        assert!(phase_names.contains(&names::phases::CG_SOLVER));
+        assert!(phase_names.contains(&names::phases::ENERGY_SOLVE));
         // Corner force dominates on the CPU (Table 1: 55-75%).
         let total: f64 = prof.iter().map(|(_, t, _)| t).sum();
-        let cf = prof.iter().find(|(n, _, _)| n == "corner_force").unwrap().1;
+        let cf =
+            prof.iter().find(|(n, _, _)| *n == names::phases::CORNER_FORCE).unwrap().1;
         assert!(cf / total > 0.4, "corner force share {}", cf / total);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_the_new_api() {
+        // The positional constructor and the run_to family stay
+        // source-compatible: same results as builder + RunConfig.
+        let problem = Sedov::default();
+        let mut h_old =
+            Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), cpu_exec()).unwrap();
+        let (mut h_new, mut s_new) = small_sedov_2d(cpu_exec());
+        let mut s_old = h_old.initial_state();
+        let stats_old = h_old.try_run_to(&mut s_old, 0.05, 40).unwrap();
+        let stats_new = h_new.run(&mut s_new, RunConfig::to(0.05).max_steps(40)).unwrap();
+        assert_eq!(s_old.v, s_new.v);
+        assert_eq!(s_old.e, s_new.e);
+        assert_eq!(stats_old.steps, stats_new.steps);
+        // String-keyed profile mirrors the interned phase profile.
+        let prof: Vec<(String, f64, usize)> = h_old.profile();
+        let interned = h_old.phase_profile();
+        assert_eq!(prof.len(), interned.len());
+        for ((sn, st, sc), (in_, it, ic)) in prof.iter().zip(&interned) {
+            assert_eq!(sn, in_);
+            assert_eq!(st, it);
+            assert_eq!(sc, ic);
+        }
+    }
+
+    #[test]
+    fn builder_wires_telemetry_and_counts_steps() {
+        let problem = Sedov::default();
+        let sink = blast_telemetry::Telemetry::sink();
+        let mut hydro = Hydro::<2>::builder(&problem, [4, 4])
+            .telemetry(sink.clone())
+            .build()
+            .unwrap();
+        let mut state = hydro.initial_state();
+        let stats = hydro.run(&mut state, RunConfig::to(0.05).max_steps(10)).unwrap();
+        assert!(stats.steps > 0);
+        assert_eq!(sink.counter(names::counters::STEPS), stats.steps as u64);
+        assert!(sink.counter(names::counters::PCG_ITERATIONS) > 0);
+        assert!(sink.counter(names::counters::PCG_SOLVES) > 0);
+        // Step spans enclose the phase spans they bill: every host-track
+        // phase span has the surrounding `step` span as its parent.
+        let spans = sink.spans();
+        let steps: Vec<_> =
+            spans.iter().filter(|s| s.name == names::phases::STEP).collect();
+        // One `step` span per try_step attempt: accepted steps + redos.
+        assert_eq!(steps.len(), stats.steps + stats.retries);
+        let phase_spans = spans
+            .iter()
+            .filter(|s| s.track == Track::Host && s.name != names::phases::STEP)
+            .filter(|s| s.parent.is_some());
+        let mut nested = 0usize;
+        for ps in phase_spans {
+            let pid = ps.parent.unwrap();
+            let parent = spans.iter().find(|s| s.id == pid).expect("parent recorded");
+            assert_eq!(parent.name, names::phases::STEP);
+            assert!(ps.start_s >= parent.start_s - 1e-12);
+            assert!(ps.end_s() <= parent.end_s() + 1e-12);
+            nested += 1;
+        }
+        assert!(nested > 0, "phase spans must nest under step spans");
+        // Per-phase span totals reconcile exactly with the profile.
+        for (name, secs, calls) in hydro.phase_profile() {
+            let tot = sink
+                .phase_totals(Some(Track::Host))
+                .into_iter()
+                .find(|p| p.name == name)
+                .expect("phase present in telemetry");
+            assert!((tot.seconds - secs).abs() < 1e-9, "{name}: {} vs {secs}", tot.seconds);
+            assert_eq!(tot.calls, calls as u64);
+        }
+    }
+
+    #[test]
+    fn builder_step_faults_and_default_checkpoint_policy_apply() {
+        let problem = Sedov::default();
+        let mut hydro = Hydro::<2>::builder(&problem, [4, 4])
+            .step_faults(1)
+            .checkpoint_policy(CheckpointPolicy::EverySteps(2))
+            .build()
+            .unwrap();
+        let mut state = hydro.initial_state();
+        let mut store = CheckpointStore::in_memory();
+        let stats = hydro
+            .run(
+                &mut state,
+                RunConfig { t_final: 0.05, max_steps: 8, policy: None, store: Some(&mut store) },
+            )
+            .unwrap();
+        assert!(stats.retries >= 1, "the injected step fault forces a redo");
+        assert!(store.latest_valid().is_some(), "builder default policy checkpointed");
+        let tel = hydro.executor().telemetry();
+        assert!(tel.counter(names::counters::CHECKPOINTS_WRITTEN) > 0);
+        assert!(tel.counter(names::counters::STEP_REDOS) >= 1);
     }
 
     #[test]
     fn constrained_boundary_velocities_stay_zero() {
         let (mut hydro, mut state) = small_sedov_2d(cpu_exec());
-        hydro.run_to(&mut state, 0.02, 50);
+        hydro.run(&mut state, RunConfig::to(0.02).max_steps(50)).unwrap();
         let n = hydro.kin_space().num_dofs();
         for axis in 0..2 {
             for dof in hydro.kin_space().boundary_dofs(axis) {
@@ -1687,7 +2087,7 @@ mod tests {
             Some(dev),
         );
         let problem = Sedov::default();
-        let res = Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), exec);
+        let res = Hydro::<2>::builder(&problem, [4, 4]).executor(exec).build();
         assert!(res.is_err());
         let err = res.err().unwrap();
         assert!(matches!(err, crate::error::HydroError::Gpu(_)), "unexpected error: {err:?}");

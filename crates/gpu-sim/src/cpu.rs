@@ -8,6 +8,7 @@
 //! bandwidth), with an imperfect-parallel-scaling factor for the OpenMP
 //! analog.
 
+use blast_telemetry::{TelemetrySink, Track};
 use parking_lot::Mutex;
 use powermon::{CpuPowerModel, CpuPowerState, PowerTrace};
 
@@ -179,6 +180,7 @@ struct CpuState {
     clock_s: f64,
     trace: PowerTrace,
     events: Vec<CpuEvent>,
+    sink: Option<TelemetrySink>,
 }
 
 /// A simulated CPU package with a timeline and power trace.
@@ -198,6 +200,7 @@ impl CpuDevice {
                 clock_s: 0.0,
                 trace: PowerTrace::new(idle),
                 events: Vec::new(),
+                sink: None,
             }),
         }
     }
@@ -205,6 +208,18 @@ impl CpuDevice {
     /// Device specification.
     pub fn spec(&self) -> &CpuSpec {
         &self.spec
+    }
+
+    /// Attaches a telemetry sink: every subsequent phase is mirrored as a
+    /// [`Track::Host`] span at the exact `(start, duration)` the power
+    /// trace bills, so spans and power segments share one time axis.
+    pub fn attach_telemetry(&self, sink: TelemetrySink) {
+        self.state.lock().sink = Some(sink);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<TelemetrySink> {
+        self.state.lock().sink.clone()
     }
 
     /// Runs a phase: `body` executes for real; the modeled time/power are
@@ -229,6 +244,9 @@ impl CpuDevice {
         st.trace.push(start, time_s, power_w);
         st.events.push(CpuEvent { name, start_s: start, time_s, power_w });
         st.clock_s += time_s;
+        if let Some(sink) = &st.sink {
+            sink.span(Track::Host, name, start, time_s);
+        }
         (result, time_s)
     }
 
@@ -240,6 +258,9 @@ impl CpuDevice {
         let mut st = self.state.lock();
         st.events.reserve(phases);
         st.trace.reserve(phases);
+        if let Some(sink) = &st.sink {
+            sink.reserve_spans(phases);
+        }
     }
 
     /// Advances the clock through an idle / waiting gap.
@@ -381,6 +402,27 @@ mod tests {
         assert!(t >= 1 && t <= s.cores);
         // Must be a valid phase_time argument whatever the host box has.
         s.phase_time(&Traffic::compute(1.0), t, 0.5);
+    }
+
+    #[test]
+    fn attached_sink_mirrors_phases_on_the_power_time_axis() {
+        let dev = CpuDevice::new(CpuSpec::e5_2670());
+        let sink = blast_telemetry::Telemetry::sink();
+        dev.attach_telemetry(sink.clone());
+        dev.run_phase("corner_force", &Traffic::compute(1e9), 8, 0.2, CpuPowerState::Busy, || ());
+        dev.idle(0.25);
+        dev.run_phase("cg_solver", &Traffic::compute(1e9), 8, 0.2, CpuPowerState::Busy, || ());
+        let spans = sink.spans();
+        let events = dev.events();
+        assert_eq!(spans.len(), events.len());
+        for (s, e) in spans.iter().zip(&events) {
+            assert_eq!(s.name, e.name);
+            assert_eq!(s.start_s, e.start_s);
+            assert_eq!(s.dur_s, e.time_s);
+        }
+        // Every span sits inside the power-trace extent.
+        let end = dev.power_trace().end_time();
+        assert!(spans.iter().all(|s| s.start_s >= 0.0 && s.end_s() <= end + 1e-15));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The simulated GPU device: launch accounting, timing, power, transfers.
 
+use blast_telemetry::{names, TelemetrySink, Track};
 use parking_lot::Mutex;
 use powermon::PowerTrace;
 
@@ -30,8 +31,9 @@ pub struct KernelStats {
 /// A recorded device event (kernel or transfer).
 #[derive(Clone, Debug)]
 pub struct KernelEvent {
-    /// Kernel (or transfer) name.
-    pub name: String,
+    /// Kernel (or transfer) name (static: kernel names are compile-time
+    /// known, and a `String` here would allocate on every launch).
+    pub name: &'static str,
     /// Simulated start time.
     pub start_s: f64,
     /// Stats of the launch.
@@ -54,6 +56,7 @@ struct DeviceState {
     /// Per-site operation counters driving the deterministic fault draws.
     fault_ops: [u64; crate::fault::NUM_FAULT_KINDS],
     fault_stats: FaultStats,
+    sink: Option<TelemetrySink>,
 }
 
 /// A simulated CUDA device.
@@ -84,6 +87,7 @@ impl GpuDevice {
                 retry: RetryPolicy::default(),
                 fault_ops: [0; crate::fault::NUM_FAULT_KINDS],
                 fault_stats: FaultStats::default(),
+                sink: None,
             }),
         }
     }
@@ -91,6 +95,19 @@ impl GpuDevice {
     /// Device specification.
     pub fn spec(&self) -> &GpuSpec {
         &self.spec
+    }
+
+    /// Attaches a telemetry sink: every subsequent launch/transfer is
+    /// mirrored as a [`Track::Gpu`] span at the exact `(start, duration)`
+    /// the power trace bills, along with launch/traffic counters and
+    /// occupancy gauges.
+    pub fn attach_telemetry(&self, sink: TelemetrySink) {
+        self.state.lock().sink = Some(sink);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<TelemetrySink> {
+        self.state.lock().sink.clone()
     }
 
     /// Sets the number of host processes sharing the device through Hyper-Q
@@ -296,7 +313,7 @@ impl GpuDevice {
     /// retry policy is exhausted.
     pub fn launch<R>(
         &self,
-        name: &str,
+        name: &'static str,
         cfg: &LaunchConfig,
         traffic: &Traffic,
         body: impl FnOnce() -> R,
@@ -312,14 +329,18 @@ impl GpuDevice {
         let mut st = self.state.lock();
         let start = st.clock_s;
         st.trace.push(start, stats.time_s, stats.power_w);
-        st.events.push(KernelEvent {
-            name: name.to_string(),
-            start_s: start,
-            stats,
-            traffic: *traffic,
-            config: *cfg,
-        });
+        st.events.push(KernelEvent { name, start_s: start, stats, traffic: *traffic, config: *cfg });
         st.clock_s += stats.time_s;
+        if let Some(sink) = &st.sink {
+            sink.span(Track::Gpu, name, start, stats.time_s);
+            sink.counter_add(names::counters::GPU_LAUNCHES, 1);
+            sink.counter_add(names::counters::GPU_DRAM_BYTES, traffic.total_dram_bytes() as u64);
+            sink.gauge_set(names::gauges::GPU_OCCUPANCY, stats.occupancy.fraction);
+            sink.gauge_set(
+                names::gauges::GPU_DRAM_UTIL,
+                (stats.dram_bw_gbs / self.spec.dram_bw_gbs).min(1.0),
+            );
+        }
         Ok((result, stats))
     }
 
@@ -334,8 +355,8 @@ impl GpuDevice {
             attempts,
         })?;
         let name = match dir {
-            TransferDir::H2d => "memcpy_h2d",
-            TransferDir::D2h => "memcpy_d2h",
+            TransferDir::H2d => names::phases::MEMCPY_H2D,
+            TransferDir::D2h => names::phases::MEMCPY_D2H,
         };
         let s = &self.spec;
         let time_s = s.pcie_latency_us * 1e-6 + bytes as f64 / (s.pcie_bw_gbs * 1e9);
@@ -345,7 +366,7 @@ impl GpuDevice {
         let start = st.clock_s;
         st.trace.push(start, time_s, power_w);
         st.events.push(KernelEvent {
-            name: name.to_string(),
+            name,
             start_s: start,
             stats: KernelStats {
                 time_s,
@@ -366,6 +387,14 @@ impl GpuDevice {
             config: LaunchConfig::new(0, 0, 0, 0),
         });
         st.clock_s += time_s;
+        if let Some(sink) = &st.sink {
+            sink.span(Track::Gpu, name, start, time_s);
+            let ctr = match dir {
+                TransferDir::H2d => names::counters::H2D_BYTES,
+                TransferDir::D2h => names::counters::D2H_BYTES,
+            };
+            sink.counter_add(ctr, bytes as u64);
+        }
         Ok(time_s)
     }
 
@@ -413,15 +442,15 @@ impl GpuDevice {
 
     /// Aggregates events by kernel name: `(name, total_time_s, calls)`,
     /// sorted by descending total time — the Fig. 6 breakdown.
-    pub fn kernel_summary(&self) -> Vec<(String, f64, usize)> {
+    pub fn kernel_summary(&self) -> Vec<(&'static str, f64, usize)> {
         let st = self.state.lock();
-        let mut agg: Vec<(String, f64, usize)> = Vec::new();
+        let mut agg: Vec<(&'static str, f64, usize)> = Vec::new();
         for e in &st.events {
             if let Some(slot) = agg.iter_mut().find(|(n, _, _)| *n == e.name) {
                 slot.1 += e.stats.time_s;
                 slot.2 += 1;
             } else {
-                agg.push((e.name.clone(), e.stats.time_s, 1));
+                agg.push((e.name, e.stats.time_s, 1));
             }
         }
         agg.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite times"));
@@ -729,6 +758,35 @@ mod tests {
         assert_ne!(run(5), run(6), "different seeds diverge (w.h.p.)");
         let ok = run(5).iter().filter(|&&o| o).count();
         assert!(ok > 20 && ok < 60, "rate 0.4 without retries: {ok}/64 succeeded");
+    }
+
+    #[test]
+    fn attached_sink_mirrors_launches_and_transfers() {
+        let dev = k20();
+        let sink = blast_telemetry::Telemetry::sink();
+        dev.attach_telemetry(sink.clone());
+        let t = Traffic { flops: 1e9, dram_bytes: 1e8, ..Default::default() };
+        dev.launch("k_test", &full_cfg(1000), &t, || ()).unwrap();
+        dev.h2d(1024).unwrap();
+        dev.d2h(2048).unwrap();
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "k_test");
+        assert_eq!(spans[1].name, names::phases::MEMCPY_H2D);
+        assert_eq!(sink.counter(names::counters::GPU_LAUNCHES), 1);
+        assert_eq!(sink.counter(names::counters::GPU_DRAM_BYTES), 1e8 as u64);
+        assert_eq!(sink.counter(names::counters::H2D_BYTES), 1024);
+        assert_eq!(sink.counter(names::counters::D2H_BYTES), 2048);
+        assert!(sink.gauge(names::gauges::GPU_OCCUPANCY).unwrap() > 0.0);
+        // Spans reproduce the event timeline exactly and sit inside the
+        // power-trace extent.
+        let events = dev.events();
+        let end = dev.power_trace().end_time();
+        for (s, e) in spans.iter().zip(&events) {
+            assert_eq!(s.start_s, e.start_s);
+            assert_eq!(s.dur_s, e.stats.time_s);
+            assert!(s.end_s() <= end + 1e-15);
+        }
     }
 
     #[test]

@@ -257,7 +257,7 @@ mod tests {
         let spmv_calls = dev
             .kernel_summary()
             .iter()
-            .find(|(n, _, _)| n == SpmvKernel::NAME)
+            .find(|(n, _, _)| *n == SpmvKernel::NAME)
             .map(|&(_, _, c)| c)
             .unwrap();
         assert_eq!(spmv_calls, res.iterations + 1);

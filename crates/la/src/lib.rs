@@ -36,8 +36,8 @@ pub use csr::{CsrBuilder, CsrMatrix};
 pub use dense::DMatrix;
 pub use eig::{sym_eig2, sym_eig3, SymEig};
 pub use lu::LuFactors;
-pub use pcg::{pcg_solve, pcg_solve_ws, DiagPrecond, LinearOperator, PcgOptions, PcgResult,
-    PcgWorkspace};
+pub use pcg::{pcg_solve, pcg_solve_instrumented, pcg_solve_ws, DiagPrecond, LinearOperator,
+    PcgOptions, PcgResult, PcgWorkspace};
 pub use small::SmallMat;
 pub use svd::{svd2, svd3, Svd};
 pub use tile::{GemmWorkspace, MicroTile, TileConfig};

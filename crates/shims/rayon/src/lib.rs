@@ -26,7 +26,7 @@ pub use iter::{
     ParChunksExactMut, ParChunksMut, ParIter, ParIterMut, ParRange, ParallelIterator,
     ParallelSlice, ParallelSliceMut, Producer, Zip,
 };
-pub use pool::{current_num_threads, set_active_threads, BlockConsumer};
+pub use pool::{current_num_threads, pool_stats, set_active_threads, BlockConsumer, PoolStats};
 
 pub mod prelude {
     pub use super::{

@@ -46,6 +46,37 @@ const MAX_THREADS: usize = 256;
 
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+// Pool observability counters. The shim stays dependency-free (it stands in
+// for crates.io rayon), so instead of emitting into blast-telemetry directly
+// it exposes process-wide atomics that the executor samples into telemetry
+// gauges/counters at report time. Relaxed ordering: these are statistics,
+// not synchronization.
+static STEALS: AtomicU64 = AtomicU64::new(0);
+static BLOCKS: AtomicU64 = AtomicU64::new(0);
+static PARALLEL_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative work-stealing statistics since process start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallel drives that actually spawned workers (serial and nested
+    /// calls are not counted).
+    pub parallel_calls: u64,
+    /// Blocks executed by parallel drives (owner-run + stolen).
+    pub blocks_executed: u64,
+    /// Blocks claimed from another participant's deque.
+    pub steals: u64,
+}
+
+/// Snapshot of the pool's cumulative counters. Monotonic; diff two
+/// snapshots to attribute work to a region.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        parallel_calls: PARALLEL_CALLS.load(Ordering::Relaxed),
+        blocks_executed: BLOCKS.load(Ordering::Relaxed),
+        steals: STEALS.load(Ordering::Relaxed),
+    }
+}
+
 /// `BLAST_THREADS` parsed once; `None` when unset or unparsable.
 fn env_threads() -> Option<usize> {
     static CACHE: OnceLock<Option<usize>> = OnceLock::new();
@@ -247,10 +278,18 @@ where
         .map(AtomicU64::new)
         .collect();
     let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    PARALLEL_CALLS.fetch_add(1, Ordering::Relaxed);
+    BLOCKS.fetch_add(nblocks as u64, Ordering::Relaxed);
 
     let worker = |me: usize| {
         let _guard = PoolGuard::enter();
-        while let Some(b) = pop_front(&deques[me]).or_else(|| steal(&deques, me)) {
+        while let Some(b) = pop_front(&deques[me]).or_else(|| {
+            let stolen = steal(&deques, me);
+            if stolen.is_some() {
+                STEALS.fetch_add(1, Ordering::Relaxed);
+            }
+            stolen
+        }) {
             // SAFETY: index `b` was claimed exactly once (CAS protocol),
             // so this thread has exclusive access to slots[b]/results[b].
             let p = unsafe { (*slots[b].0.get()).take().expect("block claimed once") };

@@ -1,0 +1,89 @@
+//! Interned phase / counter / gauge names shared across the workspace.
+//!
+//! Every instrumented surface refers to these constants instead of
+//! spelling string literals, so the solver's `CpuEvent` names, the
+//! telemetry spans, and the report tables can never drift apart.
+
+/// Span / phase names (one per timeline lane entry).
+pub mod phases {
+    /// Corner-force (Kernels 1-6) host phase.
+    pub const CORNER_FORCE: &str = "corner_force";
+    /// Hybrid split: GPU side of the corner-force launch.
+    pub const CORNER_FORCE_HYBRID: &str = "corner_force(hybrid)";
+    /// Hybrid split: CPU side of the corner-force phase.
+    pub const CORNER_FORCE_HYBRID_CPU: &str = "corner_force(hybrid cpu)";
+    /// Momentum CG solve (PCG on the mass matrix).
+    pub const CG_SOLVER: &str = "cg_solver";
+    /// Energy RHS solve (local L2 mass inversions).
+    pub const ENERGY_SOLVE: &str = "energy_solve";
+    /// RK2 state integration / axpy updates.
+    pub const INTEGRATION: &str = "integration";
+    /// One full RK2 timestep (parent span of the four phases above).
+    pub const STEP: &str = "step";
+    /// Checkpoint image serialization + write.
+    pub const CHECKPOINT_WRITE: &str = "checkpoint_write";
+    /// Checkpoint image read + restore.
+    pub const CHECKPOINT_RESTORE: &str = "checkpoint_restore";
+    /// Cluster quiesce while recovering from a rank death.
+    pub const RECOVERY_QUIESCE: &str = "recovery_quiesce";
+    /// Instant: executor permanently degraded to CPU-only execution.
+    pub const DEGRADE_TO_CPU: &str = "degrade_to_cpu";
+    /// Instant: a rank was declared dead by the failure detector.
+    pub const RANK_DEATH: &str = "rank_death";
+    /// Instant: cluster recovery completed (membership shrunk, state restored).
+    pub const RECOVERY_COMPLETE: &str = "recovery_complete";
+    /// Host→device PCIe transfer.
+    pub const MEMCPY_H2D: &str = "memcpy_h2d";
+    /// Device→host PCIe transfer.
+    pub const MEMCPY_D2H: &str = "memcpy_d2h";
+}
+
+/// Monotonic counter names.
+pub mod counters {
+    /// Completed RK2 steps.
+    pub const STEPS: &str = "steps";
+    /// Steps redone after rollback (fault or CFL violation).
+    pub const STEP_REDOS: &str = "step_redos";
+    /// Total PCG iterations across all momentum solves.
+    pub const PCG_ITERATIONS: &str = "pcg_iterations";
+    /// PCG solves started.
+    pub const PCG_SOLVES: &str = "pcg_solves";
+    /// PCG preconditioner breakdowns (restarts with identity).
+    pub const PCG_BREAKDOWNS: &str = "pcg_breakdowns";
+    /// Kernel launches on the simulated GPU.
+    pub const GPU_LAUNCHES: &str = "gpu_launches";
+    /// Modeled DRAM traffic moved by GPU kernels, bytes.
+    pub const GPU_DRAM_BYTES: &str = "gpu_dram_bytes";
+    /// Host→device bytes over PCIe.
+    pub const H2D_BYTES: &str = "h2d_bytes";
+    /// Device→host bytes over PCIe.
+    pub const D2H_BYTES: &str = "d2h_bytes";
+    /// Successful steals in the work-stealing host pool.
+    pub const POOL_STEALS: &str = "pool_steals";
+    /// Blocks executed by the host pool (owner-run + stolen).
+    pub const POOL_BLOCKS: &str = "pool_blocks";
+    /// Parallel drives issued to the host pool.
+    pub const POOL_CALLS: &str = "pool_calls";
+    /// Point-to-point messages sent through the cluster communicator.
+    pub const MSGS_SENT: &str = "msgs_sent";
+    /// Payload bytes sent through the cluster communicator.
+    pub const MSG_BYTES: &str = "msg_bytes";
+    /// Messages dropped by injected faults.
+    pub const MSGS_DROPPED: &str = "msgs_dropped";
+    /// Ranks declared dead by the failure detector.
+    pub const RANK_DEATHS: &str = "rank_deaths";
+    /// Checkpoint images written.
+    pub const CHECKPOINTS_WRITTEN: &str = "checkpoints_written";
+    /// Checkpoint restores performed.
+    pub const CHECKPOINT_RESTORES: &str = "checkpoint_restores";
+}
+
+/// Gauge names (last-write-wins samples).
+pub mod gauges {
+    /// Occupancy of the most recent GPU kernel launch (0..1).
+    pub const GPU_OCCUPANCY: &str = "gpu_occupancy";
+    /// DRAM bandwidth utilization of the most recent launch (0..1).
+    pub const GPU_DRAM_UTIL: &str = "gpu_dram_util";
+    /// Active host pool threads at last sample.
+    pub const POOL_THREADS: &str = "pool_threads";
+}

@@ -8,9 +8,7 @@
 
 use std::sync::Arc;
 
-use blast_repro::blast_core::{
-    CheckpointPolicy, CheckpointStore, ExecMode, Executor, Hydro, HydroConfig, Sedov,
-};
+use blast_repro::blast_core::{CheckpointPolicy, CheckpointStore, ExecMode, Executor, Hydro, RunConfig, Sedov};
 use blast_repro::gpu_sim::{CpuSpec, FaultKind, FaultPlan, GpuDevice, GpuSpec, FAULT_SEED_ENV};
 
 const T_FINAL: f64 = 0.1;
@@ -25,7 +23,7 @@ fn fresh_hydro(plan: FaultPlan) -> Hydro<2> {
         Some(dev),
     );
     let problem = Sedov::default();
-    Hydro::<2>::new(&problem, [ZONES, ZONES], HydroConfig::default(), exec).expect("setup")
+    Hydro::<2>::builder(&problem, [ZONES, ZONES]).executor(exec).build().expect("setup")
 }
 
 fn plan() -> FaultPlan {
@@ -52,13 +50,13 @@ fn main() {
     // Uninterrupted reference for the bit-identity cross-check.
     let mut h_ref = fresh_hydro(plan());
     let mut s_ref = h_ref.initial_state();
+    let mut ref_store = CheckpointStore::in_memory();
     let stats_ref = h_ref
-        .try_run_to_checkpointed(
+        .run(
             &mut s_ref,
-            T_FINAL,
-            500,
-            &CheckpointPolicy::EverySteps(4),
-            &mut CheckpointStore::in_memory(),
+            RunConfig::to(T_FINAL)
+                .max_steps(500)
+                .checkpointed(CheckpointPolicy::EverySteps(4), &mut ref_store),
         )
         .expect("reference run");
 
@@ -67,7 +65,7 @@ fn main() {
     let mut s1 = h1.initial_state();
     let mut store = CheckpointStore::on_disk(&dir).expect("checkpoint dir");
     let half = stats_ref.steps / 2;
-    h1.try_run_to_checkpointed(&mut s1, T_FINAL, half, &CheckpointPolicy::EverySteps(4), &mut store)
+    h1.run(&mut s1, RunConfig::to(T_FINAL).max_steps(half).checkpointed(CheckpointPolicy::EverySteps(4), &mut store))
         .expect("first half");
     let e_first = energy_of(&h1);
     println!("== first life");
@@ -88,7 +86,7 @@ fn main() {
     let mut s2 = h2.initial_state();
     let mut store = CheckpointStore::on_disk(&dir).expect("reopen checkpoint dir");
     let stats2 = h2
-        .try_run_to_checkpointed(&mut s2, T_FINAL, 500, &CheckpointPolicy::EverySteps(4), &mut store)
+        .run(&mut s2, RunConfig::to(T_FINAL).max_steps(500).checkpointed(CheckpointPolicy::EverySteps(4), &mut store))
         .expect("restarted run");
     let report = h2.executor().resilience_report(stats2.retries);
     let e_second = energy_of(&h2);

@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use blast_repro::blast_core::{ExecMode, Executor, Hydro, HydroConfig, HydroState, Sedov};
+use blast_repro::blast_core::{ExecMode, Executor, Hydro, HydroState, RunConfig, Sedov};
 use blast_repro::gpu_sim::{CpuSpec, FaultKind, FaultPlan, GpuDevice, GpuSpec, FAULT_SEED_ENV};
 
 const T_FINAL: f64 = 0.1;
@@ -30,10 +30,10 @@ fn run(label: &str, plan: FaultPlan) -> (HydroState, f64, f64, String) {
     );
     let problem = Sedov::default();
     let mut hydro =
-        Hydro::<2>::new(&problem, [8, 8], HydroConfig::default(), exec).expect("setup");
+        Hydro::<2>::builder(&problem, [8, 8]).executor(exec).build().expect("setup");
     let mut state = hydro.initial_state();
     let stats = hydro
-        .try_run_to(&mut state, T_FINAL, 500)
+        .run(&mut state, RunConfig::to(T_FINAL).max_steps(500))
         .expect("every fault here is recoverable");
     let report = hydro.executor().resilience_report(stats.retries);
     let wall = hydro.wall_time();
@@ -68,9 +68,9 @@ fn main() {
     // A pure-CPU reference for the bit-identity claims.
     let cpu = Executor::new(ExecMode::CpuSerial, CpuSpec::e5_2670(), None);
     let problem = Sedov::default();
-    let mut h_cpu = Hydro::<2>::new(&problem, [8, 8], HydroConfig::default(), cpu).expect("setup");
+    let mut h_cpu = Hydro::<2>::builder(&problem, [8, 8]).executor(cpu).build().expect("setup");
     let mut s_cpu = h_cpu.initial_state();
-    h_cpu.try_run_to(&mut s_cpu, T_FINAL, 500).expect("cpu run");
+    h_cpu.run(&mut s_cpu, RunConfig::to(T_FINAL).max_steps(500)).expect("cpu run");
 
     println!("== cross-checks");
     println!(

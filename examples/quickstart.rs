@@ -5,16 +5,16 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use blast_repro::blast_core::{ExecMode, Executor, Hydro, HydroConfig, Sedov};
-use blast_repro::gpu_sim::CpuSpec;
+use blast_repro::blast_core::{ExecMode, Hydro, RunConfig, Sedov};
 
 fn main() {
     // 1. Pick a problem and a discretization: Q2-Q1 on a 12x12 mesh.
     let problem = Sedov::default();
-    let exec = Executor::new(ExecMode::CpuParallel { threads: 8 }, CpuSpec::e5_2670(), None);
-    let config = HydroConfig { order: 2, ..Default::default() };
-    let mut hydro =
-        Hydro::<2>::new(&problem, [12, 12], config, exec).expect("setup");
+    let mut hydro = Hydro::<2>::builder(&problem, [12, 12])
+        .order(2)
+        .mode(ExecMode::CpuParallel { threads: 8 })
+        .build()
+        .expect("setup");
     let mut state = hydro.initial_state();
 
     // 2. Initial diagnostics.
@@ -28,7 +28,7 @@ fn main() {
     );
 
     // 3. March to t = 0.3 with adaptive CFL timestepping.
-    let stats = hydro.run_to(&mut state, 0.3, 2000);
+    let stats = hydro.run(&mut state, RunConfig::to(0.3).max_steps(2000)).unwrap();
     let e1 = hydro.energies(&state);
     println!(
         "t = {:.3}  kinetic {:>12.6e}  internal {:>12.6e}  total {:>14.10e}",
@@ -47,7 +47,7 @@ fn main() {
     // 4. Where did the (simulated) time go? The corner force dominates —
     //    the paper's motivation for the GPU port.
     println!("\nCPU phase profile (simulated):");
-    let prof = hydro.profile();
+    let prof = hydro.phase_profile();
     let total: f64 = prof.iter().map(|(_, t, _)| t).sum();
     for (name, t, calls) in prof {
         println!(

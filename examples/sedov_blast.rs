@@ -23,7 +23,7 @@ fn run(order: usize, zones: usize, mode: ExecMode, label: &str) -> (f64, f64) {
     let problem = Sedov::default();
     let config = HydroConfig { order, ..Default::default() };
     let mut hydro =
-        Hydro::<3>::new(&problem, [zones; 3], config, exec).expect("fits on the K20");
+        Hydro::<3>::builder(&problem, [zones; 3]).config(config).executor(exec).build().expect("fits on the K20");
     let mut state: HydroState = hydro.initial_state();
 
     let mut dt = hydro.suggest_dt(&state);

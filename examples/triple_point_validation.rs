@@ -18,7 +18,7 @@ fn run(mode: ExecMode, label: &str) -> (f64, f64, f64, f64) {
     let exec = Executor::new(mode, CpuSpec::e5_2670(), gpu);
     let problem = TriplePoint::default();
     let config = HydroConfig { order: 3, ..Default::default() };
-    let mut hydro = Hydro::<2>::new(&problem, [14, 6], config, exec).expect("setup");
+    let mut hydro = Hydro::<2>::builder(&problem, [14, 6]).config(config).executor(exec).build().expect("setup");
     let mut state = hydro.initial_state();
     let e0 = hydro.energies(&state);
 

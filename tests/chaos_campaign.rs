@@ -7,9 +7,7 @@
 
 use std::time::Duration;
 
-use blast_repro::blast_core::{
-    CheckpointPolicy, CheckpointStore, ExecMode, Executor, Hydro, HydroConfig, Sedov,
-};
+use blast_repro::blast_core::{CheckpointPolicy, CheckpointStore, ExecMode, Executor, Hydro, RunConfig, Sedov};
 use blast_repro::cluster_sim::{
     campaign_overhead_pct, run_chaos_campaign, CampaignConfig, RankOutcome,
 };
@@ -143,18 +141,19 @@ fn flipped_byte_checkpoint_falls_back_a_generation() {
     let problem = Sedov::default();
 
     // Uninterrupted reference.
-    let mut h_ref = Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), cpu_exec()).unwrap();
+    let mut h_ref = Hydro::<2>::builder(&problem, [4, 4]).executor(cpu_exec()).build().unwrap();
     let mut s_ref = h_ref.initial_state();
+    let mut ref_store = CheckpointStore::in_memory();
     let stats_ref = h_ref
-        .try_run_to_checkpointed(&mut s_ref, 0.06, 60, &policy, &mut CheckpointStore::in_memory())
+        .run(&mut s_ref, RunConfig::to(0.06).max_steps(60).checkpointed(policy, &mut ref_store))
         .unwrap();
     assert!(stats_ref.steps >= 5, "need several generations: {}", stats_ref.steps);
 
     // First half, then "the process dies".
-    let mut h1 = Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), cpu_exec()).unwrap();
+    let mut h1 = Hydro::<2>::builder(&problem, [4, 4]).executor(cpu_exec()).build().unwrap();
     let mut s1 = h1.initial_state();
     let mut store = CheckpointStore::in_memory();
-    h1.try_run_to_checkpointed(&mut s1, 0.06, stats_ref.steps - 1, &policy, &mut store).unwrap();
+    h1.run(&mut s1, RunConfig::to(0.06).max_steps(stats_ref.steps - 1).checkpointed(policy, &mut store)).unwrap();
     assert!(store.generations() >= 2, "need a generation to fall back to");
     drop((h1, s1));
 
@@ -167,9 +166,9 @@ fn flipped_byte_checkpoint_falls_back_a_generation() {
     let loaded = store.latest_valid().expect("must fall back, not fail");
     assert_eq!(loaded.skipped, 1, "exactly the flipped-byte generation is skipped");
 
-    let mut h2 = Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), cpu_exec()).unwrap();
+    let mut h2 = Hydro::<2>::builder(&problem, [4, 4]).executor(cpu_exec()).build().unwrap();
     let mut s2 = h2.initial_state();
-    let stats2 = h2.try_run_to_checkpointed(&mut s2, 0.06, 60, &policy, &mut store).unwrap();
+    let stats2 = h2.run(&mut s2, RunConfig::to(0.06).max_steps(60).checkpointed(policy, &mut store)).unwrap();
     assert_eq!(stats2.steps, stats_ref.steps);
     assert_eq!(s2.v, s_ref.v, "resume after fallback must stay bit-identical");
     assert_eq!(s2.e, s_ref.e);

@@ -3,9 +3,7 @@
 
 use std::sync::Arc;
 
-use blast_repro::blast_core::{
-    EnergyBreakdown, ExecMode, Executor, Hydro, HydroConfig, Sedov, TriplePoint,
-};
+use blast_repro::blast_core::{EnergyBreakdown, ExecMode, Executor, Hydro, RunConfig, Sedov, TriplePoint};
 use blast_repro::gpu_sim::{CpuSpec, GpuDevice, GpuSpec};
 use blast_repro::powermon::{EnergyReport, Greenup};
 
@@ -26,10 +24,10 @@ fn gpu_exec(mpi: u32) -> Executor {
 fn full_sedov_run_to_completion_conserves_energy() {
     let problem = Sedov { t_final: 0.3, ..Default::default() };
     let mut hydro =
-        Hydro::<2>::new(&problem, [8, 8], HydroConfig::default(), cpu_exec()).unwrap();
+        Hydro::<2>::builder(&problem, [8, 8]).executor(cpu_exec()).build().unwrap();
     let mut state = hydro.initial_state();
     let e0 = hydro.energies(&state);
-    let stats = hydro.run_to(&mut state, 0.3, 2000);
+    let stats = hydro.run(&mut state, RunConfig::to(0.3).max_steps(2000)).unwrap();
     assert!((state.t - 0.3).abs() < 1e-12, "stopped at t = {}", state.t);
     assert!(stats.steps > 10);
     let e1 = hydro.energies(&state);
@@ -49,9 +47,9 @@ fn cpu_and_gpu_agree_on_a_long_run() {
     let problem = Sedov::default();
     let steps = 10;
     let mut h_cpu =
-        Hydro::<2>::new(&problem, [6, 6], HydroConfig::default(), cpu_exec()).unwrap();
+        Hydro::<2>::builder(&problem, [6, 6]).executor(cpu_exec()).build().unwrap();
     let mut h_gpu =
-        Hydro::<2>::new(&problem, [6, 6], HydroConfig::default(), gpu_exec(1)).unwrap();
+        Hydro::<2>::builder(&problem, [6, 6]).executor(gpu_exec(1)).build().unwrap();
     let mut s_cpu = h_cpu.initial_state();
     let mut s_gpu = h_gpu.initial_state();
     let dt = h_cpu.suggest_dt(&s_cpu).min(h_gpu.suggest_dt(&s_gpu));
@@ -69,7 +67,7 @@ fn device_traces_align_for_energy_accounting() {
     // (the host waits on the device), so node energy = host + device.
     let problem = Sedov::default();
     let mut hydro =
-        Hydro::<2>::new(&problem, [8, 8], HydroConfig::default(), gpu_exec(1)).unwrap();
+        Hydro::<2>::builder(&problem, [8, 8]).executor(gpu_exec(1)).build().unwrap();
     let mut state = hydro.initial_state();
     let dt = hydro.suggest_dt(&state);
     for _ in 0..3 {
@@ -92,7 +90,7 @@ fn greenup_pipeline_end_to_end() {
     let problem = Sedov::default();
     let steps = 2;
 
-    let mut hc = Hydro::<3>::new(&problem, [8, 8, 8], HydroConfig::default(), cpu_exec()).unwrap();
+    let mut hc = Hydro::<3>::builder(&problem, [8, 8, 8]).executor(cpu_exec()).build().unwrap();
     let mut sc = hc.initial_state();
     let mut dt = hc.suggest_dt(&sc);
     for _ in 0..steps {
@@ -102,7 +100,7 @@ fn greenup_pipeline_end_to_end() {
     let t_cpu = hc.wall_time();
     let e_cpu = 2.0 * hc.executor().host.energy_joules();
 
-    let mut hg = Hydro::<3>::new(&problem, [8, 8, 8], HydroConfig::default(), gpu_exec(8)).unwrap();
+    let mut hg = Hydro::<3>::builder(&problem, [8, 8, 8]).executor(gpu_exec(8)).build().unwrap();
     let mut sg = hg.initial_state();
     let mut dt = hg.suggest_dt(&sg);
     for _ in 0..steps {
@@ -130,7 +128,7 @@ fn triple_point_multimaterial_pressure_equilibrium() {
     // exchange between the two right-side materials (p = 0.1 both sides).
     let problem = TriplePoint::default();
     let hydro =
-        Hydro::<2>::new(&problem, [14, 6], HydroConfig::default(), cpu_exec()).unwrap();
+        Hydro::<2>::builder(&problem, [14, 6]).executor(cpu_exec()).build().unwrap();
     let state = hydro.initial_state();
     let e: EnergyBreakdown = hydro.energies(&state);
     assert_eq!(e.kinetic, 0.0);
@@ -146,7 +144,7 @@ fn hyperq_sharing_changes_power_not_results() {
     let problem = Sedov::default();
     let run = |mpi: u32| {
         let mut h =
-            Hydro::<2>::new(&problem, [8, 8], HydroConfig::default(), gpu_exec(mpi)).unwrap();
+            Hydro::<2>::builder(&problem, [8, 8]).executor(gpu_exec(mpi)).build().unwrap();
         let mut s = h.initial_state();
         let dt = 1e-4;
         for _ in 0..2 {

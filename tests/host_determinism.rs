@@ -5,7 +5,7 @@
 //! `(v, e, x, t)` or the adaptive dt fails the test.
 
 use blast_repro::blast_core::{
-    Checkpoint, CheckpointStore, ExecMode, Executor, Hydro, HydroConfig, Sedov,
+    Checkpoint, CheckpointStore, ExecMode, Executor, Hydro, Sedov,
 };
 use blast_repro::gpu_sim::CpuSpec;
 
@@ -19,7 +19,7 @@ fn sedov_checkpoint_image(threads: usize) -> Vec<u8> {
         None,
     );
     let problem = Sedov::default();
-    let mut hydro = Hydro::<2>::new(&problem, [8, 8], HydroConfig::default(), exec)
+    let mut hydro = Hydro::<2>::builder(&problem, [8, 8]).executor(exec).build()
         .expect("problem fits");
     let mut state = hydro.initial_state();
     let mut dt = hydro.suggest_dt(&state);

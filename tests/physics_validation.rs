@@ -3,7 +3,7 @@
 //! scaling, symmetry preservation, and Galilean invariance of the internal
 //! energy evolution.
 
-use blast_repro::blast_core::{ExecMode, Executor, Hydro, HydroConfig, Sedov};
+use blast_repro::blast_core::{ExecMode, Executor, Hydro, HydroConfig, RunConfig, Sedov};
 use blast_repro::gpu_sim::CpuSpec;
 
 fn cpu_exec() -> Executor {
@@ -18,9 +18,9 @@ fn shock_compression_bounded_by_rankine_hugoniot() {
     // modest margin applies, but 10x would be unphysical.
     let problem = Sedov::default();
     let mut hydro =
-        Hydro::<2>::new(&problem, [10, 10], HydroConfig::default(), cpu_exec()).unwrap();
+        Hydro::<2>::builder(&problem, [10, 10]).executor(cpu_exec()).build().unwrap();
     let mut state = hydro.initial_state();
-    hydro.run_to(&mut state, 0.25, 1000);
+    hydro.run(&mut state, RunConfig::to(0.25).max_steps(1000)).unwrap();
     let (max_compr, min_det, _) = hydro.density_diagnostics(&state);
     assert!(min_det > 0.0, "mesh remained valid");
     assert!(max_compr > 1.5, "a shock should compress: {max_compr}");
@@ -34,13 +34,13 @@ fn sedov_expansion_decelerates() {
     // blast kinetic energy saturates rather than growing without bound.
     let problem = Sedov::default();
     let mut hydro =
-        Hydro::<2>::new(&problem, [10, 10], HydroConfig::default(), cpu_exec()).unwrap();
+        Hydro::<2>::builder(&problem, [10, 10]).executor(cpu_exec()).build().unwrap();
     let mut state = hydro.initial_state();
 
-    hydro.run_to(&mut state, 0.1, 1000);
+    hydro.run(&mut state, RunConfig::to(0.1).max_steps(1000)).unwrap();
     let ke1 = hydro.energies(&state).kinetic;
     let r1 = blast_radius(&hydro, &state);
-    hydro.run_to(&mut state, 0.3, 1000);
+    hydro.run(&mut state, RunConfig::to(0.3).max_steps(1000)).unwrap();
     let ke2 = hydro.energies(&state).kinetic;
     let r2 = blast_radius(&hydro, &state);
 
@@ -77,9 +77,9 @@ fn diagonal_symmetry_preserved() {
     // tolerance).
     let problem = Sedov::default();
     let mut hydro =
-        Hydro::<2>::new(&problem, [8, 8], HydroConfig::default(), cpu_exec()).unwrap();
+        Hydro::<2>::builder(&problem, [8, 8]).executor(cpu_exec()).build().unwrap();
     let mut state = hydro.initial_state();
-    hydro.run_to(&mut state, 0.1, 500);
+    hydro.run(&mut state, RunConfig::to(0.1).max_steps(500)).unwrap();
 
     let space = hydro.kin_space();
     let n = space.num_dofs();
@@ -105,10 +105,10 @@ fn total_mass_is_exactly_conserved() {
     // changes — by construction, but the diagnostics must agree.
     let problem = Sedov::default();
     let mut hydro =
-        Hydro::<2>::new(&problem, [6, 6], HydroConfig::default(), cpu_exec()).unwrap();
+        Hydro::<2>::builder(&problem, [6, 6]).executor(cpu_exec()).build().unwrap();
     let m0 = hydro.total_mass();
     let mut state = hydro.initial_state();
-    hydro.run_to(&mut state, 0.1, 300);
+    hydro.run(&mut state, RunConfig::to(0.1).max_steps(300)).unwrap();
     assert_eq!(hydro.total_mass(), m0);
     // Volume integral of |J| equals the deformed domain volume; with
     // reflecting walls the domain volume is invariant.
@@ -121,10 +121,10 @@ fn energy_conservation_holds_across_orders() {
     for order in [1usize, 2, 3] {
         let problem = Sedov::default();
         let cfg = HydroConfig { order, ..Default::default() };
-        let mut hydro = Hydro::<2>::new(&problem, [4, 4], cfg, cpu_exec()).unwrap();
+        let mut hydro = Hydro::<2>::builder(&problem, [4, 4]).config(cfg).executor(cpu_exec()).build().unwrap();
         let mut state = hydro.initial_state();
         let e0 = hydro.energies(&state);
-        hydro.run_to(&mut state, 0.05, 200);
+        hydro.run(&mut state, RunConfig::to(0.05).max_steps(200)).unwrap();
         let e1 = hydro.energies(&state);
         assert!(
             e1.relative_change(&e0).abs() < 1e-10,

@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use blast_repro::blast_core::{ExecMode, Executor, Hydro, HydroConfig, HydroState, Sedov};
+use blast_repro::blast_core::{ExecMode, Executor, Hydro, HydroConfig, HydroState, RunConfig, Sedov};
 use blast_repro::gpu_sim::{
     CpuSpec, FaultKind, FaultPlan, GpuDevice, GpuSpec, RetryPolicy,
 };
@@ -28,9 +28,9 @@ fn gpu_exec_with(plan: FaultPlan) -> Executor {
 
 fn sedov_run(exec: Executor) -> (Hydro<2>, HydroState, blast_repro::blast_core::RunStats) {
     let problem = Sedov::default();
-    let mut hydro = Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), exec).unwrap();
+    let mut hydro = Hydro::<2>::builder(&problem, [4, 4]).executor(exec).build().unwrap();
     let mut state = hydro.initial_state();
-    let stats = hydro.run_to(&mut state, 0.05, 60);
+    let stats = hydro.run(&mut state, RunConfig::to(0.05).max_steps(60)).unwrap();
     (hydro, state, stats)
 }
 
@@ -159,12 +159,12 @@ fn disabled_fault_plan_changes_nothing() {
 fn rollback_on_mesh_tangle_conserves_energy() {
     let problem = Sedov::default();
     let config = HydroConfig { cfl: 5.0, ..Default::default() };
-    let mut hydro = Hydro::<2>::new(&problem, [4, 4], config, cpu_exec()).unwrap();
+    let mut hydro = Hydro::<2>::builder(&problem, [4, 4]).config(config).executor(cpu_exec()).build().unwrap();
     let mut state = hydro.initial_state();
     let e0 = hydro.energies(&state);
     // t_final must exceed the (huge) suggested dt, or the horizon clamp
     // would keep every step below the tangle threshold.
-    let stats = hydro.try_run_to(&mut state, 0.25, 300).expect("rollback should recover");
+    let stats = hydro.run(&mut state, RunConfig::to(0.25).max_steps(300)).expect("rollback should recover");
     assert!(stats.retries > 0, "the huge CFL must force at least one redo");
     assert!(state.t >= 0.25 - 1e-12);
     let e1 = hydro.energies(&state);
@@ -178,7 +178,7 @@ fn rollback_on_mesh_tangle_conserves_energy() {
 fn failed_step_leaves_state_unchanged() {
     let problem = Sedov::default();
     let mut hydro =
-        Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), cpu_exec()).unwrap();
+        Hydro::<2>::builder(&problem, [4, 4]).executor(cpu_exec()).build().unwrap();
     let mut state = hydro.initial_state();
     let before = state.clone();
     let err = hydro.try_step(&mut state, 10.0).expect_err("dt = 10 must fail");
@@ -241,10 +241,10 @@ proptest! {
     fn rollback_conserves_energy_for_any_cfl(cfl in 1.0f64..6.0) {
         let problem = Sedov::default();
         let config = HydroConfig { cfl, ..Default::default() };
-        let mut hydro = Hydro::<2>::new(&problem, [4, 4], config, cpu_exec()).unwrap();
+        let mut hydro = Hydro::<2>::builder(&problem, [4, 4]).config(config).executor(cpu_exec()).build().unwrap();
         let mut state = hydro.initial_state();
         let e0 = hydro.energies(&state);
-        let stats = hydro.try_run_to(&mut state, 0.2, 400);
+        let stats = hydro.run(&mut state, RunConfig::to(0.2).max_steps(400));
         prop_assume!(stats.is_ok());
         let (max_compr, _, _) = hydro.density_diagnostics(&state);
         prop_assume!(max_compr < 6.5);
@@ -266,10 +266,10 @@ fn retry_policy_off_makes_first_fault_terminal() {
         Some(dev),
     );
     let problem = Sedov::default();
-    let mut hydro = Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), exec).unwrap();
+    let mut hydro = Hydro::<2>::builder(&problem, [4, 4]).executor(exec).build().unwrap();
     let mut state = hydro.initial_state();
     // Even a transient fault is terminal without retries -> degradation.
-    hydro.try_run_to(&mut state, 0.01, 20).expect("degradation still saves the run");
+    hydro.run(&mut state, RunConfig::to(0.01).max_steps(20)).expect("degradation still saves the run");
     assert!(hydro.executor().is_degraded());
 }
 
@@ -292,7 +292,7 @@ fn device_faults_during_rollback_redo_are_counted() {
     let plan = FaultPlan::seeded(0).with_rate(FaultKind::LaunchFail, 0.1);
     let exec = gpu_exec_with(plan);
     let problem = Sedov::default();
-    let mut hydro = Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), exec).unwrap();
+    let mut hydro = Hydro::<2>::builder(&problem, [4, 4]).executor(exec).build().unwrap();
     let mut state = hydro.initial_state();
     let dt = hydro.suggest_dt(&state);
     // Two injected step faults force two rollback redos before real work.
@@ -313,7 +313,7 @@ fn device_faults_during_rollback_redo_are_counted() {
 fn redo_budget_exactly_at_limit_succeeds() {
     let problem = Sedov::default();
     let mut hydro =
-        Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), cpu_exec()).unwrap();
+        Hydro::<2>::builder(&problem, [4, 4]).executor(cpu_exec()).build().unwrap();
     let mut state = hydro.initial_state();
     let dt = hydro.suggest_dt(&state);
     hydro.inject_step_faults(MAX_STEP_REDOS);
@@ -328,7 +328,7 @@ fn redo_budget_exactly_at_limit_succeeds() {
 fn redo_budget_limit_plus_one_fails_with_state_intact() {
     let problem = Sedov::default();
     let mut hydro =
-        Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), cpu_exec()).unwrap();
+        Hydro::<2>::builder(&problem, [4, 4]).executor(cpu_exec()).build().unwrap();
     let mut state = hydro.initial_state();
     let dt = hydro.suggest_dt(&state);
     let before = state.clone();
@@ -348,7 +348,7 @@ proptest! {
     fn redo_budget_in_range_always_recovers(k in 0usize..=MAX_STEP_REDOS) {
         let problem = Sedov::default();
         let mut hydro =
-            Hydro::<2>::new(&problem, [4, 4], HydroConfig::default(), cpu_exec()).unwrap();
+            Hydro::<2>::builder(&problem, [4, 4]).executor(cpu_exec()).build().unwrap();
         let mut state = hydro.initial_state();
         let dt = hydro.suggest_dt(&state);
         hydro.inject_step_faults(k);

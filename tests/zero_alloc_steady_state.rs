@@ -7,14 +7,18 @@
 //! The contract covers the whole step: the corner-force `A_z` pipeline
 //! (kernels 1-6), `F_z`, the momentum RHS scatter, the constrained PCG
 //! momentum solve, the energy solve, the RK2 stage vectors, and the
-//! `try_advance` rollback snapshot. Telemetry (phase events and the power
-//! trace) is pre-grown via `reserve_host_telemetry` — its amortized `Vec`
-//! pushes are the one deliberately-reserved piece.
+//! `try_advance` rollback snapshot — **with the unified telemetry layer
+//! recording**: STEP spans, per-phase child spans, and the step counters
+//! all land in the preallocated ring during the measured window. Telemetry
+//! (phase events, span ring, and the power trace) is pre-grown via
+//! `reserve_host_telemetry`; its amortized `Vec` pushes are the one
+//! deliberately-reserved piece.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use blast_repro::blast_core::{ExecMode, Executor, Hydro, HydroConfig, Sedov};
+use blast_repro::blast_core::{ExecMode, Executor, Hydro, Sedov};
+use blast_repro::blast_telemetry::{names, Track};
 use blast_repro::gpu_sim::CpuSpec;
 
 /// System allocator wrapper that counts every allocation call.
@@ -53,7 +57,7 @@ fn steady_state_steps_do_not_touch_the_heap() {
     let exec = Executor::new(ExecMode::CpuSerial, CpuSpec::e5_2670(), None);
     let problem = Sedov::default();
     let mut hydro =
-        Hydro::<2>::new(&problem, [6, 6], HydroConfig::default(), exec).expect("problem fits");
+        Hydro::<2>::builder(&problem, [6, 6]).executor(exec).build().expect("problem fits");
     let mut state = hydro.initial_state();
     let mut dt = hydro.suggest_dt(&state);
 
@@ -69,6 +73,9 @@ fn steady_state_steps_do_not_touch_the_heap() {
 
     const MEASURED_STEPS: usize = 5;
     hydro.reserve_host_telemetry(MEASURED_STEPS + 1);
+    let tel = hydro.executor().telemetry().clone();
+    let steps_before = tel.counter(names::counters::STEPS);
+    let spans_before = tel.spans().len();
 
     let before = heap_ops();
     for _ in 0..MEASURED_STEPS {
@@ -80,6 +87,28 @@ fn steady_state_steps_do_not_touch_the_heap() {
     assert_eq!(
         delta, 0,
         "steady-state timesteps performed {delta} heap allocation(s); \
-         the corner-force hot path must be allocation-free"
+         the corner-force hot path (with telemetry recording) must be \
+         allocation-free"
     );
+
+    // The zero-alloc window was not silent: the telemetry sink recorded it.
+    let steps_after = tel.counter(names::counters::STEPS);
+    assert_eq!(
+        steps_after - steps_before,
+        MEASURED_STEPS as u64,
+        "the steps counter must advance inside the measured window"
+    );
+    let spans = tel.spans();
+    assert!(
+        spans.len() >= spans_before + MEASURED_STEPS,
+        "STEP spans must land in the preallocated ring: {} -> {}",
+        spans_before,
+        spans.len()
+    );
+    let step_spans = spans
+        .iter()
+        .filter(|s| s.track == Track::Host && s.name == names::phases::STEP)
+        .count();
+    assert!(step_spans >= MEASURED_STEPS, "expected >= {MEASURED_STEPS} STEP spans");
+    assert_eq!(tel.dropped_spans(), 0, "the reserved ring must not overflow");
 }
