@@ -1,0 +1,10 @@
+//! Serve-storm load test driver: bursty multi-tenant job arrivals under
+//! chaos. Exits non-zero if any supervision gate fails (lost jobs,
+//! energy that does not reconcile, a missed worker death).
+fn main() {
+    let (text, violations) = blast_bench::experiments::serve_storm::report_with_status();
+    print!("{text}");
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+}

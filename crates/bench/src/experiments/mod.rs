@@ -26,6 +26,7 @@ pub mod tab4_batched_dgemv;
 pub mod tab5_autobalance;
 pub mod tab6_validation;
 pub mod resilience_overhead;
+pub mod serve_storm;
 pub mod tab7_greenup;
 pub mod telemetry_profile;
 
@@ -57,6 +58,7 @@ pub fn all_experiment_names() -> Vec<&'static str> {
         "host_speedup",
         "host_kernels",
         "telemetry_profile",
+        "serve_storm",
     ]
 }
 
@@ -87,6 +89,7 @@ pub fn run_by_name(name: &str) -> Option<String> {
         "host_speedup" => host_speedup::report(),
         "host_kernels" => host_kernels::report(),
         "telemetry_profile" => telemetry_profile::report(),
+        "serve_storm" => serve_storm::report(),
         _ => return None,
     })
 }

@@ -26,6 +26,7 @@
 //!   the same peer escalate to [`CommError::PeerDead`] (off by default —
 //!   [`Communicator::set_suspicion_threshold`] arms it).
 
+use crate::detector::FailureDetector;
 use blast_telemetry::{names, TelemetrySink};
 use std::cell::{Cell, RefCell};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -260,12 +261,11 @@ pub struct Communicator {
     sends: Cell<u64>,
     /// Observed fault statistics for this rank.
     stats: Cell<CommFaultStats>,
-    /// Per-peer consecutive receive-timeout counters (failure detector).
-    suspicion: RefCell<Vec<u32>>,
-    /// Consecutive timeouts against one peer before it is declared dead.
-    /// `u32::MAX` disables the detector (the default — a plain timeout
-    /// keeps surfacing as [`CommError::Timeout`]).
-    suspicion_threshold: u32,
+    /// Consecutive receive-timeout failure detector (disarmed by default —
+    /// a plain timeout keeps surfacing as [`CommError::Timeout`]). The
+    /// same [`FailureDetector`] component backs the job supervisor's
+    /// worker-death declarations.
+    detector: RefCell<FailureDetector>,
     /// Optional telemetry sink: message/byte/drop/death counters (see
     /// `blast_telemetry::names::counters::MSGS_*`).
     sink: Option<TelemetrySink>,
@@ -304,8 +304,7 @@ impl Communicator {
     /// the same peer (with no message from it in between) escalate the
     /// `k`-th to [`CommError::PeerDead`]. Pass `u32::MAX` to disarm.
     pub fn set_suspicion_threshold(&mut self, k: u32) {
-        assert!(k >= 1, "suspicion threshold must be at least 1");
-        self.suspicion_threshold = k;
+        self.detector.borrow_mut().set_threshold(k);
     }
 
     /// Whether this rank's scheduled death has already triggered (its sends
@@ -396,7 +395,7 @@ impl Communicator {
         timeout: Duration,
     ) -> Result<Vec<f64>, CommError> {
         if let Some(pos) = self.stash.iter().position(|m| m.from == from && m.tag == tag) {
-            self.suspicion.borrow_mut()[from] = 0;
+            self.detector.borrow_mut().record_evidence(from);
             return Self::verify(self.stash.swap_remove(pos));
         }
         let deadline = Instant::now() + timeout;
@@ -405,9 +404,7 @@ impl Communicator {
             let msg = match self.inbox.recv_timeout(remaining) {
                 Ok(msg) => msg,
                 Err(RecvTimeoutError::Timeout) => {
-                    let mut suspicion = self.suspicion.borrow_mut();
-                    suspicion[from] = suspicion[from].saturating_add(1);
-                    if suspicion[from] >= self.suspicion_threshold {
+                    if self.detector.borrow_mut().record_miss(from) {
                         if let Some(sink) = &self.sink {
                             sink.counter_add(names::counters::RANK_DEATHS, 1);
                         }
@@ -421,7 +418,7 @@ impl Communicator {
             };
             // Any arrival — matching, stashed, or even corrupted — is
             // liveness evidence for its sender.
-            self.suspicion.borrow_mut()[msg.from] = 0;
+            self.detector.borrow_mut().record_evidence(msg.from);
             if msg.from == from && msg.tag == tag {
                 return Self::verify(msg);
             }
@@ -551,8 +548,7 @@ pub fn try_run_ranks_with_faults<R: Send>(
             faults: plan.clone(),
             sends: Cell::new(0),
             stats: Cell::new(CommFaultStats::default()),
-            suspicion: RefCell::new(vec![0; size]),
-            suspicion_threshold: u32::MAX,
+            detector: RefCell::new(FailureDetector::disarmed(size)),
             sink: None,
         })
         .collect();

@@ -1,0 +1,109 @@
+//! The φ-accrual-style (simplified: consecutive-miss counting) failure
+//! detector shared by the rank runtime and the job supervisor.
+//!
+//! The policy is deliberately minimal and deterministic: `k` consecutive
+//! misses against one peer — receive timeouts for a communicator, missed
+//! heartbeats for a worker — with no evidence of life in between declare
+//! that peer dead. Any arrival resets its counter. The same component
+//! backs [`Communicator`](crate::comm::Communicator)'s `PeerDead`
+//! escalation and `blast-serve`'s worker-death declarations, so both
+//! layers age out silent peers with identical semantics.
+
+/// Consecutive-miss failure detector over a fixed peer set.
+#[derive(Clone, Debug)]
+pub struct FailureDetector {
+    /// Consecutive misses per peer (reset by evidence of life).
+    misses: Vec<u32>,
+    /// Misses that escalate to a death verdict. `u32::MAX` disarms.
+    threshold: u32,
+}
+
+impl FailureDetector {
+    /// A detector over `peers` peers that never declares anyone dead
+    /// (the communicator's default: timeouts stay plain timeouts).
+    pub fn disarmed(peers: usize) -> Self {
+        Self { misses: vec![0; peers], threshold: u32::MAX }
+    }
+
+    /// A detector declaring a peer dead after `threshold` consecutive
+    /// misses.
+    pub fn new(peers: usize, threshold: u32) -> Self {
+        assert!(threshold >= 1, "suspicion threshold must be at least 1");
+        Self { misses: vec![0; peers], threshold }
+    }
+
+    /// Arms (or re-arms) the detector. Pass `u32::MAX` to disarm.
+    pub fn set_threshold(&mut self, threshold: u32) {
+        assert!(threshold >= 1, "suspicion threshold must be at least 1");
+        self.threshold = threshold;
+    }
+
+    /// The current escalation threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Number of peers tracked.
+    pub fn peers(&self) -> usize {
+        self.misses.len()
+    }
+
+    /// Records evidence of life from `peer` (a message arrived, a
+    /// heartbeat returned): its consecutive-miss counter resets.
+    pub fn record_evidence(&mut self, peer: usize) {
+        self.misses[peer] = 0;
+    }
+
+    /// Records one miss against `peer` and returns whether that miss
+    /// crossed the threshold — i.e. the caller should now treat the peer
+    /// as permanently dead.
+    pub fn record_miss(&mut self, peer: usize) -> bool {
+        self.misses[peer] = self.misses[peer].saturating_add(1);
+        self.misses[peer] >= self.threshold
+    }
+
+    /// Consecutive misses currently held against `peer`.
+    pub fn misses(&self, peer: usize) -> u32 {
+        self.misses[peer]
+    }
+
+    /// Whether `peer` has already crossed the threshold.
+    pub fn is_dead(&self, peer: usize) -> bool {
+        self.misses[peer] >= self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_dead_exactly_at_the_threshold() {
+        let mut d = FailureDetector::new(3, 3);
+        assert!(!d.record_miss(1));
+        assert!(!d.record_miss(1));
+        assert!(!d.is_dead(1));
+        assert!(d.record_miss(1), "third consecutive miss escalates");
+        assert!(d.is_dead(1));
+        assert_eq!(d.misses(0), 0, "other peers untouched");
+    }
+
+    #[test]
+    fn evidence_of_life_resets_the_count() {
+        let mut d = FailureDetector::new(2, 2);
+        assert!(!d.record_miss(0));
+        d.record_evidence(0);
+        assert_eq!(d.misses(0), 0);
+        assert!(!d.record_miss(0), "counting restarts after evidence");
+        assert!(d.record_miss(0));
+    }
+
+    #[test]
+    fn disarmed_never_declares() {
+        let mut d = FailureDetector::disarmed(1);
+        for _ in 0..10_000 {
+            assert!(!d.record_miss(0));
+        }
+        assert!(!d.is_dead(0));
+    }
+}

@@ -29,6 +29,7 @@
 //!   and restore from the last coordinated checkpoint.
 
 pub mod comm;
+pub mod detector;
 pub mod netmodel;
 pub mod partition;
 pub mod recovery;
@@ -37,6 +38,7 @@ pub mod scaling;
 pub use comm::{
     run_ranks, try_run_ranks_with_faults, ClusterFaultPlan, CommError, Communicator, RankDeath,
 };
+pub use detector::FailureDetector;
 pub use netmodel::{Machine, NetworkModel};
 pub use partition::Partition;
 pub use recovery::{

@@ -344,13 +344,21 @@ impl CheckpointStore {
 
     /// Serializes and stores `ck` as a new generation, pruning old ones.
     /// Returns the image size in bytes (for energy billing).
+    ///
+    /// On-disk writes go to a dotfile temp name first and are atomically
+    /// renamed into place, so a crash mid-write can never leave a
+    /// half-written `ckpt_*.blastck` shadowing an older good generation:
+    /// the directory either has the complete new image or none at all
+    /// (the temp name doesn't match the loader's `ckpt_` prefix).
     pub fn write(&mut self, ck: &Checkpoint) -> std::io::Result<usize> {
         let bytes = ck.to_bytes();
         let len = bytes.len();
         let gen_id = self.next_gen;
         self.next_gen += 1;
         if let Some(dir) = &self.dir {
-            std::fs::write(dir.join(format!("ckpt_{gen_id}.blastck")), &bytes)?;
+            let tmp = dir.join(format!(".ckpt_{gen_id}.blastck.tmp"));
+            std::fs::write(&tmp, &bytes)?;
+            std::fs::rename(&tmp, dir.join(format!("ckpt_{gen_id}.blastck")))?;
         }
         self.generations.push((gen_id, bytes));
         while self.generations.len() > self.max_generations {
@@ -502,6 +510,51 @@ mod tests {
         }
         assert_eq!(store.generations(), 2);
         assert_eq!(store.latest_valid().unwrap().checkpoint.steps, 4);
+    }
+
+    #[test]
+    fn on_disk_truncated_tail_falls_back_a_generation() {
+        let dir = std::env::temp_dir()
+            .join(format!("blast_ckpt_trunc_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut store = CheckpointStore::on_disk(&dir).unwrap();
+            let mut ck = sample_checkpoint();
+            ck.steps = 7;
+            store.write(&ck).unwrap();
+            ck.steps = 8;
+            store.write(&ck).unwrap();
+        }
+        // The process died mid-flush: the newest on-disk image lost its
+        // tail (payload end + CRC gone).
+        let newest = dir.join("ckpt_1.blastck");
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() - 12]).unwrap();
+
+        // Restart: restore must fall back, not error out.
+        let store = CheckpointStore::on_disk(&dir).unwrap();
+        let loaded = store.latest_valid().expect("previous generation must load");
+        assert_eq!(loaded.skipped, 1, "truncated newest generation is skipped");
+        assert_eq!(loaded.checkpoint.steps, 7, "fell back to the older image");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn on_disk_leftover_temp_file_is_ignored() {
+        let dir = std::env::temp_dir()
+            .join(format!("blast_ckpt_tmp_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut store = CheckpointStore::on_disk(&dir).unwrap();
+            store.write(&sample_checkpoint()).unwrap();
+        }
+        // A crash between temp write and rename leaves the dotfile behind;
+        // it must neither load as a generation nor break construction.
+        std::fs::write(dir.join(".ckpt_9.blastck.tmp"), b"partial garbage").unwrap();
+        let store = CheckpointStore::on_disk(&dir).unwrap();
+        assert_eq!(store.generations(), 1);
+        assert_eq!(store.latest_valid().unwrap().checkpoint.steps, 17);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

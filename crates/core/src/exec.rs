@@ -246,6 +246,7 @@ impl Executor {
             resilience_energy_j: self.ledger.resilience_energy_j.get(),
             degraded_to_cpu: self.is_degraded(),
             degraded_reason: self.degraded_reason(),
+            tenant_energy_j: Vec::new(),
         }
     }
 
@@ -319,6 +320,29 @@ impl Executor {
         self.ledger
             .resilience_energy_j
             .set(self.ledger.resilience_energy_j.get() + seconds * (host_idle_w + gpu_idle_w));
+    }
+
+    /// Bills one retry-backoff wait: both devices sit through the gap at
+    /// idle watts (the power traces bill gaps at idle automatically, so
+    /// advancing the clocks is the whole billing). Returns the joules
+    /// charged, `seconds x (host idle + device idle watts)` — the number a
+    /// job-level retry ladder attributes to the retrying tenant.
+    pub fn bill_backoff_wait(&self, seconds: f64) -> f64 {
+        assert!(seconds >= 0.0);
+        self.telemetry.span(
+            Track::Host,
+            names::phases::RETRY_BACKOFF,
+            self.host.now(),
+            seconds,
+        );
+        self.host.idle(seconds);
+        if let Some(g) = &self.gpu {
+            g.idle(seconds);
+        }
+        let host_idle_w =
+            self.host.spec().power.idle_pkg_w + self.host.spec().power.idle_dram_w;
+        let gpu_idle_w = self.gpu.as_ref().map(|g| g.spec().idle_w).unwrap_or(0.0);
+        seconds * (host_idle_w + gpu_idle_w)
     }
 
     /// Records peer ranks declared permanently dead.

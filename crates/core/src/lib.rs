@@ -31,6 +31,7 @@ pub mod checkpoint;
 pub mod error;
 pub mod exec;
 pub mod problems;
+pub mod retry;
 pub mod solver;
 pub mod state;
 
@@ -40,7 +41,9 @@ pub use checkpoint::{
 pub use error::HydroError;
 pub use exec::{ExecMode, Executor};
 pub use problems::{Problem, Sedov, TaylorGreen, TriplePoint};
+pub use retry::RetryPolicy;
 pub use solver::{
-    AdvanceOutcome, Hydro, HydroBuilder, HydroConfig, RunConfig, RunStats, StepOutcome,
+    AdvanceOutcome, Hydro, HydroBuilder, HydroConfig, ResumeInfo, RunConfig, RunStats,
+    StepOutcome,
 };
 pub use state::{EnergyBreakdown, HydroState};

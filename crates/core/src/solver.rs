@@ -79,6 +79,23 @@ pub struct AdvanceOutcome {
     pub dt_next: f64,
 }
 
+/// What [`Hydro::try_resume`] restored from a checkpoint store — the
+/// counters and adaptive dt a resumed driver loop must continue from to
+/// stay bit-identical with the uninterrupted run.
+#[derive(Clone, Copy, Debug)]
+pub struct ResumeInfo {
+    /// Adaptive dt in effect for the next step.
+    pub dt: f64,
+    /// Accepted steps already taken by the checkpointed run.
+    pub steps: u64,
+    /// Redo count already accumulated.
+    pub retries: u64,
+    /// Generation id of the image that decoded cleanly.
+    pub generation: u64,
+    /// Newer generations skipped because they failed validation.
+    pub skipped: usize,
+}
+
 /// Summary of a full run.
 #[derive(Clone, Copy, Debug)]
 pub struct RunStats {
@@ -1453,14 +1470,10 @@ impl<const D: usize> Hydro<D> {
         let mut steps = 0usize;
         let mut retries = 0usize;
         let mut dt = None;
-        if let Some(loaded) = store.latest_valid() {
-            if loaded.checkpoint.state.t > state.t {
-                self.restore_checkpoint(&loaded.checkpoint, state);
-                steps = loaded.checkpoint.steps as usize;
-                retries = loaded.checkpoint.retries as usize;
-                dt = Some(loaded.checkpoint.dt);
-                self.exec.bill_checkpoint_restore(loaded.bytes);
-            }
+        if let Some(info) = self.try_resume(state, store) {
+            steps = info.steps as usize;
+            retries = info.retries as usize;
+            dt = Some(info.dt);
         }
         let mut dt = match dt {
             Some(d) => d,
@@ -1575,6 +1588,36 @@ impl<const D: usize> Hydro<D> {
         state.e.copy_from_slice(&ws.saved_e);
         state.x.copy_from_slice(&ws.saved_x);
         state.t = saved_t;
+    }
+
+    /// The resumption hook shared by [`Self::run`] and job-level drivers
+    /// (`blast-serve`): if `store` holds a valid checkpoint *ahead* of
+    /// `state`, restores it (state + PCG warm-start cache), bills the
+    /// restore to the power trace, and returns the counters/dt the caller
+    /// must continue from. Returns `None` when nothing in the store is
+    /// ahead of `state` — the caller then starts (or continues) from
+    /// `state` as-is with a freshly suggested dt.
+    ///
+    /// Corrupt or truncated generations are skipped via their CRC
+    /// ([`CheckpointStore::latest_valid`]); `skipped` reports how many.
+    pub fn try_resume(
+        &mut self,
+        state: &mut HydroState,
+        store: &CheckpointStore,
+    ) -> Option<ResumeInfo> {
+        let loaded = store.latest_valid()?;
+        if loaded.checkpoint.state.t <= state.t {
+            return None;
+        }
+        self.restore_checkpoint(&loaded.checkpoint, state);
+        self.exec.bill_checkpoint_restore(loaded.bytes);
+        Some(ResumeInfo {
+            dt: loaded.checkpoint.dt,
+            steps: loaded.checkpoint.steps,
+            retries: loaded.checkpoint.retries,
+            generation: loaded.generation,
+            skipped: loaded.skipped,
+        })
     }
 
     /// Snapshots the run into a [`Checkpoint`] (state + PCG warm-start

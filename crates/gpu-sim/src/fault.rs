@@ -247,7 +247,12 @@ impl FaultPlan {
 }
 
 /// Counter-based splitmix64 draw in `[0, 1)`.
-fn fault_draw(seed: u64, stream: u64, counter: u64) -> f64 {
+///
+/// Shared by the fault-plan rate draws and the retry policy's
+/// deterministic backoff jitter: a pure function of
+/// `(seed, stream, counter)`, so neither thread interleaving nor call
+/// order can change an outcome.
+pub fn fault_draw(seed: u64, stream: u64, counter: u64) -> f64 {
     let mut z = seed
         ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15)
         ^ counter.wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -257,11 +262,23 @@ fn fault_draw(seed: u64, stream: u64, counter: u64) -> f64 {
     (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
-/// Bounded-retry policy with exponential backoff.
+/// Draw stream reserved for retry-backoff jitter (disjoint from the
+/// [`FaultKind::index`] streams 0..=4 used by rate draws).
+const JITTER_STREAM: u64 = 0x0BAC_C0FF;
+
+/// Bounded-retry policy with capped, jittered exponential backoff.
 ///
 /// Backoff is *simulated* time: each failed attempt advances the device
 /// clock, and the power trace bills the gap at idle watts, so recovery has
 /// a measurable energy cost (see `ResilienceReport` in `powermon`).
+///
+/// The same type governs two retry ladders: device-operation retries
+/// inside `GpuDevice` (its original home) and whole-job retries in
+/// `blast-serve` (via the canonical re-export in `blast_core::retry`).
+/// The default is the plain uncapped, jitter-free exponential the device
+/// always used; job-level users opt into a cap ([`Self::with_cap`]) and
+/// deterministic seed-driven jitter ([`Self::with_jitter`]) to avoid
+/// retry storms synchronizing across tenants.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     /// Retries after the first failed attempt (total attempts = 1 + this).
@@ -270,12 +287,30 @@ pub struct RetryPolicy {
     pub base_backoff_s: f64,
     /// Multiplier applied to the backoff after each further failure.
     pub multiplier: f64,
+    /// Hard ceiling on a single backoff wait, seconds (applied *after*
+    /// jitter, so the cap is absolute). Infinite by default.
+    pub max_backoff_s: f64,
+    /// Jitter fraction in `[0, 1]`: each wait is scaled by a deterministic
+    /// factor in `[1 - jitter, 1 + jitter)` drawn from
+    /// [`fault_draw`]`(jitter_seed, _, attempt)`. Zero (the default)
+    /// reproduces the exact historical backoff bit-for-bit.
+    pub jitter: f64,
+    /// Seed of the jitter draws; give each job its own seed so their
+    /// retry schedules decorrelate.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
         // ~CUDA driver-level retry scale: microseconds-to-milliseconds.
-        Self { max_retries: 3, base_backoff_s: 100e-6, multiplier: 4.0 }
+        Self {
+            max_retries: 3,
+            base_backoff_s: 100e-6,
+            multiplier: 4.0,
+            max_backoff_s: f64::INFINITY,
+            jitter: 0.0,
+            jitter_seed: 0,
+        }
     }
 }
 
@@ -285,9 +320,39 @@ impl RetryPolicy {
         Self { max_retries: 0, ..Self::default() }
     }
 
-    /// Backoff charged after failed attempt number `attempt` (0-based).
+    /// Caps every individual backoff wait at `seconds`.
+    #[must_use]
+    pub fn with_cap(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0, "backoff cap must be positive");
+        self.max_backoff_s = seconds;
+        self
+    }
+
+    /// Enables deterministic jitter: waits scale by `[1 - frac, 1 + frac)`
+    /// drawn from `seed` (pure function of `(seed, attempt)`).
+    #[must_use]
+    pub fn with_jitter(mut self, frac: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "jitter fraction out of [0,1]");
+        self.jitter = frac;
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Backoff charged after failed attempt number `attempt` (0-based):
+    /// exponential, then jittered, then capped.
     pub fn backoff_s(&self, attempt: u32) -> f64 {
-        self.base_backoff_s * self.multiplier.powi(attempt as i32)
+        let mut wait = self.base_backoff_s * self.multiplier.powi(attempt as i32);
+        if self.jitter > 0.0 {
+            let u = fault_draw(self.jitter_seed, JITTER_STREAM, attempt as u64);
+            wait *= 1.0 + self.jitter * (2.0 * u - 1.0);
+        }
+        wait.min(self.max_backoff_s)
+    }
+
+    /// Whether the policy gives up after `retries_done` retries have
+    /// already been spent (i.e. no further attempt is allowed).
+    pub fn gives_up_after(&self, retries_done: u32) -> bool {
+        retries_done >= self.max_retries
     }
 }
 
@@ -378,10 +443,58 @@ mod tests {
 
     #[test]
     fn backoff_grows_exponentially() {
-        let p = RetryPolicy { max_retries: 3, base_backoff_s: 1e-4, multiplier: 4.0 };
+        let p = RetryPolicy {
+            max_retries: 3,
+            base_backoff_s: 1e-4,
+            multiplier: 4.0,
+            ..RetryPolicy::default()
+        };
         assert_eq!(p.backoff_s(0), 1e-4);
         assert_eq!(p.backoff_s(1), 4e-4);
         assert_eq!(p.backoff_s(2), 16e-4);
+    }
+
+    #[test]
+    fn backoff_cap_is_a_hard_ceiling() {
+        let p = RetryPolicy::default().with_cap(5e-4);
+        assert_eq!(p.backoff_s(0), 1e-4, "below the cap: untouched");
+        assert_eq!(p.backoff_s(1), 4e-4);
+        assert_eq!(p.backoff_s(2), 5e-4, "16e-4 clamps to the cap");
+        assert_eq!(p.backoff_s(9), 5e-4, "deep attempts stay capped");
+        // The cap is absolute: even maximal upward jitter cannot pierce it.
+        let pj = p.with_jitter(1.0, 123);
+        for attempt in 0..16 {
+            assert!(pj.backoff_s(attempt) <= 5e-4 + 1e-18);
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_seed_sensitive() {
+        let base = RetryPolicy::default();
+        let a = base.with_jitter(0.5, 7);
+        let b = base.with_jitter(0.5, 7);
+        let c = base.with_jitter(0.5, 8);
+        let schedule = |p: &RetryPolicy| -> Vec<f64> {
+            (0..8).map(|k| p.backoff_s(k)).collect()
+        };
+        assert_eq!(schedule(&a), schedule(&b), "same seed, same schedule");
+        assert_ne!(schedule(&a), schedule(&c), "seed must matter");
+        for attempt in 0..8 {
+            let raw = base.backoff_s(attempt);
+            let j = a.backoff_s(attempt);
+            assert!(j >= raw * 0.5 - 1e-18 && j < raw * 1.5, "attempt {attempt}: {j} vs {raw}");
+        }
+        // jitter = 0 reproduces the historical schedule bit-for-bit.
+        assert_eq!(schedule(&base), schedule(&base.with_jitter(0.0, 999)));
+    }
+
+    #[test]
+    fn give_up_boundary_matches_max_retries() {
+        let p = RetryPolicy { max_retries: 2, ..RetryPolicy::default() };
+        assert!(!p.gives_up_after(0));
+        assert!(!p.gives_up_after(1));
+        assert!(p.gives_up_after(2));
+        assert!(RetryPolicy::no_retries().gives_up_after(0));
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod traffic;
 pub use cpu::{CpuDevice, CpuSpec};
 pub use device::{GpuDevice, KernelEvent, KernelStats};
 pub use fault::{
-    fault_seed_from_env, FaultKind, FaultPlan, FaultStats, GpuError, RetryPolicy, TransferDir,
-    FAULT_SEED_ENV,
+    fault_draw, fault_seed_from_env, FaultKind, FaultPlan, FaultStats, GpuError, RetryPolicy,
+    TransferDir, FAULT_SEED_ENV,
 };
 pub use occupancy::{occupancy, LaunchConfig, Occupancy};
 pub use spec::GpuSpec;

@@ -49,6 +49,12 @@ pub struct ResilienceReport {
     pub degraded_to_cpu: bool,
     /// Why, when it did.
     pub degraded_reason: Option<String>,
+    /// Per-tenant energy attribution, `(tenant, joules)` sorted by tenant
+    /// name. Empty for single-run reports; the job supervisor
+    /// (`blast-serve`) rolls each tenant's compute + backoff energy in
+    /// here so one report carries both the fault ledger and who paid for
+    /// it.
+    pub tenant_energy_j: Vec<(String, f64)>,
 }
 
 impl ResilienceReport {
@@ -83,6 +89,42 @@ impl ResilienceReport {
         100.0 * self.total_resilience_energy_j() / total_energy_j
     }
 
+    /// Folds another report into this one: counters and times add, the
+    /// degraded flag ORs (keeping the first reason), and per-tenant energy
+    /// merges by tenant name. The job supervisor aggregates one report per
+    /// job attempt into a service-wide report this way.
+    pub fn merge(&mut self, other: &ResilienceReport) {
+        self.faults_injected += other.faults_injected;
+        self.retries += other.retries;
+        self.recovered += other.recovered;
+        self.exhausted += other.exhausted;
+        self.steps_redone += other.steps_redone;
+        self.backoff_s += other.backoff_s;
+        self.backoff_energy_j += other.backoff_energy_j;
+        self.checkpoints_written += other.checkpoints_written;
+        self.checkpoint_bytes += other.checkpoint_bytes;
+        self.restores += other.restores;
+        self.rank_deaths += other.rank_deaths;
+        self.redo_faults += other.redo_faults;
+        self.resilience_s += other.resilience_s;
+        self.resilience_energy_j += other.resilience_energy_j;
+        if other.degraded_to_cpu && !self.degraded_to_cpu {
+            self.degraded_to_cpu = true;
+            self.degraded_reason = other.degraded_reason.clone();
+        }
+        for (tenant, j) in &other.tenant_energy_j {
+            self.attribute_tenant_energy(tenant, *j);
+        }
+    }
+
+    /// Adds `joules` to `tenant`'s attribution line (inserted sorted).
+    pub fn attribute_tenant_energy(&mut self, tenant: &str, joules: f64) {
+        match self.tenant_energy_j.binary_search_by(|(t, _)| t.as_str().cmp(tenant)) {
+            Ok(i) => self.tenant_energy_j[i].1 += joules,
+            Err(i) => self.tenant_energy_j.insert(i, (tenant.to_string(), joules)),
+        }
+    }
+
     /// Multi-line human-readable summary.
     pub fn summary(&self) -> String {
         let mut s = String::new();
@@ -111,6 +153,9 @@ impl ResilienceReport {
             (true, None) => s.push_str("Degraded to CPU      : yes\n"),
             _ => s.push_str("Degraded to CPU      : no\n"),
         }
+        for (tenant, j) in &self.tenant_energy_j {
+            s.push_str(&format!("Tenant energy        : {tenant} = {j:.6e} J\n"));
+        }
         s
     }
 }
@@ -130,6 +175,40 @@ mod tests {
             ..Default::default()
         };
         assert!((r.recovery_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_attributes_tenants() {
+        let mut a = ResilienceReport {
+            faults_injected: 2,
+            retries: 1,
+            restores: 1,
+            backoff_s: 0.5,
+            ..Default::default()
+        };
+        a.attribute_tenant_energy("acme", 3.0);
+        let mut b = ResilienceReport {
+            faults_injected: 3,
+            checkpoints_written: 4,
+            degraded_to_cpu: true,
+            degraded_reason: Some("ECC".into()),
+            ..Default::default()
+        };
+        b.attribute_tenant_energy("acme", 1.0);
+        b.attribute_tenant_energy("zeta", 2.0);
+        a.merge(&b);
+        assert_eq!(a.faults_injected, 5);
+        assert_eq!(a.retries, 1);
+        assert_eq!(a.checkpoints_written, 4);
+        assert_eq!(a.restores, 1);
+        assert!(a.degraded_to_cpu);
+        assert_eq!(a.degraded_reason.as_deref(), Some("ECC"));
+        assert_eq!(
+            a.tenant_energy_j,
+            vec![("acme".to_string(), 4.0), ("zeta".to_string(), 2.0)],
+            "merged sorted by tenant"
+        );
+        assert!(a.summary().contains("Tenant energy        : acme"));
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Admission control: the typed reasons a submission bounces instead of
+//! entering the queue.
+
+/// Why [`Supervisor::submit`](crate::Supervisor::submit) refused a job.
+///
+/// Rejections are cheap and fully billed to nobody: a bounced job never
+/// consumes worker time or energy.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdmissionError {
+    /// The bounded pending queue is at capacity.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// Admitting the job would push the tenant past its energy budget.
+    OverBudget {
+        /// The tenant whose budget would be exceeded.
+        tenant: String,
+        /// The tenant's configured budget in joules.
+        budget_j: f64,
+        /// Estimates already committed against that budget.
+        committed_j: f64,
+        /// This submission's estimate.
+        requested_j: f64,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            AdmissionError::OverBudget { tenant, budget_j, committed_j, requested_j } => write!(
+                f,
+                "tenant `{tenant}` over energy budget: {committed_j:.3e} J committed \
+                 + {requested_j:.3e} J requested > {budget_j:.3e} J budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let q = AdmissionError::QueueFull { capacity: 4 };
+        assert!(q.to_string().contains("capacity 4"));
+        let b = AdmissionError::OverBudget {
+            tenant: "acme".into(),
+            budget_j: 10.0,
+            committed_j: 9.0,
+            requested_j: 2.0,
+        };
+        let s = b.to_string();
+        assert!(s.contains("acme") && s.contains("budget"));
+    }
+}

@@ -1,0 +1,142 @@
+//! The serve ledger: one [`ServeReport`] per supervisor run, with the
+//! per-job rows, per-tenant energy attribution, the independently
+//! integrated worker power traces, and the digest/summary hooks the
+//! serve-chaos CI lane and failure printers consume.
+
+use crate::job::{JobOutcome, JobRecord};
+use powermon::ResilienceReport;
+
+/// Everything a supervisor run produced. Two energy views are kept on
+/// purpose: the *billed* view (per-job tenant charges plus the unowned
+/// idle bucket, accumulated from each attempt's own device meters) and
+/// the *trace* view (the per-worker power traces integrated end to end,
+/// with scheduling gaps billed at idle watts). The reconciliation gate
+/// demands they agree — energy can neither vanish nor be billed twice.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Per-job ledger rows, in admission order.
+    pub jobs: Vec<JobRecord>,
+    /// Per-tenant billed joules, sorted by tenant name.
+    pub tenant_energy_j: Vec<(String, f64)>,
+    /// Joules no tenant owns: workers idling between arrivals.
+    pub idle_energy_j: f64,
+    /// The per-worker power traces integrated over each worker's
+    /// lifetime — the independent ground truth the billing must match.
+    pub trace_energy_j: f64,
+    /// End of the serve timeline (max worker clock), simulated seconds.
+    pub wall_s: f64,
+    /// Workers declared dead by the failure detector.
+    pub workers_lost: u64,
+    /// Submissions bounced by admission control.
+    pub rejected: u64,
+    /// Aggregated resilience accounting across every attempt, with
+    /// per-tenant energy attribution filled in.
+    pub resilience: ResilienceReport,
+}
+
+impl ServeReport {
+    /// Total joules billed to tenants plus the unowned idle bucket.
+    pub fn billed_energy_j(&self) -> f64 {
+        self.jobs.iter().map(|j| j.energy_j).sum::<f64>() + self.idle_energy_j
+    }
+
+    /// Relative disagreement between the billed view and the trace view.
+    /// The supervision gate requires this below `1e-9`.
+    pub fn reconciliation_error(&self) -> f64 {
+        let billed = self.billed_energy_j();
+        let denom = self.trace_energy_j.abs().max(1.0);
+        (billed - self.trace_energy_j).abs() / denom
+    }
+
+    /// Whether every admitted job reached a terminal state — the
+    /// no-limbo half of the storm gate.
+    pub fn all_terminal(&self) -> bool {
+        self.jobs.iter().all(|j| j.outcome.is_some())
+    }
+
+    /// Jobs whose outcome matches `pred`.
+    pub fn count(&self, pred: impl Fn(&JobOutcome) -> bool) -> usize {
+        self.jobs.iter().filter(|j| j.outcome.as_ref().is_some_and(&pred)).count()
+    }
+
+    /// FNV-1a digest over every job row (outcome, counters, energy bits,
+    /// final states) plus the tenant totals — the line the serve-chaos CI
+    /// lane diffs across `BLAST_THREADS` values and reruns.
+    pub fn ledger_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat_u64 = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for job in &self.jobs {
+            eat_u64(job.digest());
+        }
+        for (tenant, j) in &self.tenant_energy_j {
+            eat_u64(tenant.len() as u64);
+            eat_u64(j.to_bits());
+        }
+        eat_u64(self.idle_energy_j.to_bits());
+        h
+    }
+
+    /// Human-readable ledger, printed by the serve tests on any gate
+    /// failure (alongside the active fault seed) so a failing seed can be
+    /// replayed and read without re-instrumenting.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "serve ledger: {} jobs, {} rejected, {} workers lost, wall {:.6} s",
+            self.jobs.len(),
+            self.rejected,
+            self.workers_lost,
+            self.wall_s
+        );
+        for job in &self.jobs {
+            let outcome = match &job.outcome {
+                None => "LIMBO".to_string(),
+                Some(JobOutcome::Completed { steps, t }) => {
+                    format!("completed steps={steps} t={t:.6}")
+                }
+                Some(JobOutcome::Cancelled { reason }) => format!("cancelled ({reason:?})"),
+                Some(JobOutcome::Failed { attempts, error }) => {
+                    format!("failed after {attempts} attempts: {error}")
+                }
+            };
+            let _ = writeln!(
+                s,
+                "  {} tenant={} scenario={} {} | {:.6e} J, wall {:.6} s, steps {}, \
+                 redos {}, attempts {}, preempt {}, restores {}, backoff {:.3e} s{}",
+                job.id,
+                job.tenant,
+                job.scenario,
+                outcome,
+                job.energy_j,
+                job.wall_s,
+                job.steps,
+                job.redos,
+                job.attempts,
+                job.preemptions,
+                job.restores,
+                job.backoff_s,
+                if job.degraded { " [degraded]" } else { "" }
+            );
+        }
+        for (tenant, j) in &self.tenant_energy_j {
+            let _ = writeln!(s, "  tenant {tenant}: {j:.6e} J");
+        }
+        let _ = writeln!(
+            s,
+            "  idle {:.6e} J | billed {:.6e} J vs trace {:.6e} J (rel err {:.3e})",
+            self.idle_energy_j,
+            self.billed_energy_j(),
+            self.trace_energy_j,
+            self.reconciliation_error()
+        );
+        let _ = writeln!(s, "  job ledger digest: {:016x}", self.ledger_digest());
+        s
+    }
+}

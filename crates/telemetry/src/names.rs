@@ -36,6 +36,25 @@ pub mod phases {
     pub const MEMCPY_H2D: &str = "memcpy_h2d";
     /// Device→host PCIe transfer.
     pub const MEMCPY_D2H: &str = "memcpy_d2h";
+    /// Retry-backoff wait: both devices idle through the gap.
+    pub const RETRY_BACKOFF: &str = "retry_backoff";
+    /// Instant: a job was admitted into the supervisor's queue.
+    pub const JOB_ADMITTED: &str = "job_admitted";
+    /// Instant: a job attempt started executing on a worker.
+    pub const JOB_STARTED: &str = "job_started";
+    /// Instant: a running job was checkpointed and evicted for a
+    /// higher-priority one.
+    pub const JOB_PREEMPTED: &str = "job_preempted";
+    /// Instant: a preempted/faulted job resumed from its checkpoint.
+    pub const JOB_RESUMED: &str = "job_resumed";
+    /// Instant: a job reached `t_final` (terminal, success).
+    pub const JOB_COMPLETED: &str = "job_completed";
+    /// Instant: a job was cancelled (deadline miss or worker loss).
+    pub const JOB_CANCELLED: &str = "job_cancelled";
+    /// Instant: a job exhausted its retry budget (terminal, failure).
+    pub const JOB_FAILED: &str = "job_failed";
+    /// Instant: the failure detector declared a worker dead.
+    pub const WORKER_DEAD: &str = "worker_dead";
 }
 
 /// Monotonic counter names.
@@ -76,6 +95,24 @@ pub mod counters {
     pub const CHECKPOINTS_WRITTEN: &str = "checkpoints_written";
     /// Checkpoint restores performed.
     pub const CHECKPOINT_RESTORES: &str = "checkpoint_restores";
+    /// Jobs admitted by the supervisor.
+    pub const JOBS_SUBMITTED: &str = "jobs_submitted";
+    /// Submissions rejected by admission control (queue full / over budget).
+    pub const JOBS_REJECTED: &str = "jobs_rejected";
+    /// Jobs that reached `t_final`.
+    pub const JOBS_COMPLETED: &str = "jobs_completed";
+    /// Jobs cancelled (deadline miss or worker loss).
+    pub const JOBS_CANCELLED: &str = "jobs_cancelled";
+    /// Jobs that exhausted their retry budget.
+    pub const JOBS_FAILED: &str = "jobs_failed";
+    /// Checkpoint-backed evictions performed by the scheduler.
+    pub const JOB_PREEMPTIONS: &str = "job_preemptions";
+    /// Whole-job retry attempts after a fault death.
+    pub const JOB_RETRIES: &str = "job_retries";
+    /// Deadline misses (a subset of `jobs_cancelled`).
+    pub const DEADLINE_MISSES: &str = "deadline_misses";
+    /// Workers declared dead by the supervisor's failure detector.
+    pub const WORKER_DEATHS: &str = "worker_deaths";
 }
 
 /// Gauge names (last-write-wins samples).
@@ -86,4 +123,6 @@ pub mod gauges {
     pub const GPU_DRAM_UTIL: &str = "gpu_dram_util";
     /// Active host pool threads at last sample.
     pub const POOL_THREADS: &str = "pool_threads";
+    /// Jobs waiting in the supervisor's admission queue at last sample.
+    pub const SERVE_QUEUE_DEPTH: &str = "serve_queue_depth";
 }

@@ -4,7 +4,7 @@
 use std::sync::{Arc, Mutex};
 
 /// Number of timeline tracks (Chrome-trace lanes).
-pub const NUM_TRACKS: usize = 4;
+pub const NUM_TRACKS: usize = 5;
 
 /// Which simulated timeline a span belongs to. Every track shares the one
 /// simulated-time axis (seconds since run start) that the power traces
@@ -19,6 +19,10 @@ pub enum Track {
     Cluster,
     /// The work-stealing host pool (parallel-call markers).
     Pool,
+    /// The job supervisor (`blast-serve`): admissions, job lifecycle
+    /// markers, preemptions, worker deaths — on the service-global
+    /// simulated clock.
+    Serve,
 }
 
 impl Track {
@@ -29,6 +33,7 @@ impl Track {
             Track::Gpu => 1,
             Track::Cluster => 2,
             Track::Pool => 3,
+            Track::Serve => 4,
         }
     }
 
@@ -39,12 +44,13 @@ impl Track {
             Track::Gpu => "gpu",
             Track::Cluster => "cluster",
             Track::Pool => "pool",
+            Track::Serve => "serve",
         }
     }
 
     /// All tracks, in `tid` order.
     pub fn all() -> [Track; NUM_TRACKS] {
-        [Track::Host, Track::Gpu, Track::Cluster, Track::Pool]
+        [Track::Host, Track::Gpu, Track::Cluster, Track::Pool, Track::Serve]
     }
 }
 

@@ -6,6 +6,7 @@
 
 pub use autotune;
 pub use blast_core;
+pub use blast_serve;
 pub use blast_telemetry;
 pub use blast_fem;
 pub use blast_kernels;

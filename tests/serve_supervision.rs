@@ -1,0 +1,569 @@
+//! Acceptance gates for the `blast-serve` job supervisor (this PR's
+//! tentpole): under an injected fault storm every submitted job reaches a
+//! terminal state; a preempted-then-resumed job's final state is
+//! bit-identical to an uninterrupted run; per-tenant energy totals
+//! reconcile with the worker power traces to 1e-9; deadline-violating
+//! jobs are cancelled with their partial energy still billed; and a
+//! lethal redo burst surfaces a typed `HydroError` while the checkpoint
+//! store's newest valid generation stays intact.
+//!
+//! Every gate failure prints the active fault seed and the full job
+//! ledger (the `chaos_campaign` pattern) so a failing seed can be
+//! replayed with `BLAST_FAULT_SEED`.
+
+use blast_repro::blast_core::checkpoint::{CheckpointPolicy, CheckpointStore};
+use blast_repro::blast_core::solver::MAX_STEP_REDOS;
+use blast_repro::blast_core::{Hydro, HydroError, RunConfig, Sedov};
+use blast_repro::blast_serve::{
+    AdmissionError, CancelReason, JobOutcome, JobSpec, Scenario, ServeConfig, ServeReport,
+    Supervisor, WorkerSpec,
+};
+use blast_repro::blast_telemetry::names::counters;
+use blast_repro::gpu_sim::fault::fault_seed_from_env;
+use blast_repro::gpu_sim::{FaultKind, FaultPlan, RetryPolicy, FAULT_SEED_ENV};
+
+/// Relative tolerance of the energy reconciliation gate.
+const RECONCILE_TOL: f64 = 1e-9;
+
+fn serve_seed() -> u64 {
+    fault_seed_from_env().unwrap_or(42)
+}
+
+/// Asserts `cond`, printing the active seed and the full job ledger on
+/// failure so the run can be replayed and read.
+fn gate(report: &ServeReport, seed: u64, cond: bool, what: &str) {
+    if !cond {
+        println!("serve fault seed: {seed} (override with {FAULT_SEED_ENV})");
+        print!("{}", report.summary());
+        panic!("serve gate failed: {what}");
+    }
+}
+
+fn bits(a: &[f64]) -> Vec<u64> {
+    a.iter().map(|v| v.to_bits()).collect()
+}
+
+/// The headline storm: three tenants' jobs over a mixed CPU/GPU pool
+/// with lethal and survivable fault bursts, retry with jittered backoff,
+/// priorities, deadlines, and a scripted worker death — every admitted
+/// job must land in a terminal state and the energy ledger must close.
+#[test]
+fn fault_storm_every_job_reaches_a_terminal_state() {
+    let seed = serve_seed();
+    let cfg = ServeConfig {
+        queue_capacity: 32,
+        quantum_steps: 4,
+        retry: RetryPolicy {
+            max_retries: 2,
+            base_backoff_s: 1e-3,
+            ..RetryPolicy::default()
+        }
+        .with_cap(0.5)
+        .with_jitter(0.2, seed),
+        seed,
+        kill_rate: 0.12,
+        redo_rate: 0.2,
+        ..ServeConfig::default()
+    };
+    let workers = vec![
+        WorkerSpec::k20_node(),
+        WorkerSpec::cpu(),
+        WorkerSpec::cpu().dying_at(2e-3),
+    ];
+    let mut sup = Supervisor::new(cfg, workers);
+    let tenants = ["acme", "globex", "initech"];
+    let scenarios = [Scenario::Sedov, Scenario::TaylorGreen, Scenario::TriplePoint];
+    let mut admitted = 0u64;
+    for i in 0..9 {
+        let spec = JobSpec {
+            tenant: tenants[i % 3].to_string(),
+            scenario: scenarios[i % 3],
+            zones: [8, 8],
+            order: 2,
+            t_final: 0.05,
+            max_steps: 40,
+            priority: (i % 4) as u8,
+            arrival_s: 0.001 * i as f64,
+            deadline_s: if i == 7 { Some(0.02) } else { None },
+            checkpoint_every: 3,
+            ..JobSpec::default()
+        };
+        sup.submit(spec).expect("storm submissions fit the queue");
+        admitted += 1;
+    }
+    let report = sup.run_to_completion();
+    let tel = sup.telemetry().clone();
+
+    gate(&report, seed, report.all_terminal(), "a job is stuck in limbo");
+    gate(&report, seed, report.jobs.len() as u64 == admitted, "ledger row per admitted job");
+    let terminal = tel.counter(counters::JOBS_COMPLETED)
+        + tel.counter(counters::JOBS_CANCELLED)
+        + tel.counter(counters::JOBS_FAILED);
+    gate(&report, seed, terminal == admitted, "terminal counters must sum to admissions");
+    gate(
+        &report,
+        seed,
+        report.reconciliation_error() <= RECONCILE_TOL,
+        "tenant energy must reconcile with the worker power traces",
+    );
+    gate(&report, seed, report.workers_lost == 1, "the scripted worker death must land");
+    for job in &report.jobs {
+        gate(&report, seed, job.energy_j >= 0.0 && job.energy_j.is_finite(), "finite billing");
+        if matches!(job.outcome, Some(JobOutcome::Completed { .. })) {
+            gate(&report, seed, job.final_state.is_some(), "completed jobs keep a final state");
+        }
+    }
+    // The storm is strong enough to exercise the retry ladder somewhere.
+    let retried = report.jobs.iter().any(|j| j.attempts > 1);
+    let failed = report.jobs.iter().any(|j| matches!(j.outcome, Some(JobOutcome::Failed { .. })));
+    gate(&report, seed, retried || failed, "chaos must actually fire at these rates");
+
+    // Determinism: the same seed replays to the same ledger digest.
+    let cfg2 = ServeConfig {
+        queue_capacity: 32,
+        quantum_steps: 4,
+        retry: RetryPolicy {
+            max_retries: 2,
+            base_backoff_s: 1e-3,
+            ..RetryPolicy::default()
+        }
+        .with_cap(0.5)
+        .with_jitter(0.2, seed),
+        seed,
+        kill_rate: 0.12,
+        redo_rate: 0.2,
+        ..ServeConfig::default()
+    };
+    let mut sup2 = Supervisor::new(
+        cfg2,
+        vec![
+            WorkerSpec::k20_node(),
+            WorkerSpec::cpu(),
+            WorkerSpec::cpu().dying_at(2e-3),
+        ],
+    );
+    for i in 0..9 {
+        let spec = JobSpec {
+            tenant: tenants[i % 3].to_string(),
+            scenario: scenarios[i % 3],
+            zones: [8, 8],
+            order: 2,
+            t_final: 0.05,
+            max_steps: 40,
+            priority: (i % 4) as u8,
+            arrival_s: 0.001 * i as f64,
+            deadline_s: if i == 7 { Some(0.02) } else { None },
+            checkpoint_every: 3,
+            ..JobSpec::default()
+        };
+        sup2.submit(spec).unwrap();
+    }
+    let replay = sup2.run_to_completion();
+    gate(
+        &report,
+        seed,
+        replay.ledger_digest() == report.ledger_digest(),
+        "same seed must replay to the same ledger digest",
+    );
+}
+
+/// A preempted-then-resumed job must end bit-identical to the same job
+/// run without interference — and to the core solver driven directly.
+#[test]
+fn preempted_job_resumes_bit_identical_to_uninterrupted_run() {
+    let seed = serve_seed();
+    let t_final = 0.03;
+    let max_steps = 80;
+    let job = |priority: u8, arrival: f64| JobSpec {
+        tenant: "probe".to_string(),
+        scenario: Scenario::Sedov,
+        zones: [6, 6],
+        order: 2,
+        t_final,
+        max_steps,
+        priority,
+        arrival_s: arrival,
+        checkpoint_every: 3,
+        fault_immune: true,
+        ..JobSpec::default()
+    };
+    let cfg = || ServeConfig { quantum_steps: 3, seed, ..ServeConfig::default() };
+
+    // Contended run: a high-priority job arrives just after the probe
+    // starts and evicts it through a checkpoint.
+    let mut sup = Supervisor::new(cfg(), vec![WorkerSpec::cpu()]);
+    let probe = sup.submit(job(0, 0.0)).unwrap();
+    sup.submit(job(5, 1e-4)).unwrap();
+    let report = sup.run_to_completion();
+    let row = report.jobs.iter().find(|j| j.id == probe).unwrap();
+    gate(&report, seed, report.all_terminal(), "contended run must terminate");
+    gate(&report, seed, row.preemptions >= 1, "the probe must actually be preempted");
+    gate(&report, seed, row.restores >= 1, "the probe must resume from its checkpoint");
+    gate(
+        &report,
+        seed,
+        report.reconciliation_error() <= RECONCILE_TOL,
+        "contended run must still reconcile energy",
+    );
+    let contended = row.final_state.clone().expect("probe completed");
+
+    // Uninterrupted run of the same job alone on the same pool.
+    let mut alone = Supervisor::new(cfg(), vec![WorkerSpec::cpu()]);
+    let solo = alone.submit(job(0, 0.0)).unwrap();
+    let solo_report = alone.run_to_completion();
+    let solo_row = solo_report.jobs.iter().find(|j| j.id == solo).unwrap();
+    let uninterrupted = solo_row.final_state.clone().expect("solo probe completed");
+
+    gate(
+        &report,
+        seed,
+        bits(&contended.v) == bits(&uninterrupted.v)
+            && bits(&contended.e) == bits(&uninterrupted.e)
+            && bits(&contended.x) == bits(&uninterrupted.x)
+            && contended.t.to_bits() == uninterrupted.t.to_bits(),
+        "preempted+resumed final state must be bit-identical to the uninterrupted run",
+    );
+
+    // And both must match the core solver driven directly.
+    let mut hydro = Hydro::<2>::builder(&Sedov::default(), [6, 6]).order(2).build().unwrap();
+    let mut state = hydro.initial_state();
+    hydro.run(&mut state, RunConfig::to(t_final).max_steps(max_steps)).unwrap();
+    gate(
+        &report,
+        seed,
+        bits(&contended.v) == bits(&state.v) && contended.t.to_bits() == state.t.to_bits(),
+        "supervised trajectory must match the core solver bit-for-bit",
+    );
+}
+
+/// Deadline enforcement: a job cancelled mid-run keeps its partial
+/// energy billed; a job whose deadline lapsed while queued is cancelled
+/// before it ever consumes anything.
+#[test]
+fn deadline_violations_cancel_with_partial_energy_billed() {
+    let seed = serve_seed();
+    // Measure the undisturbed wall time of the workload first.
+    let mut probe = Supervisor::new(ServeConfig { seed, ..ServeConfig::default() }, vec![WorkerSpec::cpu()]);
+    let spec = JobSpec {
+        tenant: "dl".to_string(),
+        zones: [6, 6],
+        t_final: 0.03,
+        max_steps: 80,
+        checkpoint_every: 0,
+        fault_immune: true,
+        ..JobSpec::default()
+    };
+    probe.submit(spec.clone()).unwrap();
+    let undisturbed = probe.run_to_completion();
+    let full_wall = undisturbed.jobs[0].wall_s;
+    assert!(full_wall > 0.0);
+
+    // Mid-run cancellation: deadline at half the undisturbed wall.
+    let mut sup = Supervisor::new(ServeConfig { seed, ..ServeConfig::default() }, vec![WorkerSpec::cpu()]);
+    let victim = sup
+        .submit(JobSpec { deadline_s: Some(0.5 * full_wall), ..spec.clone() })
+        .unwrap();
+    let report = sup.run_to_completion();
+    let tel = sup.telemetry().clone();
+    let row = report.jobs.iter().find(|j| j.id == victim).unwrap();
+    gate(
+        &report,
+        seed,
+        matches!(
+            row.outcome,
+            Some(JobOutcome::Cancelled { reason: CancelReason::DeadlineExceeded })
+        ),
+        "the mid-run deadline must cancel the job",
+    );
+    gate(&report, seed, row.steps > 0, "the job must have made some progress first");
+    gate(&report, seed, row.energy_j > 0.0, "partial energy must stay billed");
+    gate(&report, seed, tel.counter(counters::DEADLINE_MISSES) == 1, "one deadline miss");
+    gate(
+        &report,
+        seed,
+        report.reconciliation_error() <= RECONCILE_TOL,
+        "cancelled work must still reconcile",
+    );
+
+    // Queued-past-deadline: a low-priority job with a deadline shorter
+    // than the high-priority job occupying the only worker.
+    let mut sup2 = Supervisor::new(ServeConfig { seed, ..ServeConfig::default() }, vec![WorkerSpec::cpu()]);
+    sup2.submit(JobSpec { priority: 9, ..spec.clone() }).unwrap();
+    let starved = sup2
+        .submit(JobSpec {
+            priority: 0,
+            deadline_s: Some(0.25 * full_wall),
+            ..spec.clone()
+        })
+        .unwrap();
+    let report2 = sup2.run_to_completion();
+    let row2 = report2.jobs.iter().find(|j| j.id == starved).unwrap();
+    gate(
+        &report2,
+        seed,
+        matches!(
+            row2.outcome,
+            Some(JobOutcome::Cancelled { reason: CancelReason::DeadlineExceeded })
+        ),
+        "the starved job must be cancelled before starting",
+    );
+    gate(&report2, seed, row2.energy_j == 0.0, "a never-started job bills nothing");
+    gate(&report2, seed, row2.started_s.is_none(), "a never-started job never starts");
+}
+
+/// Admission control: the bounded queue and per-tenant energy budgets
+/// reject with typed errors and consume nothing.
+#[test]
+fn admission_rejects_are_typed_and_free() {
+    let seed = serve_seed();
+    let cfg = ServeConfig { queue_capacity: 2, seed, ..ServeConfig::default() };
+    let mut sup = Supervisor::new(cfg, vec![WorkerSpec::cpu()]);
+    sup.set_tenant_budget("acme", 10.0);
+
+    let cheap = JobSpec {
+        tenant: "acme".to_string(),
+        zones: [4, 4],
+        t_final: 0.005,
+        max_steps: 20,
+        energy_est_j: 6.0,
+        fault_immune: true,
+        ..JobSpec::default()
+    };
+    sup.submit(cheap.clone()).expect("first submission fits");
+    match sup.submit(JobSpec { energy_est_j: 6.0, ..cheap.clone() }) {
+        Err(AdmissionError::OverBudget { tenant, budget_j, committed_j, requested_j }) => {
+            assert_eq!(tenant, "acme");
+            assert_eq!(budget_j, 10.0);
+            assert_eq!(committed_j, 6.0);
+            assert_eq!(requested_j, 6.0);
+        }
+        other => panic!("expected OverBudget, got {other:?}"),
+    }
+    sup.submit(JobSpec { tenant: "globex".to_string(), energy_est_j: 0.0, ..cheap.clone() })
+        .expect("queue has room for a second tenant");
+    match sup.submit(JobSpec { tenant: "globex".to_string(), energy_est_j: 0.0, ..cheap.clone() })
+    {
+        Err(AdmissionError::QueueFull { capacity }) => assert_eq!(capacity, 2),
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+
+    let report = sup.run_to_completion();
+    let tel = sup.telemetry().clone();
+    assert_eq!(report.rejected, 2);
+    assert_eq!(tel.counter(counters::JOBS_REJECTED), 2);
+    assert_eq!(report.jobs.len(), 2, "rejected submissions never enter the ledger");
+    gate(&report, seed, report.all_terminal(), "admitted jobs run to completion");
+}
+
+/// A worker that silently dies mid-job: the failure detector declares
+/// it, the job migrates with only post-checkpoint progress lost, and the
+/// final state still matches the undisturbed trajectory bit-for-bit.
+#[test]
+fn worker_death_migrates_job_via_checkpoint() {
+    let seed = serve_seed();
+    let spec = JobSpec {
+        tenant: "mig".to_string(),
+        zones: [6, 6],
+        t_final: 0.03,
+        max_steps: 80,
+        checkpoint_every: 2,
+        fault_immune: true,
+        ..JobSpec::default()
+    };
+    // Measure undisturbed wall to place the death mid-run.
+    let mut probe = Supervisor::new(ServeConfig { seed, ..ServeConfig::default() }, vec![WorkerSpec::cpu()]);
+    probe.submit(spec.clone()).unwrap();
+    let undisturbed = probe.run_to_completion();
+    let full_wall = undisturbed.jobs[0].wall_s;
+    let reference = undisturbed.jobs[0].final_state.clone().expect("undisturbed completes");
+
+    let cfg = ServeConfig { quantum_steps: 3, seed, ..ServeConfig::default() };
+    let workers = vec![WorkerSpec::cpu().dying_at(0.4 * full_wall), WorkerSpec::cpu()];
+    let mut sup = Supervisor::new(cfg, workers);
+    let id = sup.submit(spec).unwrap();
+    let report = sup.run_to_completion();
+    let tel = sup.telemetry().clone();
+    let row = report.jobs.iter().find(|j| j.id == id).unwrap();
+
+    gate(&report, seed, report.workers_lost == 1, "the scripted death must land");
+    gate(&report, seed, tel.counter(counters::WORKER_DEATHS) == 1, "death counter");
+    gate(
+        &report,
+        seed,
+        matches!(row.outcome, Some(JobOutcome::Completed { .. })),
+        "the migrated job must still complete",
+    );
+    gate(&report, seed, row.restores >= 1, "migration must go through a checkpoint restore");
+    gate(
+        &report,
+        seed,
+        report.reconciliation_error() <= RECONCILE_TOL,
+        "dead-worker billing must still reconcile",
+    );
+    let migrated = row.final_state.clone().unwrap();
+    gate(
+        &report,
+        seed,
+        bits(&migrated.v) == bits(&reference.v)
+            && bits(&migrated.e) == bits(&reference.e)
+            && migrated.t.to_bits() == reference.t.to_bits(),
+        "migrated trajectory must be bit-identical to the undisturbed run",
+    );
+}
+
+/// Graceful degradation: a standing persistent device fault forces the
+/// worker's attempts onto the CPU path; the job completes, is flagged
+/// degraded, and the energy ledger still closes.
+#[test]
+fn device_fault_storm_degrades_to_cpu_and_completes() {
+    let seed = serve_seed();
+    let plan = FaultPlan::seeded(seed).with_persistent(FaultKind::EccError, 0);
+    let cfg = ServeConfig { seed, ..ServeConfig::default() };
+    let mut sup = Supervisor::new(cfg, vec![WorkerSpec::k20_node().with_gpu_faults(plan)]);
+    let id = sup
+        .submit(JobSpec {
+            tenant: "deg".to_string(),
+            zones: [4, 4],
+            t_final: 0.01,
+            max_steps: 40,
+            fault_immune: true,
+            ..JobSpec::default()
+        })
+        .unwrap();
+    let report = sup.run_to_completion();
+    let row = report.jobs.iter().find(|j| j.id == id).unwrap();
+    gate(
+        &report,
+        seed,
+        matches!(row.outcome, Some(JobOutcome::Completed { .. })),
+        "degraded job must complete on the CPU path",
+    );
+    gate(&report, seed, row.degraded, "the job must be flagged degraded");
+    gate(
+        &report,
+        seed,
+        report.reconciliation_error() <= RECONCILE_TOL,
+        "degraded billing must still reconcile",
+    );
+}
+
+/// Retry exhaustion under a guaranteed-lethal storm: the job fails with
+/// a typed terminal error after exactly 1 + max_retries attempts, and
+/// every backoff wait is billed at idle watts.
+#[test]
+fn retry_budget_exhaustion_is_typed_and_backoffs_are_billed() {
+    let seed = serve_seed();
+    let retry = RetryPolicy { max_retries: 2, base_backoff_s: 2e-3, ..RetryPolicy::default() }
+        .with_cap(0.5);
+    let cfg = ServeConfig {
+        retry,
+        seed,
+        kill_rate: 1.0,
+        ..ServeConfig::default()
+    };
+    let mut sup = Supervisor::new(cfg, vec![WorkerSpec::cpu()]);
+    let id = sup
+        .submit(JobSpec {
+            tenant: "doomed".to_string(),
+            zones: [4, 4],
+            t_final: 0.02,
+            max_steps: 60,
+            checkpoint_every: 0,
+            ..JobSpec::default()
+        })
+        .unwrap();
+    let report = sup.run_to_completion();
+    let tel = sup.telemetry().clone();
+    let row = report.jobs.iter().find(|j| j.id == id).unwrap();
+    match &row.outcome {
+        Some(JobOutcome::Failed { attempts, error }) => {
+            gate(&report, seed, *attempts == 3, "1 initial + 2 retries");
+            gate(
+                &report,
+                seed,
+                error.contains("non-finite"),
+                "the terminal error must be the typed solver fault",
+            );
+        }
+        other => {
+            println!("serve fault seed: {seed} (override with {FAULT_SEED_ENV})");
+            print!("{}", report.summary());
+            panic!("expected Failed, got {other:?}");
+        }
+    }
+    let expected_backoff = retry.backoff_s(0) + retry.backoff_s(1);
+    gate(
+        &report,
+        seed,
+        (row.backoff_s - expected_backoff).abs() < 1e-12,
+        "backoff schedule must follow the policy exactly",
+    );
+    gate(&report, seed, row.backoff_energy_j > 0.0, "backoff waits are billed");
+    gate(&report, seed, tel.counter(counters::JOB_RETRIES) == 2, "two retries issued");
+    gate(
+        &report,
+        seed,
+        report.reconciliation_error() <= RECONCILE_TOL,
+        "failed-job billing must still reconcile",
+    );
+}
+
+/// Satellite 3 (core-level): a burst of `MAX_STEP_REDOS + 1` consecutive
+/// recoverable faults exhausts the rollback ladder and surfaces a
+/// *typed* `HydroError` from a checkpointed run — and the store's newest
+/// valid generation survives, so a fresh solver resumes and completes.
+#[test]
+fn lethal_redo_burst_surfaces_typed_error_with_store_intact() {
+    let mut hydro = Hydro::<2>::builder(&Sedov::default(), [6, 6]).build().unwrap();
+    let mut state = hydro.initial_state();
+    let mut store = CheckpointStore::in_memory();
+
+    // Run partway, writing checkpoints.
+    hydro
+        .run(
+            &mut state,
+            RunConfig::to(0.015).checkpointed(CheckpointPolicy::EverySteps(3), &mut store),
+        )
+        .unwrap();
+    let loaded = store.latest_valid().expect("the partial run checkpointed");
+    let ckpt_t = loaded.checkpoint.state.t;
+    let gens = store.generations();
+    assert!(gens >= 1 && ckpt_t > 0.0);
+
+    // One more fault than the rollback budget absorbs: the run must die
+    // with the typed NonFinite error, not a panic or a hang.
+    hydro.inject_step_faults(MAX_STEP_REDOS + 1);
+    let err = hydro
+        .run(
+            &mut state,
+            RunConfig::to(0.03).checkpointed(CheckpointPolicy::EverySteps(3), &mut store),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, HydroError::NonFinite { .. }),
+        "expected the typed NonFinite fault, got: {err}"
+    );
+
+    // The store's newest valid generation is exactly what it was before
+    // the burst — the failed run never wrote a partial generation.
+    let after = store.latest_valid().expect("store survives the burst");
+    assert_eq!(store.generations(), gens, "no torn generation appended");
+    assert_eq!(
+        after.checkpoint.state.t.to_bits(),
+        ckpt_t.to_bits(),
+        "newest valid generation must be byte-stable across the failure"
+    );
+    assert_eq!(after.skipped, 0, "no generation needed skipping");
+
+    // A fresh solver resumes from that generation and completes.
+    let mut h2 = Hydro::<2>::builder(&Sedov::default(), [6, 6]).build().unwrap();
+    let mut s2 = h2.initial_state();
+    let stats = h2
+        .run(
+            &mut s2,
+            RunConfig::to(0.03).checkpointed(CheckpointPolicy::EverySteps(3), &mut store),
+        )
+        .unwrap();
+    assert!(s2.t >= 0.03 - 1e-12, "resumed run reaches t_final (t = {})", s2.t);
+    assert!(stats.steps > 0);
+}
