@@ -26,6 +26,7 @@ pub mod tab4_batched_dgemv;
 pub mod tab5_autobalance;
 pub mod tab6_validation;
 pub mod resilience_overhead;
+pub mod sdc_campaign;
 pub mod serve_storm;
 pub mod tab7_greenup;
 pub mod telemetry_profile;
@@ -59,6 +60,7 @@ pub fn all_experiment_names() -> Vec<&'static str> {
         "host_kernels",
         "telemetry_profile",
         "serve_storm",
+        "sdc_campaign",
     ]
 }
 
@@ -90,6 +92,7 @@ pub fn run_by_name(name: &str) -> Option<String> {
         "host_kernels" => host_kernels::report(),
         "telemetry_profile" => telemetry_profile::report(),
         "serve_storm" => serve_storm::report(),
+        "sdc_campaign" => sdc_campaign::report(),
         _ => return None,
     })
 }

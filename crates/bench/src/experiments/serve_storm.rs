@@ -19,8 +19,9 @@ use gpu_sim::{FaultKind, FaultPlan, RetryPolicy};
 
 use crate::table;
 
-/// Relative tolerance of the billed-vs-trace energy reconciliation.
-pub const RECONCILE_TOL: f64 = 1e-9;
+/// Relative tolerance of the billed-vs-trace energy reconciliation —
+/// the solver-wide band, promoted to one named home in `blast-core`.
+pub const RECONCILE_TOL: f64 = blast_core::ENERGY_RECONCILE_TOL;
 
 /// The storm's seed: `BLAST_FAULT_SEED` override, else 42.
 pub fn storm_seed() -> u64 {
@@ -38,6 +39,7 @@ fn storm_config(seed: u64) -> ServeConfig {
         seed,
         kill_rate: 0.10,
         redo_rate: 0.15,
+        sdc_rate: 0.0,
     }
 }
 

@@ -49,6 +49,23 @@ pub enum HydroError {
         /// Human-readable cause.
         detail: String,
     },
+    /// The step auditor (or an ABFT GEMM checksum) caught silent data
+    /// corruption: a physics invariant moved past its tolerance with no
+    /// loud fault anywhere. Recoverable by rollback — the redo re-executes
+    /// at the *same* dt (corruption is not a CFL problem), and a transient
+    /// flip will not re-fire; a stuck bit exhausts [`crate::MAX_STEP_REDOS`]
+    /// and surfaces this error to the caller, checkpoint store intact.
+    CorruptionDetected {
+        /// Step-attempt ordinal at which the audit tripped.
+        step: u64,
+        /// Which audit fired (`"energy"`, `"symmetry"`, `"geometry"`,
+        /// `"finite"`, `"range"`, `"frozen-crc"`, `"abft"`).
+        audit: &'static str,
+        /// The measured invariant violation magnitude.
+        measured: f64,
+        /// The tolerance it exceeded.
+        tolerance: f64,
+    },
 }
 
 impl HydroError {
@@ -61,6 +78,7 @@ impl HydroError {
             HydroError::NonFinite { .. }
                 | HydroError::PcgBreakdown { .. }
                 | HydroError::MeshTangled { .. }
+                | HydroError::CorruptionDetected { .. }
         )
     }
 }
@@ -87,6 +105,11 @@ impl std::fmt::Display for HydroError {
                 "mesh tangled: |J| = {detj} at point {point} (zone {zone}) — reduce the CFL"
             ),
             HydroError::Checkpoint { detail } => write!(f, "checkpoint failure: {detail}"),
+            HydroError::CorruptionDetected { step, audit, measured, tolerance } => write!(
+                f,
+                "silent data corruption detected at step {step}: {audit} audit measured \
+                 {measured:.6e} against tolerance {tolerance:.6e}"
+            ),
         }
     }
 }
@@ -105,6 +128,15 @@ mod tests {
             .recoverable_by_rollback());
         assert!(HydroError::MeshTangled { point: 0, zone: 0, detj: -0.1 }
             .recoverable_by_rollback());
+        let sdc = HydroError::CorruptionDetected {
+            step: 12,
+            audit: "energy",
+            measured: 3e-4,
+            tolerance: 1e-9,
+        };
+        assert!(sdc.recoverable_by_rollback(), "audit trips redo in place first");
+        let msg = sdc.to_string();
+        assert!(msg.contains("step 12") && msg.contains("energy"), "replayable log line: {msg}");
         let gpu = HydroError::Gpu(GpuError::Transfer {
             direction: TransferDir::H2d,
             bytes: 64,

@@ -90,6 +90,11 @@ struct ResilienceLedger {
     redo_faults: Cell<u64>,
     resilience_s: Cell<f64>,
     resilience_energy_j: Cell<f64>,
+    audits_run: Cell<u64>,
+    corruptions_detected: Cell<u64>,
+    sdc_flips_injected: Cell<u64>,
+    audit_s: Cell<f64>,
+    audit_energy_j: Cell<f64>,
 }
 
 /// Executor state: devices and (for hybrid) the balancer.
@@ -244,6 +249,11 @@ impl Executor {
             redo_faults: self.ledger.redo_faults.get(),
             resilience_s: self.ledger.resilience_s.get(),
             resilience_energy_j: self.ledger.resilience_energy_j.get(),
+            audits_run: self.ledger.audits_run.get(),
+            corruptions_detected: self.ledger.corruptions_detected.get(),
+            sdc_flips_injected: self.ledger.sdc_flips_injected.get(),
+            audit_s: self.ledger.audit_s.get(),
+            audit_energy_j: self.ledger.audit_energy_j.get(),
             degraded_to_cpu: self.is_degraded(),
             degraded_reason: self.degraded_reason(),
             tenant_energy_j: Vec::new(),
@@ -358,6 +368,49 @@ impl Executor {
     /// include them).
     pub fn note_redo_faults(&self, n: u64) {
         self.ledger.redo_faults.set(self.ledger.redo_faults.get() + n);
+    }
+
+    /// Bills one physics-invariant audit of a completed step: a host phase
+    /// sized by the audit's actual arithmetic (`flops` covers the energy
+    /// spmv/dots, geometry pass, symmetry probe, and any ABFT checksum
+    /// flops drained since the last audit; `dram_bytes` the state and
+    /// matrix traffic it streamed). The device idles for the duration —
+    /// auditing is host work. Returns the modeled seconds.
+    pub fn bill_audit(&self, traffic: &Traffic) -> f64 {
+        self.ledger.audits_run.set(self.ledger.audits_run.get() + 1);
+        self.telemetry.counter_add(names::counters::SDC_AUDITS, 1);
+        let (_, t) = self.host.run_phase(
+            names::phases::SDC_AUDIT,
+            traffic,
+            1,
+            CG_CPU_EFF,
+            CpuPowerState::Busy,
+            || (),
+        );
+        if let Some(g) = &self.gpu {
+            g.idle(t);
+        }
+        let util = 1.0 / self.host.spec().cores as f64;
+        let reading = self.host.spec().power.read(CpuPowerState::Busy, util);
+        let host_w = reading.pkg_watts + reading.dram_watts;
+        let gpu_idle_w = self.gpu.as_ref().map(|g| g.spec().idle_w).unwrap_or(0.0);
+        self.ledger.audit_s.set(self.ledger.audit_s.get() + t);
+        self.ledger.audit_energy_j.set(self.ledger.audit_energy_j.get() + t * (host_w + gpu_idle_w));
+        t
+    }
+
+    /// Records one detected silent-corruption event (audit trip or ABFT
+    /// checksum violation) in the ledger, counters, and the trace.
+    pub fn note_corruption_detected(&self) {
+        self.ledger.corruptions_detected.set(self.ledger.corruptions_detected.get() + 1);
+        self.telemetry.counter_add(names::counters::SDC_DETECTED, 1);
+        self.telemetry.instant(Track::Host, names::phases::SDC_DETECTED, self.host.now());
+    }
+
+    /// Records silent bit flips the active `SdcPlan` actually landed.
+    pub fn note_sdc_flips(&self, n: u64) {
+        self.ledger.sdc_flips_injected.set(self.ledger.sdc_flips_injected.get() + n);
+        self.telemetry.counter_add(names::counters::SDC_FLIPS_INJECTED, n);
     }
 
     /// Threads used by CPU phases under this mode.

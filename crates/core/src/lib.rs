@@ -27,6 +27,7 @@
 //! energy update applies `F^T` to the *midpoint* velocity, making the total
 //! energy `½ v^T M_V v + 1^T M_E e` exact to solver tolerance (Table 6).
 
+pub mod audit;
 pub mod checkpoint;
 pub mod error;
 pub mod exec;
@@ -35,6 +36,7 @@ pub mod retry;
 pub mod solver;
 pub mod state;
 
+pub use audit::AuditConfig;
 pub use checkpoint::{
     Checkpoint, CheckpointError, CheckpointPolicy, CheckpointStore, LoadedCheckpoint,
 };
@@ -44,6 +46,6 @@ pub use problems::{Problem, Sedov, TaylorGreen, TriplePoint};
 pub use retry::RetryPolicy;
 pub use solver::{
     AdvanceOutcome, Hydro, HydroBuilder, HydroConfig, ResumeInfo, RunConfig, RunStats,
-    StepOutcome,
+    StepOutcome, ENERGY_RECONCILE_TOL, MAX_STEP_REDOS,
 };
 pub use state::{EnergyBreakdown, HydroState};

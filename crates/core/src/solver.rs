@@ -21,10 +21,14 @@ use blast_la::{
     PcgOptions, PcgWorkspace,
 };
 use blast_telemetry::{names, Track, TelemetrySink};
-use gpu_sim::{CpuSpec, FaultPlan, GpuDevice, LaunchConfig};
+use gpu_sim::{
+    apply_flip, CpuSpec, FaultPlan, GpuDevice, LaunchConfig, SdcFault, SdcPlan, SdcSite, Traffic,
+    FAULT_SEED_ENV,
+};
 use powermon::CpuPowerState;
 use std::sync::Arc;
 
+use crate::audit::{AuditConfig, StepAuditor};
 use crate::checkpoint::{Checkpoint, CheckpointPolicy, CheckpointStore};
 use crate::error::HydroError;
 use crate::exec::{
@@ -38,6 +42,14 @@ use crate::state::{EnergyBreakdown, HydroState};
 /// step before giving up (each redo halves dt, so 8 tries covers a 256x
 /// reduction).
 pub const MAX_STEP_REDOS: usize = 8;
+
+/// Relative tolerance for energy-accounting reconciliation across the
+/// workspace: the per-step drift band of the discrete energy identity the
+/// SDC auditor checks (Table 6 conserves total energy to solver tolerance
+/// — PCG runs at `rel_tol = 1e-12` — so 1e-9 per step is three orders of
+/// slack), and the band within which `blast-serve` / `bench` reconcile a
+/// job ledger's per-tenant energy attribution against the trace totals.
+pub const ENERGY_RECONCILE_TOL: f64 = 1e-9;
 
 /// Solver configuration knobs.
 #[derive(Clone, Copy, Debug)]
@@ -176,10 +188,13 @@ struct StepScratch {
     e_half: Vec<f64>,
     x_half: Vec<f64>,
     v_avg: Vec<f64>,
-    // Pre-step snapshot for `try_advance`'s rollback / CFL redo.
+    // Pre-step snapshot for `try_advance`'s rollback / CFL redo. The PCG
+    // warm-start cache is part of it: restoring `accel_prev` with the
+    // state makes a redone step bit-identical to a fault-free first try.
     saved_v: Vec<f64>,
     saved_e: Vec<f64>,
     saved_x: Vec<f64>,
+    saved_accel: Vec<f64>,
 }
 
 /// Zero-fills `v` at length `n`, reusing its heap buffer when possible.
@@ -262,6 +277,8 @@ pub struct HydroBuilder<'p, const D: usize> {
     gpu_fault_plan: Option<FaultPlan>,
     step_faults: usize,
     checkpoint_policy: CheckpointPolicy,
+    sdc_plan: Option<SdcPlan>,
+    audit: Option<AuditConfig>,
 }
 
 impl<'p, const D: usize> HydroBuilder<'p, D> {
@@ -357,6 +374,24 @@ impl<'p, const D: usize> HydroBuilder<'p, D> {
         self
     }
 
+    /// Installs a seeded silent-data-corruption plan: planned bit flips
+    /// against device buffers, transfer payloads, committed host state,
+    /// and GEMM panels, keyed to step-attempt ordinals (see
+    /// [`gpu_sim::SdcPlan`]).
+    #[must_use]
+    pub fn sdc_plan(mut self, plan: SdcPlan) -> Self {
+        self.sdc_plan = Some(plan);
+        self
+    }
+
+    /// Enables the physics-invariant step auditor (the SDC detector);
+    /// see [`AuditConfig`] for the cadence / tolerance knobs.
+    #[must_use]
+    pub fn audit(mut self, cfg: AuditConfig) -> Self {
+        self.audit = Some(cfg);
+        self
+    }
+
     /// Builds the solver. Fails when the simulated GPU cannot hold the
     /// working set (the paper's Q4-Q3 memory limit at `16^3` on K20).
     pub fn build(self) -> Result<Hydro<D>, HydroError> {
@@ -376,6 +411,12 @@ impl<'p, const D: usize> HydroBuilder<'p, D> {
         hydro.default_ckpt_policy = self.checkpoint_policy;
         if self.step_faults > 0 {
             hydro.inject_step_faults(self.step_faults);
+        }
+        if let Some(plan) = self.sdc_plan {
+            hydro.sdc_plan = std::cell::RefCell::new(plan);
+        }
+        if let Some(cfg) = self.audit {
+            hydro.set_audit(cfg);
         }
         Ok(hydro)
     }
@@ -419,6 +460,17 @@ pub struct Hydro<const D: usize> {
     /// Checkpoint policy [`Self::run`] falls back to when the
     /// [`RunConfig`] names none (builder default: `Never`).
     default_ckpt_policy: CheckpointPolicy,
+    /// Planned silent bit flips (inactive by default); flips are keyed to
+    /// [`Self::sdc_attempt`] ordinals so a rolled-back redo of the same
+    /// step re-executes clean once a transient flip is consumed.
+    sdc_plan: std::cell::RefCell<SdcPlan>,
+    /// Monotonic step-*attempt* ordinal (redos count), the SDC plan's clock.
+    sdc_attempt: std::cell::Cell<u64>,
+    /// Whether the current attempt armed a GEMM-panel flip (consumed-flip
+    /// accounting happens in `try_step` after the attempt finishes).
+    sdc_gemm_armed: std::cell::Cell<bool>,
+    /// The physics-invariant SDC auditor, when enabled.
+    audit: Option<std::cell::RefCell<StepAuditor<D>>>,
 }
 
 impl<const D: usize> Hydro<D> {
@@ -440,6 +492,8 @@ impl<const D: usize> Hydro<D> {
             gpu_fault_plan: None,
             step_faults: 0,
             checkpoint_policy: CheckpointPolicy::Never,
+            sdc_plan: None,
+            audit: None,
         }
     }
 
@@ -602,6 +656,10 @@ impl<const D: usize> Hydro<D> {
             step_fault_budget: std::cell::Cell::new(0),
             scratch: std::cell::RefCell::new(StepScratch::default()),
             default_ckpt_policy: CheckpointPolicy::Never,
+            sdc_plan: std::cell::RefCell::new(SdcPlan::none()),
+            sdc_attempt: std::cell::Cell::new(0),
+            sdc_gemm_armed: std::cell::Cell::new(false),
+            audit: None,
         })
     }
 
@@ -648,6 +706,223 @@ impl<const D: usize> Hydro<D> {
     /// Bytes charged on the simulated device at setup.
     pub fn device_bytes(&self) -> usize {
         self.device_bytes
+    }
+
+    /// Installs (or replaces) the physics-invariant SDC auditor.
+    ///
+    /// Detection is wired into recovery: a failing audit rolls the step
+    /// back in [`Self::try_advance`] and redoes it at the *same* dt (a
+    /// consumed transient flip makes the redo bit-identical to a
+    /// fault-free step); when the in-place snapshot itself is corrupted
+    /// (audit cadence > 1 let a bad state commit), [`Self::run`] falls
+    /// back to the newest checkpoint. Both paths count against
+    /// [`MAX_STEP_REDOS`]; exhausted budgets surface
+    /// [`HydroError::CorruptionDetected`] with the store intact.
+    pub fn set_audit(&mut self, cfg: AuditConfig) {
+        let aud = self.build_auditor(cfg);
+        self.audit = Some(std::cell::RefCell::new(aud));
+    }
+
+    /// Whether the step auditor is installed.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    /// Arms one more planned flip against the installed SDC plan (the
+    /// serve chaos stream injects mid-run this way).
+    pub fn arm_sdc_fault(&self, fault: SdcFault) {
+        self.sdc_plan.borrow_mut().arm(fault);
+    }
+
+    /// Step-attempt ordinal clock the SDC plan is keyed to (attempts so
+    /// far, redos included).
+    pub fn sdc_attempts(&self) -> u64 {
+        self.sdc_attempt.get()
+    }
+
+    /// Seed of the installed SDC plan (printed in corruption log lines).
+    pub fn sdc_seed(&self) -> u64 {
+        self.sdc_plan.borrow().seed
+    }
+
+    fn build_auditor(&self, cfg: AuditConfig) -> StepAuditor<D> {
+        let mut aud = StepAuditor::new(cfg);
+        let n = self.kin.num_dofs();
+        let npts = self.rule.len();
+        let x0 = &self.initial.x;
+        // Legal coordinate box: the initial bounds, padded by the slack.
+        for d in 0..D {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &v in &x0[d * n..(d + 1) * n] {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let pad = cfg.range_slack * (hi - lo).max(f64::MIN_POSITIVE);
+            aud.lo[d] = lo - pad;
+            aud.hi[d] = hi + pad;
+        }
+        // `|J0|` reference for the strong-mass-conservation audit.
+        aud.det0.resize(self.shape.zones * npts, 0.0);
+        for z in 0..self.shape.zones {
+            zone_jacobians(&self.kin, &self.kin_table, x0, z, &mut aud.geom);
+            for k in 0..npts {
+                aud.det0[z * npts + k] = aud.geom[k].det;
+            }
+        }
+        aud.pairing = self.mirror_pairing();
+        // Estimated cost of one audit pass, billed per audit: Jacobians
+        // for every zone, one kinetic/internal energy evaluation, and
+        // the finite/range/symmetry scans.
+        let vlen = (D * n) as f64;
+        let elen = self.me.dim() as f64;
+        let jac = (self.shape.zones * npts * 2 * D * D * self.shape.nkin) as f64;
+        let energy = (2 * D * self.mv.nnz()) as f64 + 2.0 * elen * self.shape.nthermo as f64;
+        let scans = 4.0 * (2.0 * vlen + elen);
+        aud.traffic = Traffic {
+            flops: jac + energy + scans,
+            dram_bytes: 8.0
+                * (self.mv.nnz() as f64
+                    + 3.0 * vlen
+                    + 2.0 * elen
+                    + (self.shape.zones * npts) as f64),
+            ..Traffic::default()
+        };
+        aud
+    }
+
+    /// Diagonal-mirror (`x ↔ y`) DOF pairing, when the mesh is bitwise
+    /// symmetric under the swap and the initial velocity respects it
+    /// (origin-anchored square problems like Sedov). `None` disables the
+    /// symmetry probe (e.g. the 7x3 triple-point domain, or Taylor-Green
+    /// whose velocity field is not mirror-symmetric).
+    fn mirror_pairing(&self) -> Option<Vec<usize>> {
+        if D != 2 {
+            return None;
+        }
+        let n = self.kin.num_dofs();
+        let x0 = &self.initial.x;
+        let mut map = std::collections::HashMap::with_capacity(n);
+        for i in 0..n {
+            map.insert((x0[i].to_bits(), x0[n + i].to_bits()), i);
+        }
+        let mut pairing = Vec::with_capacity(n);
+        for i in 0..n {
+            pairing.push(*map.get(&(x0[n + i].to_bits(), x0[i].to_bits()))?);
+        }
+        let v0 = &self.initial.v;
+        for (i, &p) in pairing.iter().enumerate() {
+            if v0[i].to_bits() != v0[n + p].to_bits() {
+                return None;
+            }
+        }
+        Some(pairing)
+    }
+
+    /// Total energy computed through the auditor's scratch (alloc-free
+    /// once the buffers reach their high-water size).
+    fn audited_energy(&self, state: &HydroState, aud: &mut StepAuditor<D>) -> f64 {
+        let n = self.kin.num_dofs();
+        ensure_zeroed(&mut aud.mv_v, n);
+        let mut kinetic = 0.0;
+        for c in 0..D {
+            let vc = &state.v[c * n..(c + 1) * n];
+            self.mv.spmv_into(vc, &mut aud.mv_v);
+            kinetic += 0.5 * blast_la::dense::dot(vc, &aud.mv_v);
+        }
+        ensure_zeroed(&mut aud.me_e, self.me.dim());
+        self.me.apply(&state.e, &mut aud.me_e);
+        kinetic + aud.me_e.iter().sum::<f64>()
+    }
+
+    /// Runs every invariant check against a candidate state. Returns the
+    /// first violated audit as `(name, measured, tolerance)`, or `None`
+    /// when the state passes (which also advances the energy reference).
+    fn execute_audit(
+        &self,
+        state: &HydroState,
+        aud: &mut StepAuditor<D>,
+    ) -> Option<(&'static str, f64, f64)> {
+        let n = self.kin.num_dofs();
+        // NaN/Inf scans catch exponent flips and their cascades first.
+        for field in [&state.v, &state.e, &state.x] {
+            if let Some(&bad) = field.iter().find(|v| !v.is_finite()) {
+                return Some(("finite", bad, f64::MAX));
+            }
+        }
+        // Mesh coordinates escaping the padded initial box.
+        for d in 0..D {
+            let (lo, hi) = (aud.lo[d], aud.hi[d]);
+            for &xv in &state.x[d * n..(d + 1) * n] {
+                if xv < lo || xv > hi {
+                    return Some(("range", xv, if xv < lo { lo } else { hi }));
+                }
+            }
+        }
+        // Geometry / strong mass conservation: rho/rho0 = |J0|/|J| must
+        // stay positive and below the slacked strong-shock limit.
+        let npts = self.rule.len();
+        for z in 0..self.shape.zones {
+            zone_jacobians(&self.kin, &self.kin_table, &state.x, z, &mut aud.geom);
+            let g = self.consts.gamma[z];
+            let limit = aud.cfg.compression_slack * (g + 1.0) / (g - 1.0);
+            for k in 0..npts {
+                let det = aud.geom[k].det;
+                // NaN dets must trip too, not slip through the comparison.
+                if det <= 0.0 || det.is_nan() {
+                    return Some(("geometry", det, 0.0));
+                }
+                let compression = aud.det0[z * npts + k] / det;
+                if compression > limit {
+                    return Some(("geometry", compression, limit));
+                }
+            }
+        }
+        // Discrete energy identity vs the trusted reference.
+        let total = self.audited_energy(state, aud);
+        if let Some(e_ref) = aud.e_ref {
+            let drift = (total - e_ref).abs() / e_ref.abs().max(f64::MIN_POSITIVE);
+            let band = aud.energy_band();
+            if drift > band {
+                return Some(("energy", drift, band));
+            }
+        }
+        // Diagonal-mirror symmetry probe (v and x; flips in e are the
+        // energy audit's job). The pairing is an involution, so checking
+        // `f_x[i]` against `f_y[p[i]]` for every `i` covers both halves.
+        if let Some(p) = &aud.pairing {
+            for field in [&state.v, &state.x] {
+                let (fx, fy) = field.split_at(n);
+                let scale = field
+                    .iter()
+                    .fold(0.0f64, |m, &v| m.max(v.abs()))
+                    .max(f64::MIN_POSITIVE);
+                let mut worst = 0.0f64;
+                for i in 0..n {
+                    worst = worst.max((fx[i] - fy[p[i]]).abs());
+                }
+                let asym = worst / scale;
+                if asym > aud.cfg.symmetry_tol {
+                    return Some(("symmetry", asym, aud.cfg.symmetry_tol));
+                }
+            }
+        }
+        aud.note_pass(total);
+        None
+    }
+
+    /// Prints the replayable corruption log line (seed, step, measured vs
+    /// tolerance) and records the detection in the ledger + trace.
+    fn report_corruption(&self, err: &HydroError) {
+        if let HydroError::CorruptionDetected { step, audit, measured, tolerance } = err {
+            let seed = self.sdc_plan.borrow().seed;
+            eprintln!(
+                "[sdc] {FAULT_SEED_ENV}={seed} step-attempt {step}: {audit} audit measured \
+                 {measured:.6e} against tolerance {tolerance:.6e} (rerun with \
+                 {FAULT_SEED_ENV}={seed} to replay)"
+            );
+            self.exec.note_corruption_detected();
+        }
     }
 
     /// Density diagnostics at the quadrature points of a state:
@@ -1271,7 +1546,30 @@ impl<const D: usize> Hydro<D> {
         tel.begin(Track::Host, names::phases::STEP, self.exec.host.now());
         let res = self.try_step_inner(state, dt);
         tel.end(Track::Host, self.exec.host.now());
-        res
+        // A GEMM-panel flip armed for this attempt either landed inside a
+        // verified GEMM (then `disarm` finds nothing) or never got the
+        // chance (ABFT off / attempt aborted first).
+        if self.sdc_gemm_armed.replace(false) && !blast_la::abft::disarm() {
+            self.exec.note_sdc_flips(1);
+        }
+        match res {
+            Err(e) => {
+                // A corrupted GEMM can cascade into NaN/Inf or a tangled
+                // mesh before the step's own checksum poll runs; the
+                // violation is the root cause, so surface it as detected
+                // corruption (the consumed flip makes the redo clean).
+                match blast_la::abft::take_violation() {
+                    Some(v) => Err(HydroError::CorruptionDetected {
+                        step: self.sdc_attempt.get(),
+                        audit: "abft",
+                        measured: v.measured,
+                        tolerance: v.tolerance,
+                    }),
+                    None => Err(e),
+                }
+            }
+            ok => ok,
+        }
     }
 
     fn try_step_inner(
@@ -1285,6 +1583,17 @@ impl<const D: usize> Hydro<D> {
             // trivially untouched and the failure rolls back cleanly.
             self.step_fault_budget.set(self.step_fault_budget.get() - 1);
             return Err(HydroError::NonFinite { what: "injected step fault", index: 0 });
+        }
+        // This attempt's ordinal on the SDC plan's clock (redos included,
+        // so a consumed transient flip cannot re-fire on the redo).
+        let attempt = self.sdc_attempt.get() + 1;
+        self.sdc_attempt.set(attempt);
+        if let Some(f) = self.sdc_plan.borrow().take(SdcSite::GemmPanel, attempt) {
+            // Exponent-MSB flips in a GEMM panel overflow into Inf more
+            // often than they corrupt silently; cap the armed bit so the
+            // flip stays in the band the checksums must catch.
+            blast_la::abft::arm_flip(f.lane, f.bit.min(55));
+            self.sdc_gemm_armed.set(true);
         }
         let n = self.kin.num_dofs();
         let vlen = D * n;
@@ -1330,11 +1639,38 @@ impl<const D: usize> Hydro<D> {
 
         // -- Stage 2: evaluate at the midpoint, take the full step with the
         // averaged velocity (v0 + v_new)/2 = v0 + dt/2 * accel2.
-        let ev2 = self.eval_force(&v_half, &e_half, &x_half)?;
+        let mut ev2 = self.eval_force(&v_half, &e_half, &x_half)?;
         cg_total += ev2.cg_iterations;
+        // SdcSite::DeviceBuffer: a strike on the device-resident
+        // acceleration buffer, before it propagates into v, e, and x.
+        if let Some(f) = self.sdc_plan.borrow().take(SdcSite::DeviceBuffer, attempt) {
+            if apply_flip(&mut ev2.accel, &f).is_some() {
+                self.exec.note_sdc_flips(1);
+            }
+        }
         v_avg.clone_from(&s0_v);
         blast_la::dense::axpy(0.5 * dt, &ev2.accel, &mut v_avg);
-        let de2 = self.energy_rate(&ev2.fz, &v_avg)?;
+        let mut de2 = self.energy_rate(&ev2.fz, &v_avg)?;
+        // SdcSite::TransferPayload: a strike on the energy-rate vector in
+        // flight back to the host.
+        if let Some(f) = self.sdc_plan.borrow().take(SdcSite::TransferPayload, attempt) {
+            if apply_flip(&mut de2, &f).is_some() {
+                self.exec.note_sdc_flips(1);
+            }
+        }
+
+        // ABFT checkpoint: all of the attempt's GEMMs have run, and the
+        // state vectors are still untouched — a checksum violation here
+        // means "roll back by simply retrying", exactly like the other
+        // pre-commit failures.
+        if let Some(v) = blast_la::abft::take_violation() {
+            return Err(HydroError::CorruptionDetected {
+                step: attempt,
+                audit: "abft",
+                measured: v.measured,
+                tolerance: v.tolerance,
+            });
+        }
 
         state.v.copy_from_slice(&s0_v);
         blast_la::dense::axpy(dt, &ev2.accel, &mut state.v);
@@ -1343,6 +1679,19 @@ impl<const D: usize> Hydro<D> {
         state.x.copy_from_slice(&s0_x);
         blast_la::dense::axpy(dt, &v_avg, &mut state.x);
         state.t = t0 + dt;
+        // SdcSite::HostState: a strike on a committed state array after
+        // the step lands — the lane picks v, e, or x. Past every in-step
+        // guard by construction; only the auditor can catch it.
+        if let Some(f) = self.sdc_plan.borrow().take(SdcSite::HostState, attempt) {
+            let target: &mut [f64] = match f.lane % 3 {
+                0 => &mut state.v,
+                1 => &mut state.e,
+                _ => &mut state.x,
+            };
+            if apply_flip(target, &f).is_some() {
+                self.exec.note_sdc_flips(1);
+            }
+        }
 
         // Host-side time integration cost ("the time integration ... is
         // still done on CPU").
@@ -1481,19 +1830,46 @@ impl<const D: usize> Hydro<D> {
         };
         let mut steps_since_ckpt = 0usize;
         let mut wall_at_ckpt = self.exec.host.now();
+        let mut corruption_restores = 0usize;
         let res = loop {
             if state.t >= t_final - 1e-14 || steps >= max_steps {
                 break Ok(RunStats { steps, retries, t: state.t, wall_s: self.exec.host.now() });
             }
             let adv = match self.try_advance(state, dt.min(t_final - state.t)) {
                 Ok(adv) => adv,
-                Err(e) => break Err(e),
+                Err(e) => {
+                    if matches!(e, HydroError::CorruptionDetected { .. })
+                        && corruption_restores < MAX_STEP_REDOS
+                    {
+                        // Every in-place redo kept failing the audit: a
+                        // corrupted state was committed before the audit
+                        // cadence caught it, so the pre-step snapshot
+                        // replays the damage. Fall back to the newest
+                        // checkpoint (behind us, by construction) and
+                        // replay forward — consumed transient flips stay
+                        // consumed, so the replay is clean.
+                        if let Some(info) = self.rollback_to_latest(state, store) {
+                            corruption_restores += 1;
+                            steps = info.steps as usize;
+                            retries = info.retries as usize;
+                            dt = info.dt;
+                            steps_since_ckpt = 0;
+                            wall_at_ckpt = self.exec.host.now();
+                            continue;
+                        }
+                    }
+                    break Err(e);
+                }
             };
             retries += adv.redos;
             steps += 1;
             steps_since_ckpt += 1;
             dt = adv.dt_next;
-            if policy.due(steps_since_ckpt, self.exec.host.now() - wall_at_ckpt) {
+            // With auditing on a cadence > 1, only audited-clean states
+            // are checkpoint-worthy: a corrupted state committed between
+            // audits must never become the generation rollback restores.
+            let trusted = self.audit.as_ref().is_none_or(|a| a.borrow().audited_clean());
+            if trusted && policy.due(steps_since_ckpt, self.exec.host.now() - wall_at_ckpt) {
                 if let Err(e) = self.write_checkpoint(state, dt, steps, retries, store) {
                     break Err(e);
                 }
@@ -1528,6 +1904,17 @@ impl<const D: usize> Hydro<D> {
         let mut redos = 0usize;
         let mut rollback_redos = 0usize;
         let mut cfl_redos = 0usize;
+        // The auditor's energy reference comes from a *trusted* state:
+        // initial conditions or a CRC-validated checkpoint restore — both
+        // of which land here as the pre-step state with no reference set.
+        if let Some(aud) = &self.audit {
+            if aud.borrow().needs_reference() {
+                let mut a = aud.borrow_mut();
+                let e_total = self.audited_energy(state, &mut a);
+                a.set_reference(e_total);
+                self.exec.bill_audit(&a.traffic);
+            }
+        }
         loop {
             // Snapshot the pre-step state into the scratch (reused every
             // iteration, so accepted steps snapshot without allocating).
@@ -1536,6 +1923,7 @@ impl<const D: usize> Hydro<D> {
                 ws.saved_v.clone_from(&state.v);
                 ws.saved_e.clone_from(&state.e);
                 ws.saved_x.clone_from(&state.x);
+                ws.saved_accel.clone_from(&self.accel_prev.borrow());
             }
             let saved_t = state.t;
             // On a redo attempt, watch the device fault counter across the
@@ -1552,15 +1940,63 @@ impl<const D: usize> Hydro<D> {
             }
             let out = match res {
                 Ok(out) => out,
+                Err(err @ HydroError::CorruptionDetected { .. })
+                    if rollback_redos < MAX_STEP_REDOS =>
+                {
+                    // Corruption caught *before* the state commit (an ABFT
+                    // checksum): redo at the SAME dt — the transient flip
+                    // was consumed, so the redo is bit-identical to a
+                    // fault-free step. Halving dt would needlessly fork
+                    // the trajectory from the clean run.
+                    self.report_corruption(&err);
+                    self.restore_saved(state, saved_t);
+                    redos += 1;
+                    rollback_redos += 1;
+                    continue;
+                }
                 Err(e) if e.recoverable_by_rollback() && rollback_redos < MAX_STEP_REDOS => {
                     // Roll back to the pre-step state, redo with half dt.
                     self.restore_saved(state, saved_t);
+                    // With an audit pending (cadence > 1), a recoverable
+                    // blow-up may be committed corruption crashing the
+                    // *next* step rather than a numeric hiccup. Audit the
+                    // restored pre-step state before burning redos on a
+                    // poisoned snapshot: a failed audit converts to
+                    // `CorruptionDetected` so `run` can fall back to the
+                    // newest trusted checkpoint.
+                    if let Some(aud) = &self.audit {
+                        if !aud.borrow().audited_clean() {
+                            let verdict = {
+                                let mut a = aud.borrow_mut();
+                                let verdict = self.execute_audit(state, &mut a);
+                                let mut traffic = a.traffic;
+                                traffic.flops += blast_la::abft::take_verify_flops() as f64;
+                                self.exec.bill_audit(&traffic);
+                                verdict
+                            };
+                            if let Some((audit, measured, tolerance)) = verdict {
+                                let err = HydroError::CorruptionDetected {
+                                    step: self.sdc_attempt.get(),
+                                    audit,
+                                    measured,
+                                    tolerance,
+                                };
+                                self.report_corruption(&err);
+                                return Err(err);
+                            }
+                        }
+                    }
                     dt *= 0.5;
                     redos += 1;
                     rollback_redos += 1;
                     continue;
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    if matches!(e, HydroError::CorruptionDetected { .. }) {
+                        self.report_corruption(&e);
+                    }
+                    return Err(e);
+                }
             };
             if out.dt_est < dt * 0.999 && cfl_redos < MAX_CFL_REDOS {
                 // Overshot the CFL bound: redo with a safer dt.
@@ -1569,6 +2005,42 @@ impl<const D: usize> Hydro<D> {
                 redos += 1;
                 cfl_redos += 1;
                 continue;
+            }
+            // Audit the accepted candidate before committing to it (the
+            // SDC detector's cadence; a failed audit keeps the cadence
+            // armed so the redo is re-audited).
+            if let Some(aud) = &self.audit {
+                if aud.borrow_mut().due() {
+                    let verdict = {
+                        let mut a = aud.borrow_mut();
+                        let verdict = self.execute_audit(state, &mut a);
+                        let mut traffic = a.traffic;
+                        traffic.flops += blast_la::abft::take_verify_flops() as f64;
+                        self.exec.bill_audit(&traffic);
+                        verdict
+                    };
+                    if let Some((audit, measured, tolerance)) = verdict {
+                        let err = HydroError::CorruptionDetected {
+                            step: self.sdc_attempt.get(),
+                            audit,
+                            measured,
+                            tolerance,
+                        };
+                        self.report_corruption(&err);
+                        if rollback_redos < MAX_STEP_REDOS {
+                            // Same-dt redo from the pre-step snapshot. If
+                            // the snapshot itself is corrupted (cadence >
+                            // 1), the redo fails the audit again and the
+                            // budget drains — `run` then falls back to
+                            // the newest checkpoint.
+                            self.restore_saved(state, saved_t);
+                            redos += 1;
+                            rollback_redos += 1;
+                            continue;
+                        }
+                        return Err(err);
+                    }
+                }
             }
             let dt_next = out.dt_est.min(1.02 * dt);
             let tel = self.exec.telemetry();
@@ -1587,6 +2059,10 @@ impl<const D: usize> Hydro<D> {
         state.v.copy_from_slice(&ws.saved_v);
         state.e.copy_from_slice(&ws.saved_e);
         state.x.copy_from_slice(&ws.saved_x);
+        // The PCG warm start is part of the numerical trajectory:
+        // restoring it makes the redone step bit-identical to a
+        // fault-free first try (the SDC campaign's recovery criterion).
+        self.accel_prev.borrow_mut().copy_from_slice(&ws.saved_accel);
         state.t = saved_t;
     }
 
@@ -1609,6 +2085,29 @@ impl<const D: usize> Hydro<D> {
         if loaded.checkpoint.state.t <= state.t {
             return None;
         }
+        self.restore_checkpoint(&loaded.checkpoint, state);
+        self.exec.bill_checkpoint_restore(loaded.bytes);
+        Some(ResumeInfo {
+            dt: loaded.checkpoint.dt,
+            steps: loaded.checkpoint.steps,
+            retries: loaded.checkpoint.retries,
+            generation: loaded.generation,
+            skipped: loaded.skipped,
+        })
+    }
+
+    /// Unconditionally restores the newest valid checkpoint — unlike
+    /// [`Self::try_resume`] it restores even when the checkpoint is
+    /// *behind* `state`, which is exactly what audit-triggered rollback
+    /// needs when a corrupted state was committed (audit cadence > 1).
+    /// Returns `None` (state untouched, store intact) when the store
+    /// holds no valid generation.
+    pub fn rollback_to_latest(
+        &mut self,
+        state: &mut HydroState,
+        store: &CheckpointStore,
+    ) -> Option<ResumeInfo> {
+        let loaded = store.latest_valid()?;
         self.restore_checkpoint(&loaded.checkpoint, state);
         self.exec.bill_checkpoint_restore(loaded.bytes);
         Some(ResumeInfo {
@@ -1649,6 +2148,11 @@ impl<const D: usize> Hydro<D> {
         );
         *state = ck.state.clone();
         self.accel_prev.borrow_mut().copy_from_slice(&ck.accel_prev);
+        // The restored state's energy differs from the last audited
+        // point's; re-baseline from the (trusted) restored state.
+        if let Some(aud) = &self.audit {
+            aud.borrow_mut().reset_reference();
+        }
     }
 
     /// Serializes, stores, and bills one coordinated checkpoint.
@@ -1701,12 +2205,13 @@ impl<const D: usize> Hydro<D> {
     /// Pre-grows the host telemetry buffers for `steps` upcoming
     /// timesteps so recording them does not reallocate. A CPU step logs
     /// seven phases (2x corner_force, 2x cg_solver, 2x energy_solve, one
-    /// integration) plus one enclosing `step` span; the zero-allocation
-    /// harness calls this before its measurement window.
+    /// integration) plus an `sdc_audit` phase when the auditor is on, and
+    /// one enclosing `step` span; the zero-allocation harness calls this
+    /// before its measurement window.
     pub fn reserve_host_telemetry(&self, steps: usize) {
-        self.exec.host.reserve_telemetry(steps * 7);
-        // One STEP span plus up to seven phase/solver child spans per step.
-        self.exec.telemetry().reserve_spans(steps * 8);
+        self.exec.host.reserve_telemetry(steps * 8);
+        // One STEP span plus up to eight phase/solver child spans per step.
+        self.exec.telemetry().reserve_spans(steps * 9);
     }
 }
 

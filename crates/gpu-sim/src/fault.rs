@@ -356,6 +356,249 @@ impl RetryPolicy {
     }
 }
 
+/// Draw stream reserved for deriving SDC flip parameters (bit position and
+/// victim lane) — disjoint from the [`FaultKind::index`] streams 0..=4 and
+/// from [`JITTER_STREAM`].
+const SDC_STREAM: u64 = 0x5DC_B17F;
+
+/// Where a planned silent bit flip lands.
+///
+/// The sites mirror the data-motion stations of one hydro step: resident
+/// device buffers (the freshly computed accelerations), D2H transfer
+/// payloads (the energy-rate vector shipped back to the host), the host
+/// state arrays `(v, e, x)` after the step commit, and the operand/result
+/// panels of the tiled GEMM hot path (armed through `blast_la::abft`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SdcSite {
+    /// A device-resident buffer (the momentum solve's acceleration vector).
+    DeviceBuffer,
+    /// A D2H transfer payload (the energy-rate vector).
+    TransferPayload,
+    /// A committed host state array (`v`, `e` or `x`, selected by the lane).
+    HostState,
+    /// A GEMM output panel inside the tiled `blast-la` hot path.
+    GemmPanel,
+}
+
+/// Number of [`SdcSite`] variants.
+pub const NUM_SDC_SITES: usize = 4;
+
+impl SdcSite {
+    /// Dense index for per-site derivation streams.
+    pub fn index(self) -> usize {
+        match self {
+            SdcSite::DeviceBuffer => 0,
+            SdcSite::TransferPayload => 1,
+            SdcSite::HostState => 2,
+            SdcSite::GemmPanel => 3,
+        }
+    }
+
+    /// All sites, in index order (campaign sweeps iterate this).
+    pub const ALL: [SdcSite; NUM_SDC_SITES] =
+        [SdcSite::DeviceBuffer, SdcSite::TransferPayload, SdcSite::HostState, SdcSite::GemmPanel];
+}
+
+impl std::fmt::Display for SdcSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SdcSite::DeviceBuffer => write!(f, "device-buffer"),
+            SdcSite::TransferPayload => write!(f, "transfer-payload"),
+            SdcSite::HostState => write!(f, "host-state"),
+            SdcSite::GemmPanel => write!(f, "gemm-panel"),
+        }
+    }
+}
+
+/// One planned silent bit flip.
+///
+/// `bit` is the IEEE-754 bit to XOR (high mantissa / exponent range — see
+/// [`SdcPlan::flip_bit_range`]); `lane` deterministically selects the
+/// victim element among the significant entries of the target buffer.
+/// A transient flip fires exactly once, at step-attempt ordinal `at_step`;
+/// a persistent flip re-fires on every attempt from `at_step` onward (a
+/// stuck bit that no in-place redo can clear — the lethal-burst case).
+#[derive(Clone, Copy, Debug)]
+pub struct SdcFault {
+    /// Which data-motion station the flip corrupts.
+    pub site: SdcSite,
+    /// 0-based step-attempt ordinal at which the flip (first) fires.
+    pub at_step: u64,
+    /// IEEE-754 bit index to XOR (0 = mantissa LSB, 62 = exponent MSB).
+    pub bit: u32,
+    /// Selects the victim element among significant entries of the buffer.
+    pub lane: u64,
+    /// Whether the flip re-fires on every later attempt (stuck bit).
+    pub persistent: bool,
+}
+
+/// Outcome of applying one flip to a concrete buffer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SdcHit {
+    /// Index of the flipped element.
+    pub index: usize,
+    /// Value before the flip.
+    pub before: f64,
+    /// Value after the flip.
+    pub after: f64,
+}
+
+/// Seeded plan of silent-data-corruption bit flips.
+///
+/// Like [`FaultPlan`], the plan is a pure function of its seed: the bit
+/// position and victim lane of each flip are derived from
+/// `(seed, site, fault ordinal)` through [`fault_draw`], so a campaign run
+/// is exactly replayable from `BLAST_FAULT_SEED`. Fired transient flips
+/// are tracked with interior mutability so a rolled-back step redo
+/// re-executes clean — exactly how a one-shot particle strike behaves.
+#[derive(Clone, Debug, Default)]
+pub struct SdcPlan {
+    /// Seed of the flip-parameter draws.
+    pub seed: u64,
+    faults: Vec<SdcFault>,
+    fired: std::cell::RefCell<Vec<bool>>,
+}
+
+impl SdcPlan {
+    /// Bits eligible for injected flips: high mantissa (44..=51, relative
+    /// perturbation `2^-8..2^-1`) and exponent (52..=62). Flips below this
+    /// range perturb the value by less than ~4e-3 relative and model the
+    /// benign strikes the auditor is *allowed* to miss; the campaign gate
+    /// is about the detectable ones.
+    pub const FLIP_BIT_LO: u32 = 44;
+    /// Upper end (inclusive) of the injected flip bit range.
+    pub const FLIP_BIT_HI: u32 = 62;
+
+    /// A plan injecting nothing (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// An empty seeded plan; add flips with the builders.
+    pub fn seeded(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Like [`SdcPlan::seeded`], but [`FAULT_SEED_ENV`] overrides
+    /// `default_seed` when set.
+    pub fn seeded_from_env(default_seed: u64) -> Self {
+        Self::seeded(fault_seed_from_env().unwrap_or(default_seed))
+    }
+
+    /// Schedules one transient flip at `site` on step-attempt `at_step`,
+    /// with bit and lane derived from the plan seed.
+    #[must_use]
+    pub fn with_flip(self, site: SdcSite, at_step: u64) -> Self {
+        self.push_derived(site, at_step, false)
+    }
+
+    /// Schedules a persistent (stuck-bit) flip: it re-fires on every
+    /// attempt from `at_step` onward, so no in-place redo can clear it.
+    #[must_use]
+    pub fn with_persistent_flip(self, site: SdcSite, at_step: u64) -> Self {
+        self.push_derived(site, at_step, true)
+    }
+
+    /// Schedules a fully explicit flip (tests pin exact bits).
+    #[must_use]
+    pub fn with_flip_at(mut self, fault: SdcFault) -> Self {
+        self.arm(fault);
+        self
+    }
+
+    /// Adds a flip to an already-installed plan — the serve chaos stream
+    /// arms mid-run flips through `Hydro::arm_sdc_fault` this way.
+    pub fn arm(&mut self, fault: SdcFault) {
+        assert!(fault.bit <= 62, "bit 63 (the sign of a sum) is not a silent flip model");
+        self.faults.push(fault);
+        self.fired.borrow_mut().push(false);
+    }
+
+    fn push_derived(self, site: SdcSite, at_step: u64, persistent: bool) -> Self {
+        let ordinal = self.faults.len() as u64;
+        let fault = derive_fault(self.seed, site, at_step, ordinal, persistent);
+        self.with_flip_at(fault)
+    }
+
+    /// Whether the plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    /// Planned flips (fired or not), for campaign reporting.
+    pub fn faults(&self) -> &[SdcFault] {
+        &self.faults
+    }
+
+    /// Returns the flip to apply at `site` on step-attempt `step`, if any.
+    ///
+    /// Transient flips are consumed (a later attempt of the same step — a
+    /// rollback redo — re-executes clean); persistent flips re-fire on
+    /// every attempt from their `at_step` onward.
+    pub fn take(&self, site: SdcSite, step: u64) -> Option<SdcFault> {
+        let mut fired = self.fired.borrow_mut();
+        for (i, f) in self.faults.iter().enumerate() {
+            if f.site != site {
+                continue;
+            }
+            if f.persistent && step >= f.at_step {
+                return Some(*f);
+            }
+            if !f.persistent && step == f.at_step && !fired[i] {
+                fired[i] = true;
+                return Some(*f);
+            }
+        }
+        None
+    }
+}
+
+/// Derives a concrete [`SdcFault`] from `(seed, site, ordinal)` — the pure
+/// function behind [`SdcPlan::with_flip`], exposed so `blast-core` can arm
+/// chaos-stream flips with the same replayable derivation.
+pub fn derive_fault(
+    seed: u64,
+    site: SdcSite,
+    at_step: u64,
+    ordinal: u64,
+    persistent: bool,
+) -> SdcFault {
+    let stream = SDC_STREAM + site.index() as u64;
+    let span = (SdcPlan::FLIP_BIT_HI - SdcPlan::FLIP_BIT_LO + 1) as f64;
+    let bit = SdcPlan::FLIP_BIT_LO + (fault_draw(seed, stream, 2 * ordinal) * span) as u32;
+    let lane = (fault_draw(seed, stream, 2 * ordinal + 1) * (1u64 << 53) as f64) as u64;
+    SdcFault { site, at_step, bit: bit.min(SdcPlan::FLIP_BIT_HI), lane, persistent }
+}
+
+/// XORs `fault.bit` into one significant element of `buf` and returns what
+/// changed, or `None` if the buffer has no significant entry to corrupt
+/// (all zeros — a flip on a zero background is outside the model).
+///
+/// The victim is chosen among entries with `|x| >= 0.1 * max|x|` (the
+/// `lane`-th such entry, wrapping), so every injected flip perturbs data
+/// that actually participates in the physics instead of vanishing into a
+/// denormal nobody reads — the adversarial case a detector must catch.
+pub fn apply_flip(buf: &mut [f64], fault: &SdcFault) -> Option<SdcHit> {
+    let max_abs = buf.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+    if max_abs <= 0.0 || !max_abs.is_finite() {
+        return None;
+    }
+    let threshold = 0.1 * max_abs;
+    let eligible = buf.iter().filter(|x| x.abs() >= threshold).count();
+    debug_assert!(eligible > 0);
+    let pick = (fault.lane % eligible as u64) as usize;
+    let index = buf
+        .iter()
+        .enumerate()
+        .filter(|(_, x)| x.abs() >= threshold)
+        .nth(pick)
+        .map(|(i, _)| i)?;
+    let before = buf[index];
+    let after = f64::from_bits(before.to_bits() ^ (1u64 << fault.bit));
+    buf[index] = after;
+    Some(SdcHit { index, before, after })
+}
+
 /// Cumulative fault/recovery counters for one device.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FaultStats {
@@ -505,6 +748,59 @@ mod tests {
         assert!(GpuError::Ecc { kernel: "k".into(), attempts: 1 }.is_retryable());
         let t = GpuError::Transfer { direction: TransferDir::H2d, bytes: 8, attempts: 1 };
         assert!(t.is_retryable());
+    }
+
+    #[test]
+    fn sdc_plan_is_deterministic_and_seed_sensitive() {
+        let a = SdcPlan::seeded(7).with_flip(SdcSite::HostState, 3);
+        let b = SdcPlan::seeded(7).with_flip(SdcSite::HostState, 3);
+        let c = SdcPlan::seeded(8).with_flip(SdcSite::HostState, 3);
+        let fa = a.faults()[0];
+        let fb = b.faults()[0];
+        let fc = c.faults()[0];
+        assert_eq!((fa.bit, fa.lane), (fb.bit, fb.lane), "same seed, same flip");
+        assert_ne!((fa.bit, fa.lane), (fc.bit, fc.lane), "seed must matter");
+        assert!((SdcPlan::FLIP_BIT_LO..=SdcPlan::FLIP_BIT_HI).contains(&fa.bit));
+    }
+
+    #[test]
+    fn transient_flip_fires_once_then_redo_is_clean() {
+        let plan = SdcPlan::seeded(1).with_flip(SdcSite::DeviceBuffer, 5);
+        assert!(plan.take(SdcSite::DeviceBuffer, 4).is_none());
+        assert!(plan.take(SdcSite::TransferPayload, 5).is_none(), "wrong site");
+        assert!(plan.take(SdcSite::DeviceBuffer, 5).is_some());
+        assert!(plan.take(SdcSite::DeviceBuffer, 5).is_none(), "consumed");
+        assert!(plan.take(SdcSite::DeviceBuffer, 6).is_none());
+    }
+
+    #[test]
+    fn persistent_flip_refires_every_attempt() {
+        let plan = SdcPlan::seeded(1).with_persistent_flip(SdcSite::HostState, 5);
+        assert!(plan.take(SdcSite::HostState, 4).is_none());
+        for step in 5..9 {
+            assert!(plan.take(SdcSite::HostState, step).is_some(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn apply_flip_targets_a_significant_entry() {
+        let fault = SdcFault {
+            site: SdcSite::HostState,
+            at_step: 0,
+            bit: 52,
+            lane: 1,
+            persistent: false,
+        };
+        // Entries below 10% of the max are ineligible victims.
+        let mut buf = vec![1e-6, 2.0, 1e-9, -1.5, 0.05];
+        let hit = apply_flip(&mut buf, &fault).expect("significant entries exist");
+        assert!(hit.index == 1 || hit.index == 3, "victim must be significant");
+        let ratio = hit.after / hit.before;
+        assert!(ratio == 2.0 || ratio == 0.5, "exponent-LSB flip scales by 2 or 1/2");
+        assert_eq!(buf[hit.index], hit.after);
+
+        let mut zeros = vec![0.0; 8];
+        assert!(apply_flip(&mut zeros, &fault).is_none(), "zero background: no-op");
     }
 
     #[test]

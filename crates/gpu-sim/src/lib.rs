@@ -40,8 +40,9 @@ pub mod traffic;
 pub use cpu::{CpuDevice, CpuSpec};
 pub use device::{GpuDevice, KernelEvent, KernelStats};
 pub use fault::{
-    fault_draw, fault_seed_from_env, FaultKind, FaultPlan, FaultStats, GpuError, RetryPolicy,
-    TransferDir, FAULT_SEED_ENV,
+    apply_flip, derive_fault, fault_draw, fault_seed_from_env, FaultKind, FaultPlan, FaultStats,
+    GpuError, RetryPolicy, SdcFault, SdcHit, SdcPlan, SdcSite, TransferDir, FAULT_SEED_ENV,
+    NUM_SDC_SITES,
 };
 pub use occupancy::{occupancy, LaunchConfig, Occupancy};
 pub use spec::GpuSpec;

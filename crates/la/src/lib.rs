@@ -19,6 +19,7 @@
 //! matching the paper's observation that column blocking works best because
 //! "the data layout is in column major".
 
+pub mod abft;
 pub mod batch;
 pub mod blockdiag;
 pub mod csr;
@@ -30,6 +31,7 @@ pub mod small;
 pub mod svd;
 pub mod tile;
 
+pub use abft::{AbftMode, AbftViolation};
 pub use batch::{batched_gemm_nn, batched_gemm_nt, batched_gemv_n, batched_gemv_t, BatchedMats};
 pub use blockdiag::BlockDiag;
 pub use csr::{CsrBuilder, CsrMatrix};

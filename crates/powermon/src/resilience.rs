@@ -45,6 +45,20 @@ pub struct ResilienceReport {
     /// Energy of those checkpoint/restore/quiesce phases, J (host DRAM
     /// traffic plus device idle watts during the quiesce).
     pub resilience_energy_j: f64,
+    /// Physics-invariant audits executed after accepted steps (the
+    /// silent-data-corruption detector's cadence actually realized).
+    pub audits_run: u64,
+    /// Silent corruption events detected (audit trips + ABFT checksum
+    /// violations), each answered by a rollback redo or a typed error.
+    pub corruptions_detected: u64,
+    /// Silent bit flips the active `SdcPlan` actually landed.
+    pub sdc_flips_injected: u64,
+    /// Simulated seconds spent running audits (invariant checks plus the
+    /// ABFT checksum arithmetic).
+    pub audit_s: f64,
+    /// Energy of the audit work, J — the "what does detection cost"
+    /// number the sdc_campaign gate bounds at 10% of the run.
+    pub audit_energy_j: f64,
     /// Whether a persistent fault forced execution onto the CPU.
     pub degraded_to_cpu: bool,
     /// Why, when it did.
@@ -75,9 +89,9 @@ impl ResilienceReport {
     }
 
     /// Joules spent on resilience machinery in total: retry backoff plus
-    /// checkpoint writes, restores, and recovery quiesce.
+    /// checkpoint writes, restores, recovery quiesce, and SDC audits.
     pub fn total_resilience_energy_j(&self) -> f64 {
-        self.backoff_energy_j + self.resilience_energy_j
+        self.backoff_energy_j + self.resilience_energy_j + self.audit_energy_j
     }
 
     /// Resilience overhead as a percentage of `total_energy_j` (the run's
@@ -108,6 +122,11 @@ impl ResilienceReport {
         self.redo_faults += other.redo_faults;
         self.resilience_s += other.resilience_s;
         self.resilience_energy_j += other.resilience_energy_j;
+        self.audits_run += other.audits_run;
+        self.corruptions_detected += other.corruptions_detected;
+        self.sdc_flips_injected += other.sdc_flips_injected;
+        self.audit_s += other.audit_s;
+        self.audit_energy_j += other.audit_energy_j;
         if other.degraded_to_cpu && !self.degraded_to_cpu {
             self.degraded_to_cpu = true;
             self.degraded_reason = other.degraded_reason.clone();
@@ -147,6 +166,13 @@ impl ResilienceReport {
         s.push_str(&format!(
             "Ckpt+restore energy  : {:.3e} s / {:.3e} J\n",
             self.resilience_s, self.resilience_energy_j
+        ));
+        s.push_str(&format!("SDC flips landed     : {}\n", self.sdc_flips_injected));
+        s.push_str(&format!("SDC audits run       : {}\n", self.audits_run));
+        s.push_str(&format!("Corruption detected  : {}\n", self.corruptions_detected));
+        s.push_str(&format!(
+            "Audit time / energy  : {:.3e} s / {:.3e} J\n",
+            self.audit_s, self.audit_energy_j
         ));
         match (&self.degraded_to_cpu, &self.degraded_reason) {
             (true, Some(r)) => s.push_str(&format!("Degraded to CPU      : yes ({r})\n")),

@@ -30,12 +30,12 @@ use std::sync::Arc;
 use blast_core::checkpoint::CheckpointStore;
 use blast_core::solver::MAX_STEP_REDOS;
 use blast_core::state::HydroState;
-use blast_core::{ExecMode, Executor, Hydro, HydroError, RetryPolicy};
+use blast_core::{AuditConfig, ExecMode, Executor, Hydro, HydroError, RetryPolicy};
 use blast_telemetry::names::{counters, gauges, phases};
 use blast_telemetry::{Telemetry, TelemetrySink, Track};
 use cluster_sim::FailureDetector;
 use gpu_sim::fault::fault_draw;
-use gpu_sim::{CpuSpec, FaultPlan, GpuDevice, GpuSpec};
+use gpu_sim::{derive_fault, CpuSpec, FaultPlan, GpuDevice, GpuSpec, SdcSite};
 use powermon::{PowerTrace, ResilienceReport};
 
 use crate::admission::AdmissionError;
@@ -68,6 +68,13 @@ pub struct ServeConfig {
     /// Per-quantum probability of a survivable redo burst (absorbed by
     /// rollback with dt halving).
     pub redo_rate: f64,
+    /// Per-quantum probability of a silent-data-corruption burst: a
+    /// replayable bit flip armed in the attempt's next step. When this is
+    /// nonzero every attempt runs with the physics-invariant auditor
+    /// installed, so a corrupted job is either healed in place (audit +
+    /// same-dt redo), retried after a typed `CorruptionDetected`, or
+    /// failed typed — never completed silently wrong.
+    pub sdc_rate: f64,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +87,7 @@ impl Default for ServeConfig {
             seed: 42,
             kill_rate: 0.0,
             redo_rate: 0.0,
+            sdc_rate: 0.0,
         }
     }
 }
@@ -208,7 +216,7 @@ impl Supervisor {
         assert!(!workers.is_empty(), "a supervisor needs at least one worker");
         assert!(cfg.quantum_steps >= 1, "quantum must be at least one step");
         assert!(
-            cfg.kill_rate + cfg.redo_rate <= 1.0,
+            cfg.kill_rate + cfg.redo_rate + cfg.sdc_rate <= 1.0,
             "chaos rates must sum to at most 1"
         );
         let n = workers.len();
@@ -542,6 +550,28 @@ impl Supervisor {
             } else if u < self.cfg.kill_rate + self.cfg.redo_rate {
                 // Survivable burst: absorbed by rollback with dt halving.
                 attempt.hydro.inject_step_faults(2);
+            } else if u < self.cfg.kill_rate + self.cfg.redo_rate + self.cfg.sdc_rate {
+                // Silent-corruption burst: a replayable bit flip lands in
+                // the attempt's next step (state array, transfer payload,
+                // or device buffer — GEMM-panel flips are exercised by the
+                // `sdc_campaign` experiment, where `AbftMode` is pinned).
+                // A transient flip is caught by the auditor and healed by
+                // the same-dt redo inside the quantum; a persistent one
+                // exhausts the redo budget and surfaces a typed
+                // `CorruptionDetected`, which the retry ladder absorbs
+                // with a fresh (clean) attempt.
+                let sub = fault_draw(self.cfg.seed, SERVE_CHAOS_STREAM ^ 0x5DC, counter);
+                let site = match (sub * 3.0) as u32 {
+                    0 => SdcSite::DeviceBuffer,
+                    1 => SdcSite::TransferPayload,
+                    _ => SdcSite::HostState,
+                };
+                let persistent =
+                    fault_draw(self.cfg.seed, SERVE_CHAOS_STREAM ^ 0xABF7, counter) < 0.25;
+                let at_step = attempt.hydro.sdc_attempts() + 1;
+                attempt
+                    .hydro
+                    .arm_sdc_fault(derive_fault(self.cfg.seed, site, at_step, counter, persistent));
             }
         }
 
@@ -638,6 +668,11 @@ impl Supervisor {
         let job = &mut self.jobs[job_idx];
         let spec = &job.spec;
         let mut hydro = spec.scenario.build(spec.zones, spec.order, exec)?;
+        if self.cfg.sdc_rate > 0.0 {
+            // SDC chaos without an auditor would be silent wrong answers
+            // by construction; install the detector on every attempt.
+            hydro.set_audit(AuditConfig::default());
+        }
         let mut state = hydro.initial_state();
         job.record.attempts += 1;
         let (dt, steps, redos) = match hydro.try_resume(&mut state, &job.store) {

@@ -55,6 +55,10 @@ pub mod phases {
     pub const JOB_FAILED: &str = "job_failed";
     /// Instant: the failure detector declared a worker dead.
     pub const WORKER_DEAD: &str = "worker_dead";
+    /// Physics-invariant audit of a completed step (SDC detection).
+    pub const SDC_AUDIT: &str = "sdc_audit";
+    /// Instant: an audit tripped — silent corruption detected.
+    pub const SDC_DETECTED: &str = "sdc_detected";
 }
 
 /// Monotonic counter names.
@@ -113,6 +117,12 @@ pub mod counters {
     pub const DEADLINE_MISSES: &str = "deadline_misses";
     /// Workers declared dead by the supervisor's failure detector.
     pub const WORKER_DEATHS: &str = "worker_deaths";
+    /// Physics-invariant audits executed after accepted steps.
+    pub const SDC_AUDITS: &str = "sdc_audits";
+    /// Audit/ABFT detections of silent data corruption.
+    pub const SDC_DETECTED: &str = "sdc_detected";
+    /// Silent bit flips injected by the active `SdcPlan`.
+    pub const SDC_FLIPS_INJECTED: &str = "sdc_flips_injected";
 }
 
 /// Gauge names (last-write-wins samples).

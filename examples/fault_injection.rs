@@ -5,18 +5,27 @@
 //! 2. under seeded *transient* faults that the retry policy absorbs,
 //! 3. with a *persistent* kernel fault that forces graceful degradation
 //!    onto the CPU path mid-run,
+//! 4. with a seeded *silent* bit flip in a device result buffer — no
+//!    fault signal at all — caught by the physics-invariant auditor and
+//!    rolled back, with the detection/recovery overhead billed,
 //!
 //! each followed by its resilience report: faults injected, retries,
 //! recovery rate, backoff time billed as idle-power energy, and whether
-//! the run degraded. The physics of run 2 is bit-identical to run 1, and
-//! run 3 is bit-identical to a pure-CPU run.
+//! the run degraded. The physics of runs 2 and 4 is bit-identical to
+//! run 1, and run 3 is bit-identical to a pure-CPU run.
 //!
 //! Run with: `cargo run --release --example fault_injection`
 
 use std::sync::Arc;
 
-use blast_repro::blast_core::{ExecMode, Executor, Hydro, HydroState, RunConfig, Sedov};
-use blast_repro::gpu_sim::{CpuSpec, FaultKind, FaultPlan, GpuDevice, GpuSpec, FAULT_SEED_ENV};
+use blast_repro::blast_core::{
+    AuditConfig, CheckpointPolicy, CheckpointStore, ExecMode, Executor, Hydro, HydroState,
+    RunConfig, Sedov,
+};
+use blast_repro::gpu_sim::{
+    derive_fault, CpuSpec, FaultKind, FaultPlan, GpuDevice, GpuSpec, SdcPlan, SdcSite,
+    FAULT_SEED_ENV,
+};
 
 const T_FINAL: f64 = 0.1;
 
@@ -50,6 +59,53 @@ fn run(label: &str, plan: FaultPlan) -> (HydroState, f64, f64, String) {
     (state, wall, energy, report.summary())
 }
 
+/// Run 4: a silent single-bit flip (no fault signal) in a device result
+/// buffer, caught by the physics-invariant step audit and healed by
+/// rollback. Returns the final state plus the billed audit overhead.
+fn run_sdc(seed: u64) -> (HydroState, f64, f64) {
+    let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+    let exec = Executor::new(
+        ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 },
+        CpuSpec::e5_2670(),
+        Some(dev.clone()),
+    );
+    let mut plan = SdcPlan::seeded(seed);
+    plan.arm(derive_fault(seed, SdcSite::DeviceBuffer, 10, 0, false));
+    let problem = Sedov::default();
+    let mut hydro = Hydro::<2>::builder(&problem, [8, 8])
+        .executor(exec)
+        .sdc_plan(plan)
+        .audit(AuditConfig::default())
+        .build()
+        .expect("setup");
+    let mut state = hydro.initial_state();
+    let mut store = CheckpointStore::in_memory();
+    let stats = hydro
+        .run(
+            &mut state,
+            RunConfig::to(T_FINAL)
+                .max_steps(500)
+                .checkpointed(CheckpointPolicy::EverySteps(4), &mut store),
+        )
+        .expect("a transient flip is detected and healed");
+    let report = hydro.executor().resilience_report(stats.retries);
+    let energy = dev.energy_joules() + hydro.executor().host.energy_joules();
+    println!("== silent bit flip in a device buffer -> audit catch + rollback");
+    println!(
+        "   steps {} (+{} redone)  flips injected {}  corruptions detected {}",
+        stats.steps, stats.retries, report.sdc_flips_injected, report.corruptions_detected
+    );
+    println!(
+        "   audits run {}  billed audit overhead: {:.3} s, {:.2} J ({:.2}% of run energy)",
+        report.audits_run,
+        report.audit_s,
+        report.audit_energy_j,
+        100.0 * report.audit_energy_j / energy.max(f64::MIN_POSITIVE),
+    );
+    println!();
+    (state, report.audit_energy_j, energy)
+}
+
 fn main() {
     println!("BLAST Sedov 8x8 (Q2-Q1) on the simulated K20, t_final = {T_FINAL}\n");
 
@@ -64,6 +120,8 @@ fn main() {
     let persistent =
         FaultPlan::seeded_from_env(42).with_persistent(FaultKind::EccError, 0);
     let (s_degraded, w_d, e_d, _) = run("persistent ECC fault -> CPU fallback", persistent);
+
+    let (s_sdc, _, _) = run_sdc(42);
 
     // A pure-CPU reference for the bit-identity claims.
     let cpu = Executor::new(ExecMode::CpuSerial, CpuSpec::e5_2670(), None);
@@ -80,6 +138,10 @@ fn main() {
     println!(
         "   degraded-run physics identical to pure CPU    : {}",
         s_degraded.v == s_cpu.v && s_degraded.e == s_cpu.e && s_degraded.x == s_cpu.x
+    );
+    println!(
+        "   SDC-healed physics identical to baseline      : {}",
+        s_sdc.v == s_clean.v && s_sdc.e == s_clean.e && s_sdc.x == s_clean.x
     );
     println!(
         "   recovery overhead: transient +{:.2}% time, +{:.2}% energy; degraded {:.1}x time, {:.1}x energy",

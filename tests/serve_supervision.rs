@@ -22,8 +22,9 @@ use blast_repro::blast_telemetry::names::counters;
 use blast_repro::gpu_sim::fault::fault_seed_from_env;
 use blast_repro::gpu_sim::{FaultKind, FaultPlan, RetryPolicy, FAULT_SEED_ENV};
 
-/// Relative tolerance of the energy reconciliation gate.
-const RECONCILE_TOL: f64 = 1e-9;
+/// Relative tolerance of the energy reconciliation gate — the solver-wide
+/// band named once in `blast-core`.
+const RECONCILE_TOL: f64 = blast_repro::blast_core::ENERGY_RECONCILE_TOL;
 
 fn serve_seed() -> u64 {
     fault_seed_from_env().unwrap_or(42)

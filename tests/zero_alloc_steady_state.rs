@@ -17,7 +17,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use blast_repro::blast_core::{ExecMode, Executor, Hydro, Sedov};
+use blast_repro::blast_core::{AuditConfig, ExecMode, Executor, Hydro, Sedov};
+use blast_repro::blast_la::{abft, AbftMode};
 use blast_repro::blast_telemetry::{names, Track};
 use blast_repro::gpu_sim::CpuSpec;
 
@@ -54,10 +55,17 @@ fn steady_state_steps_do_not_touch_the_heap() {
     // TLS allocations) per call, which is the multithreaded path's own
     // cost model, not the solver hot path under test here.
     rayon::set_active_threads(1);
+    // The contract must hold with the full SDC defense on: ABFT-checksummed
+    // GEMMs and the per-step physics-invariant audit (its scratch grows
+    // once at install/warm-up like every other pool).
+    abft::set_mode(AbftMode::Verify);
     let exec = Executor::new(ExecMode::CpuSerial, CpuSpec::e5_2670(), None);
     let problem = Sedov::default();
-    let mut hydro =
-        Hydro::<2>::builder(&problem, [6, 6]).executor(exec).build().expect("problem fits");
+    let mut hydro = Hydro::<2>::builder(&problem, [6, 6])
+        .executor(exec)
+        .audit(AuditConfig::default())
+        .build()
+        .expect("problem fits");
     let mut state = hydro.initial_state();
     let mut dt = hydro.suggest_dt(&state);
 
