@@ -22,10 +22,16 @@
 //!   (`blast_la::tile::CANDIDATES`) per FE order and reports the measured
 //!   GFLOP/s so the cost model can be calibrated against the real host.
 
+//! - [`pcg_stream`]: the search pointed at the fused streaming PCG
+//!   kernels — picks the fusion x parallel-drive combination
+//!   (`blast_la::stream::CANDIDATES`) per (dimension, thread count).
+
 pub mod balance;
 pub mod host_tiles;
+pub mod pcg_stream;
 pub mod tuner;
 
 pub use balance::AutoBalancer;
 pub use host_tiles::{tune_host_tiles, HostTileChoice};
+pub use pcg_stream::{tune_pcg_stream, StreamChoice};
 pub use tuner::{Autotuner, TunerPhase};

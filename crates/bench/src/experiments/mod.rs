@@ -15,6 +15,7 @@ pub mod fig08_bandwidth;
 pub mod fig11_speedup;
 pub mod host_kernels;
 pub mod host_speedup;
+pub mod pcg_streaming;
 pub mod fig12_weak_scaling;
 pub mod fig13_strong_scaling;
 pub mod fig14_cpu_power;
@@ -58,6 +59,7 @@ pub fn all_experiment_names() -> Vec<&'static str> {
         "resilience_overhead",
         "host_speedup",
         "host_kernels",
+        "pcg_streaming",
         "telemetry_profile",
         "serve_storm",
         "sdc_campaign",
@@ -90,6 +92,7 @@ pub fn run_by_name(name: &str) -> Option<String> {
         "resilience_overhead" => resilience_overhead::report(),
         "host_speedup" => host_speedup::report(),
         "host_kernels" => host_kernels::report(),
+        "pcg_streaming" => pcg_streaming::report(),
         "telemetry_profile" => telemetry_profile::report(),
         "serve_storm" => serve_storm::report(),
         "sdc_campaign" => sdc_campaign::report(),

@@ -454,6 +454,21 @@ pub fn cg_iteration_traffic(nnz: usize, n: usize) -> Traffic {
     }
 }
 
+/// Per-iteration CG traffic with the fused streaming kernels active: the
+/// matrix stream is unchanged, but fusing SpMV+dot, the paired axpys+norm,
+/// and the precondition+dot+direction update drops the vector transits from
+/// ~10n words to ~7n (z is never materialized; p, Ap, x, r each stream once
+/// per fused sweep instead of once per BLAS-1 call).
+pub fn cg_iteration_traffic_fused(nnz: usize, n: usize) -> Traffic {
+    let matrix_bytes = nnz as f64 * (8.0 + 4.0);
+    let l3_factor = if matrix_bytes < 16e6 { 0.25 } else { 1.0 };
+    Traffic {
+        flops: 2.0 * nnz as f64 + 10.0 * n as f64,
+        dram_bytes: matrix_bytes * l3_factor + 7.0 * n as f64 * 8.0,
+        ..Default::default()
+    }
+}
+
 /// Host-side integration traffic per RK2-average step (vector AXPYs over
 /// the full state, twice per step).
 pub fn integration_traffic(state_len: usize) -> Traffic {

@@ -32,8 +32,8 @@ use crate::audit::{AuditConfig, StepAuditor};
 use crate::checkpoint::{Checkpoint, CheckpointPolicy, CheckpointStore};
 use crate::error::HydroError;
 use crate::exec::{
-    cg_iteration_traffic, corner_force_traffic, integration_traffic, ExecMode,
-    Executor, CG_CPU_EFF,
+    cg_iteration_traffic, cg_iteration_traffic_fused, corner_force_traffic,
+    integration_traffic, ExecMode, Executor, CG_CPU_EFF,
 };
 use crate::problems::Problem;
 use crate::state::{EnergyBreakdown, HydroState};
@@ -1136,14 +1136,22 @@ impl<const D: usize> Hydro<D> {
             fn dim(&self) -> usize {
                 self.a.rows()
             }
+            // Identity on constrained DOFs keeps the projected operator SPD.
             fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+                blast_la::stream::spmv_constrained(self.a, x, self.mask, self.tmp, y);
+            }
+            // Fused SpMV + `x . A x` sweep (one pass over the matrix).
+            fn apply_dot(&mut self, x: &[f64], y: &mut [f64]) -> f64 {
+                blast_la::stream::spmv_constrained_dot(self.a, x, self.mask, self.tmp, y)
+            }
+            fn apply_reference(&mut self, x: &[f64], y: &mut [f64]) {
                 for ((t, &xi), &c) in self.tmp.iter_mut().zip(x).zip(self.mask) {
                     *t = if c { 0.0 } else { xi };
                 }
                 self.a.spmv_into(self.tmp, y);
                 for (yi, (&c, &xi)) in y.iter_mut().zip(self.mask.iter().zip(x)) {
                     if c {
-                        *yi = xi; // identity on constrained DOFs keeps SPD
+                        *yi = xi;
                     }
                 }
             }
@@ -1194,7 +1202,12 @@ impl<const D: usize> Hydro<D> {
         // Charge the CG phase on the host timeline: the scalar component
         // solves each stream the matrix (warm-starting keeps the iteration
         // counts low).
-        let traffic = cg_iteration_traffic(self.mv.nnz(), n).scale(total_iters as f64);
+        let traffic = if blast_la::stream::active_stream().fused {
+            cg_iteration_traffic_fused(self.mv.nnz(), n)
+        } else {
+            cg_iteration_traffic(self.mv.nnz(), n)
+        }
+        .scale(total_iters as f64);
         let threads = self.exec.cpu_threads();
         let state = if matches!(self.exec.mode, ExecMode::Gpu { .. }) {
             CpuPowerState::GpuOffload
@@ -1315,7 +1328,10 @@ impl<const D: usize> Hydro<D> {
         let (accel, iters) = if gpu_pcg {
             // Kernel 9: solve on the device, ship dv/dt back (warm-started
             // from the previous acceleration).
-            let solver = GpuPcg { opts: self.pcg_opts };
+            let solver = GpuPcg {
+                opts: self.pcg_opts,
+                fused: blast_la::stream::active_stream().fused,
+            };
             let mut accel = self.accel_prev.borrow().clone();
             let mut iters = 0;
             for c in 0..D {

@@ -498,30 +498,130 @@ pub fn gemv_t_raw(m: usize, n: usize, alpha: f64, a: &[f64], x: &[f64], beta: f6
 }
 
 /// Dot product of two equal-length slices.
+///
+/// Panics on length mismatch in every build profile: with only a debug
+/// assertion, release builds silently truncate through `zip` and return a
+/// plausible-but-wrong reduction. The check is one compare per call,
+/// negligible next to the loads.
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
-    debug_assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
     x.iter().zip(y).map(|(&a, &b)| a * b).sum()
 }
 
-/// `y += alpha * x` on slices.
+/// `y += alpha * x` on slices. Panics on length mismatch in every build
+/// profile (see [`dot`]).
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
     for (yi, &xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
     }
 }
 
-/// Euclidean norm of a slice.
+/// Euclidean norm of a slice, safe against over- and underflow of the
+/// squared sum.
+///
+/// Fast path: `sqrt(dot(x, x))` — one pass, used whenever the squared sum
+/// is a finite normal number. When it overflows to `inf` (components near
+/// `1e160`), collapses below `f64::MIN_POSITIVE` (denormal residuals — a
+/// spurious "converged" in PCG), or goes non-finite, the scaled two-pass
+/// accumulation of [`nrm2_scaled`] recovers the true norm.
 #[inline]
 pub fn nrm2(x: &[f64]) -> f64 {
-    dot(x, x).sqrt()
+    nrm2_from_sumsq(dot(x, x), x)
+}
+
+/// Finalizes a Euclidean norm from a precomputed `sum(x_i^2)`, falling back
+/// to [`nrm2_scaled`] when the squared sum over- or underflowed. Shared by
+/// [`nrm2`] and the streaming fused kernels (`stream::nrm2_from_sumsq`) so
+/// every norm in the solver takes the same branch on the same bits.
+#[inline]
+pub fn nrm2_from_sumsq(sumsq: f64, x: &[f64]) -> f64 {
+    if sumsq.is_finite() && sumsq >= f64::MIN_POSITIVE {
+        sumsq.sqrt()
+    } else {
+        nrm2_scaled(x)
+    }
+}
+
+/// Scaled (LAPACK `dnrm2`-style) Euclidean norm: two passes, dividing by
+/// the largest magnitude so squares stay near 1. Handles components up to
+/// `f64::MAX` and down to the smallest denormal without over/underflow.
+pub fn nrm2_scaled(x: &[f64]) -> f64 {
+    let mut amax = 0.0f64;
+    for &v in x {
+        if v.is_nan() {
+            // f64::max ignores NaN, which would silently launder a NaN
+            // component into a finite norm.
+            return f64::NAN;
+        }
+        amax = amax.max(v.abs());
+    }
+    if amax == 0.0 {
+        return 0.0;
+    }
+    if amax.is_infinite() {
+        return f64::INFINITY;
+    }
+    // Division (not multiplication by 1/amax): the reciprocal of a
+    // denormal amax overflows to inf.
+    let mut sum = 0.0;
+    for &v in x {
+        let t = v / amax;
+        sum += t * t;
+    }
+    amax * sum.sqrt()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nrm2_survives_overflow_of_the_squared_sum() {
+        // (1e160)^2 = 1e320 overflows f64; the unscaled norm reported inf.
+        let x = [1e160, -2e160, 2e160];
+        assert_eq!(nrm2(&x), 3e160);
+        assert!(nrm2(&[f64::MAX, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn nrm2_survives_underflow_to_denormals() {
+        // (1e-200)^2 = 1e-400 underflows to zero; the unscaled norm
+        // reported 0 — a spurious "converged" for a nonzero residual.
+        let x = [1e-200, -1e-200];
+        let expect = 1e-200 * 2f64.sqrt();
+        assert!((nrm2(&x) - expect).abs() <= 1e-15 * expect, "{}", nrm2(&x));
+        // Smallest positive denormal: still a nonzero norm.
+        let tiny = f64::from_bits(1);
+        assert_eq!(nrm2(&[tiny]), tiny);
+        assert!(nrm2(&[tiny, tiny]) > 0.0);
+    }
+
+    #[test]
+    fn nrm2_edge_inputs() {
+        assert_eq!(nrm2(&[]), 0.0);
+        assert_eq!(nrm2(&[0.0, -0.0, 0.0]), 0.0);
+        assert_eq!(nrm2(&[3.0, 4.0]), 5.0);
+        assert!(nrm2(&[1.0, f64::NAN]).is_nan());
+        assert_eq!(nrm2(&[f64::INFINITY, 1.0]), f64::INFINITY);
+    }
+
+    // The two length-mismatch guards must hold in *release* builds too
+    // (they were `debug_assert_eq!`, silently truncating via `zip` with
+    // debug assertions off); the CI release test lane runs these.
+    #[test]
+    #[should_panic(expected = "dot length mismatch")]
+    fn dot_panics_on_length_mismatch_in_all_profiles() {
+        dot(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "axpy length mismatch")]
+    fn axpy_panics_on_length_mismatch_in_all_profiles() {
+        axpy(1.0, &[1.0], &mut [1.0, 2.0]);
+    }
 
     fn mat_abc() -> (DMatrix, DMatrix) {
         let a = DMatrix::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);

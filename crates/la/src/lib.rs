@@ -28,6 +28,7 @@ pub mod eig;
 pub mod lu;
 pub mod pcg;
 pub mod small;
+pub mod stream;
 pub mod svd;
 pub mod tile;
 
@@ -38,9 +39,10 @@ pub use csr::{CsrBuilder, CsrMatrix};
 pub use dense::DMatrix;
 pub use eig::{sym_eig2, sym_eig3, SymEig};
 pub use lu::LuFactors;
-pub use pcg::{pcg_solve, pcg_solve_instrumented, pcg_solve_ws, DiagPrecond, LinearOperator,
-    PcgOptions, PcgResult, PcgWorkspace};
+pub use pcg::{pcg_solve, pcg_solve_instrumented, pcg_solve_ws, pcg_solve_ws_reference,
+    DiagPrecond, LinearOperator, PcgOptions, PcgResult, PcgWorkspace};
 pub use small::SmallMat;
+pub use stream::StreamVariant;
 pub use svd::{svd2, svd3, Svd};
 pub use tile::{GemmWorkspace, MicroTile, TileConfig};
 

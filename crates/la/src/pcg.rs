@@ -8,7 +8,7 @@
 //! (and therefore the SpMV call count that dominates Fig. 6) is identical.
 
 use crate::csr::CsrMatrix;
-use crate::dense::{axpy, dot, nrm2};
+use crate::stream;
 
 /// Abstract SPD operator `y = A x` for the CG loop.
 ///
@@ -19,6 +19,20 @@ pub trait LinearOperator {
     fn dim(&self) -> usize;
     /// `y = A x`; `y` is pre-sized to `dim()`.
     fn apply(&mut self, x: &[f64], y: &mut [f64]);
+    /// Fused `y = A x` returning `x·y` from the same sweep. The default
+    /// runs [`apply`](Self::apply) followed by a streaming dot — exactly
+    /// the unfused sequence, so overriding with a genuinely fused kernel
+    /// (as [`CsrMatrix`] does) must not change the bits.
+    fn apply_dot(&mut self, x: &[f64], y: &mut [f64]) -> f64 {
+        self.apply(x, y);
+        stream::dot(x, y)
+    }
+    /// Scalar-reference apply for the [`pcg_solve_ws_reference`] oracle.
+    /// Defaults to [`apply`](Self::apply); [`CsrMatrix`] pins it to the
+    /// serial `spmv_into`.
+    fn apply_reference(&mut self, x: &[f64], y: &mut [f64]) {
+        self.apply(x, y);
+    }
 }
 
 impl LinearOperator for &CsrMatrix {
@@ -26,6 +40,12 @@ impl LinearOperator for &CsrMatrix {
         self.rows()
     }
     fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        stream::spmv(self, x, y);
+    }
+    fn apply_dot(&mut self, x: &[f64], y: &mut [f64]) -> f64 {
+        stream::spmv_dot(self, x, y)
+    }
+    fn apply_reference(&mut self, x: &[f64], y: &mut [f64]) {
         self.spmv_into(x, y);
     }
 }
@@ -59,6 +79,12 @@ impl DiagPrecond {
             *zi = mi * ri;
         }
     }
+
+    /// The stored inverse diagonal (the fused `precond_dot_update` kernel
+    /// recomputes `z = M^{-1} r` from it on the fly instead of storing `z`).
+    pub fn inv_diag(&self) -> &[f64] {
+        &self.inv_diag
+    }
 }
 
 /// PCG stopping options.
@@ -91,9 +117,12 @@ pub struct PcgResult {
     pub residual: f64,
 }
 
-/// Reusable iteration vectors for [`pcg_solve_ws`]. Sized on first use and
-/// then reused, so repeated solves of the same system perform no heap
-/// allocation (the solver's steady-state contract).
+/// Reusable iteration vectors for [`pcg_solve_ws`]. **Grow-only**: the
+/// backing vectors track the high-water problem size and each solve takes
+/// `[..n]` slices, so a worker alternating between two mesh sizes performs
+/// no heap allocation after warm-up (the steady-state zero-alloc contract;
+/// the old `len != n` resize reallocated all four vectors on every
+/// alternation).
 #[derive(Clone, Debug, Default)]
 pub struct PcgWorkspace {
     r: Vec<f64>,
@@ -108,13 +137,21 @@ impl PcgWorkspace {
         Self::default()
     }
 
-    fn ensure(&mut self, n: usize) {
-        if self.r.len() != n {
+    /// High-water capacity in elements (tests assert the grow-only
+    /// behavior through this).
+    pub fn capacity(&self) -> usize {
+        self.r.len()
+    }
+
+    /// Grow-only slices for an `n`-dimensional solve.
+    fn vectors(&mut self, n: usize) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
+        if self.r.len() < n {
             self.r.resize(n, 0.0);
             self.z.resize(n, 0.0);
             self.p.resize(n, 0.0);
             self.ap.resize(n, 0.0);
         }
+        (&mut self.r[..n], &mut self.z[..n], &mut self.p[..n], &mut self.ap[..n])
     }
 }
 
@@ -136,7 +173,85 @@ pub fn pcg_solve<Op: LinearOperator>(
 
 /// [`pcg_solve`] with caller-provided iteration vectors (allocation-free
 /// once the workspace has warmed up).
+///
+/// Dispatches on the active [`stream::StreamVariant`]: the fused path runs
+/// three single-pass kernels per iteration (`spmv_dot`, `axpy2_nrm2`,
+/// `precond_dot_update`); the unfused path runs one streaming sweep per
+/// BLAS-1 op. Both produce **bitwise-identical** trajectories (see the
+/// `stream` module docs), so the autotuner's choice is purely about memory
+/// transits.
 pub fn pcg_solve_ws<Op: LinearOperator>(
+    op: &mut Op,
+    precond: &DiagPrecond,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &PcgOptions,
+    ws: &mut PcgWorkspace,
+) -> PcgResult {
+    if stream::active_stream().fused {
+        pcg_solve_fused(op, precond, b, x, opts, ws)
+    } else {
+        pcg_solve_unfused(op, precond, b, x, opts, ws)
+    }
+}
+
+/// The fused loop: 3 kernel sweeps per iteration instead of ~8.
+fn pcg_solve_fused<Op: LinearOperator>(
+    op: &mut Op,
+    precond: &DiagPrecond,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &PcgOptions,
+    ws: &mut PcgWorkspace,
+) -> PcgResult {
+    let n = op.dim();
+    assert_eq!(b.len(), n, "pcg rhs length mismatch");
+    assert_eq!(x.len(), n, "pcg solution length mismatch");
+    let minv = precond.inv_diag();
+    assert_eq!(minv.len(), n, "pcg preconditioner dimension mismatch");
+
+    let (r, _z, p, ap) = ws.vectors(n);
+
+    // r = b - A x
+    op.apply(x, r);
+    for (ri, &bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+
+    let bnorm = stream::nrm2(b).max(opts.abs_tol);
+    let target = (opts.rel_tol * bnorm).max(opts.abs_tol);
+
+    let mut rnorm = stream::nrm2(r);
+    if rnorm <= target {
+        return PcgResult { converged: true, iterations: 0, residual: rnorm };
+    }
+
+    // Jacobi apply + r·z + p = z, one sweep, z never materialized.
+    let mut rz = stream::precond_dot_update(minv, r, None, p);
+
+    for iter in 1..=opts.max_iter {
+        // SpMV producing p·Ap in the same sweep.
+        let pap = op.apply_dot(p, ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            // Operator not SPD (or breakdown): report non-convergence.
+            return PcgResult { converged: false, iterations: iter, residual: rnorm };
+        }
+        let alpha = rz / pap;
+        // x += alpha p; r -= alpha Ap; |r|^2 — one sweep.
+        let sumsq = stream::axpy2_nrm2(alpha, p, ap, x, r);
+        rnorm = stream::nrm2_from_sumsq(sumsq, r);
+        if rnorm <= target {
+            return PcgResult { converged: true, iterations: iter, residual: rnorm };
+        }
+        // Jacobi apply + r·z + direction update — one sweep.
+        rz = stream::precond_dot_update(minv, r, Some(rz), p);
+    }
+    PcgResult { converged: false, iterations: opts.max_iter, residual: rnorm }
+}
+
+/// The unfused loop: one streaming sweep per op (the launch-per-op
+/// baseline the bench gate compares against).
+fn pcg_solve_unfused<Op: LinearOperator>(
     op: &mut Op,
     precond: &DiagPrecond,
     b: &[f64],
@@ -148,10 +263,7 @@ pub fn pcg_solve_ws<Op: LinearOperator>(
     assert_eq!(b.len(), n, "pcg rhs length mismatch");
     assert_eq!(x.len(), n, "pcg solution length mismatch");
 
-    ws.ensure(n);
-    let PcgWorkspace { r, z, p, ap } = ws;
-    let (r, z, p, ap) =
-        (r.as_mut_slice(), z.as_mut_slice(), p.as_mut_slice(), ap.as_mut_slice());
+    let (r, z, p, ap) = ws.vectors(n);
 
     // r = b - A x
     op.apply(x, r);
@@ -159,39 +271,95 @@ pub fn pcg_solve_ws<Op: LinearOperator>(
         *ri = bi - *ri;
     }
 
-    let bnorm = nrm2(b).max(opts.abs_tol);
+    let bnorm = stream::nrm2(b).max(opts.abs_tol);
     let target = (opts.rel_tol * bnorm).max(opts.abs_tol);
 
-    let mut rnorm = nrm2(r);
+    let mut rnorm = stream::nrm2(r);
     if rnorm <= target {
         return PcgResult { converged: true, iterations: 0, residual: rnorm };
     }
 
     precond.apply(r, z);
     p.copy_from_slice(z);
-    let mut rz = dot(r, z);
+    let mut rz = stream::dot(r, z);
 
     for iter in 1..=opts.max_iter {
         op.apply(p, ap);
-        let pap = dot(p, ap);
+        let pap = stream::dot(p, ap);
         if pap <= 0.0 || !pap.is_finite() {
-            // Operator not SPD (or breakdown): report non-convergence.
             return PcgResult { converged: false, iterations: iter, residual: rnorm };
         }
         let alpha = rz / pap;
-        axpy(alpha, p, x);
-        axpy(-alpha, ap, r);
-        rnorm = nrm2(r);
+        stream::axpy(alpha, p, x);
+        stream::axpy(-alpha, ap, r);
+        rnorm = stream::nrm2(r);
         if rnorm <= target {
             return PcgResult { converged: true, iterations: iter, residual: rnorm };
         }
         precond.apply(r, z);
-        let rz_new = dot(r, z);
+        let rz_new = stream::dot(r, z);
         let beta = rz_new / rz;
         rz = rz_new;
-        for (pi, &zi) in p.iter_mut().zip(z.iter()) {
-            *pi = zi + beta * *pi;
+        stream::update_direction(beta, z, p);
+    }
+    PcgResult { converged: false, iterations: opts.max_iter, residual: rnorm }
+}
+
+/// Scalar serial oracle solver: the original pre-fusion loop built from
+/// `stream::reference` ops (two-rounding, serial, same fixed block grid).
+/// The property tests pin [`pcg_solve_ws`] against this — bitwise on hosts
+/// without FMA clones, ULP-bounded with them.
+pub fn pcg_solve_ws_reference<Op: LinearOperator>(
+    op: &mut Op,
+    precond: &DiagPrecond,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &PcgOptions,
+    ws: &mut PcgWorkspace,
+) -> PcgResult {
+    use stream::reference as sref;
+
+    let n = op.dim();
+    assert_eq!(b.len(), n, "pcg rhs length mismatch");
+    assert_eq!(x.len(), n, "pcg solution length mismatch");
+
+    let (r, z, p, ap) = ws.vectors(n);
+
+    op.apply_reference(x, r);
+    for (ri, &bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+
+    let bnorm = sref::nrm2(b).max(opts.abs_tol);
+    let target = (opts.rel_tol * bnorm).max(opts.abs_tol);
+
+    let mut rnorm = sref::nrm2(r);
+    if rnorm <= target {
+        return PcgResult { converged: true, iterations: 0, residual: rnorm };
+    }
+
+    precond.apply(r, z);
+    p.copy_from_slice(z);
+    let mut rz = sref::dot(r, z);
+
+    for iter in 1..=opts.max_iter {
+        op.apply_reference(p, ap);
+        let pap = sref::dot(p, ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            return PcgResult { converged: false, iterations: iter, residual: rnorm };
         }
+        let alpha = rz / pap;
+        sref::axpy(alpha, p, x);
+        sref::axpy(-alpha, ap, r);
+        rnorm = sref::nrm2(r);
+        if rnorm <= target {
+            return PcgResult { converged: true, iterations: iter, residual: rnorm };
+        }
+        precond.apply(r, z);
+        let rz_new = sref::dot(r, z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        sref::update_direction(beta, z, p);
     }
     PcgResult { converged: false, iterations: opts.max_iter, residual: rnorm }
 }
@@ -214,6 +382,10 @@ pub fn pcg_solve_instrumented<Op: LinearOperator>(
     let res = pcg_solve_ws(op, precond, b, x, opts, ws);
     tel.counter_add(counters::PCG_SOLVES, 1);
     tel.counter_add(counters::PCG_ITERATIONS, res.iterations as u64);
+    if stream::active_stream().fused {
+        // 3 fused sweeps per iteration + the setup precond_dot_update.
+        tel.counter_add(counters::PCG_FUSED_SWEEPS, 3 * res.iterations as u64 + 1);
+    }
     if !res.converged {
         tel.counter_add(counters::PCG_BREAKDOWNS, 1);
     }
@@ -224,7 +396,7 @@ pub fn pcg_solve_instrumented<Op: LinearOperator>(
 mod tests {
     use super::*;
     use crate::csr::CsrBuilder;
-    use crate::dense::DMatrix;
+    use crate::dense::{nrm2, DMatrix};
     use crate::lu::LuFactors;
 
     /// 1D Laplacian (tridiagonal SPD) of size n.

@@ -1,0 +1,1091 @@
+//! Streaming fused PCG kernels (the solver-phase analog of the `tile.rs`
+//! GEMM treatment, after Chalmers & Warburton, arXiv:2009.10917).
+//!
+//! The unfused PCG iteration makes one full memory sweep per BLAS-1 call:
+//! SpMV, `dot(p, Ap)`, two `axpy`s, `nrm2(r)`, the Jacobi apply, `dot(r, z)`
+//! and the direction update each stream the iteration vectors through DRAM
+//! again. On a memory-bound host that is ~14 vector transits per iteration
+//! for ~10 flops per entry. This module fuses the chains into three
+//! single-pass kernels:
+//!
+//! * [`spmv_dot`] — SpMV that produces `p·Ap` in the same sweep (the freshly
+//!   written `y` rows are still cache-hot when the block-local dot reads
+//!   them back);
+//! * [`axpy2_nrm2`] — the paired `x += αp; r -= αAp` updates with the new
+//!   `‖r‖²` reduction fused in (4 reads + 2 writes instead of 7 transits);
+//! * [`precond_dot_update`] — Jacobi apply + `r·z` + direction update in one
+//!   call, never materializing `z` (`z_i = m_i r_i` costs one multiply to
+//!   recompute, cheaper than a round-trip through DRAM).
+//!
+//! # Determinism contract
+//!
+//! Every reduction runs over a **fixed block grid** that depends only on the
+//! element count: `ceil(n / 64)`-sized chunks, one per pool block (the pool's
+//! `MAX_BLOCKS` grid, PR 3), with per-block partials combined in block-index
+//! order. Within a block, sums use a fixed 8-lane accumulator structure
+//! (element `j` goes to lane `j mod 8`; the tail is accumulated separately
+//! and folded first) — this grouping is *defined semantics*, not an
+//! optimization detail, which is what makes the fused kernels bitwise-equal
+//! to their unfused counterparts. Consequences:
+//!
+//! * results are **bitwise identical at every `BLAST_THREADS`** (serial and
+//!   pool paths walk the same grid in the same order);
+//! * all four [`CANDIDATES`] variants (fused/unfused × serial/parallel)
+//!   produce **bitwise-identical** solver trajectories, so the autotuner
+//!   switches freely without breaking the determinism digests;
+//! * against the scalar [`reference`] oracle there are two regimes, exactly
+//!   as in `tile.rs`: without FMA the dispatched kernels perform the
+//!   reference's two-rounding updates and match **bitwise**; with AVX2/
+//!   AVX-512 FMA clones active ([`fma_active`]) each update is one fused
+//!   rounding and results are ULP-bounded-close instead.
+//!
+//! Steady state performs **zero heap allocations**: per-block partials live
+//! in a stack `[AtomicU64; 64]` (f64 bits through relaxed stores, so the
+//! serial and pool paths share one code path without locks), and the pool's
+//! serial `for_each` drive is allocation-free for unit results.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use rayon::prelude::*;
+
+use crate::csr::CsrMatrix;
+use crate::dense::nrm2_scaled;
+
+/// Reduction block grid: same cap as the pool's `MAX_BLOCKS`, so each chunk
+/// maps to exactly one pool block and the grid depends only on `n`.
+pub const STREAM_BLOCKS: usize = 64;
+
+/// Fixed accumulator lanes per block (element `j` → lane `j mod LANES`).
+const LANES: usize = 8;
+
+/// Below this length the pool's scoped-thread spawn costs more than the
+/// sweep; parallel variants fall back to the (bitwise-identical) serial
+/// walk. A fixed constant, never thread-count-derived, so the block
+/// schedule stays deterministic.
+const PAR_MIN_N: usize = 4096;
+
+/// One streaming-kernel configuration the autotuner can install.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamVariant {
+    /// `true`: `pcg_solve_ws` runs the three fused kernels per iteration.
+    /// `false`: one streaming sweep per BLAS-1 op (the launch-per-op
+    /// baseline; bitwise-identical results, more memory transits).
+    pub fused: bool,
+    /// Whether sweeps over `n >= PAR_MIN_N` elements use the worker pool.
+    pub parallel: bool,
+}
+
+/// The candidate grid `autotune::pcg_stream` searches. Every candidate
+/// produces bitwise-identical solver trajectories (see the module docs), so
+/// the choice is purely a performance knob.
+pub const CANDIDATES: [StreamVariant; 4] = [
+    StreamVariant { fused: true, parallel: true },
+    StreamVariant { fused: true, parallel: false },
+    StreamVariant { fused: false, parallel: true },
+    StreamVariant { fused: false, parallel: false },
+];
+
+/// Index of the default variant (fused, pool-parallel) in [`CANDIDATES`].
+const DEFAULT_INDEX: usize = 0;
+
+static ACTIVE: AtomicUsize = AtomicUsize::new(DEFAULT_INDEX);
+
+/// Installs `CANDIDATES[index]` as the process-wide active streaming
+/// variant. Panics if the index is out of range.
+pub fn set_active_stream_index(index: usize) {
+    assert!(index < CANDIDATES.len(), "stream candidate index out of range");
+    ACTIVE.store(index, Ordering::Relaxed);
+}
+
+/// The currently active streaming variant.
+pub fn active_stream() -> StreamVariant {
+    CANDIDATES[ACTIVE.load(Ordering::Relaxed)]
+}
+
+/// Index of the currently active variant in [`CANDIDATES`].
+pub fn active_stream_index() -> usize {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Widest SIMD level the host supports, detected once (mirrors
+/// `tile::simd_level`; `BLAST_STREAM_SIMD=0|1|2` caps it for diagnostics).
+#[cfg(target_arch = "x86_64")]
+fn simd_level() -> u8 {
+    use std::sync::OnceLock;
+    static LEVEL: OnceLock<u8> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        let fma = std::arch::is_x86_feature_detected!("fma");
+        let detected = if fma
+            && std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            2
+        } else if fma && std::arch::is_x86_feature_detected!("avx2") {
+            1
+        } else {
+            0
+        };
+        match std::env::var("BLAST_STREAM_SIMD") {
+            Ok(v) => v.trim().parse::<u8>().map_or(detected, |cap| cap.min(detected)),
+            Err(_) => detected,
+        }
+    })
+}
+
+/// Whether the fused-multiply-add clones are in use on this host — i.e.
+/// whether dispatched results are ULP-close to the scalar [`reference`]
+/// instead of bitwise identical (the `tile::fma_active` regime split).
+pub fn fma_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        simd_level() >= 1
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The one scalar update both regimes are built from: `acc + a*b` with two
+/// roundings (the reference semantics), or a single fused rounding in the
+/// `FMA = true` clones.
+#[inline(always)]
+fn fmadd<const FMA: bool>(acc: f64, a: f64, b: f64) -> f64 {
+    if FMA {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
+}
+
+/// Folds the fixed lane accumulators in lane order, tail first. Part of the
+/// defined reduction semantics — every reduction in this module (fused or
+/// not) finishes a block through this exact chain.
+#[inline(always)]
+fn fold_lanes(lanes: [f64; LANES], tail: f64) -> f64 {
+    lanes.iter().fold(tail, |acc, &l| acc + l)
+}
+
+/// Chunk length of the fixed block grid for an `n`-element sweep.
+#[inline]
+fn block_len(n: usize) -> usize {
+    n.div_ceil(STREAM_BLOCKS).max(1)
+}
+
+/// Whether a sweep of `n` elements should use the worker pool under the
+/// active variant.
+#[inline]
+fn use_parallel(n: usize) -> bool {
+    active_stream().parallel && n >= PAR_MIN_N
+}
+
+/// Per-block partial store: one slot per grid block, written exactly once,
+/// folded in block-index order. Lives on the caller's stack — f64 bits
+/// through relaxed atomic stores let the pool workers and the serial path
+/// share it without locks or heap allocation.
+struct Partials([AtomicU64; STREAM_BLOCKS]);
+
+impl Partials {
+    fn new() -> Self {
+        // 0u64 is the bit pattern of +0.0.
+        Self([const { AtomicU64::new(0) }; STREAM_BLOCKS])
+    }
+
+    #[inline]
+    fn set(&self, block: usize, v: f64) {
+        self.0[block].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Combines the first `nblocks` partials in index order.
+    fn fold(&self, nblocks: usize) -> f64 {
+        self.0[..nblocks]
+            .iter()
+            .fold(0.0, |acc, s| acc + f64::from_bits(s.load(Ordering::Relaxed)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block bodies: one const-generic scalar body per kernel, recompiled as
+// AVX2+FMA / AVX-512+FMA clones below (the `tile.rs` idiom). The `FMA`
+// parameter is the only semantic difference between clones; vector width is
+// just throughput.
+// ---------------------------------------------------------------------------
+
+/// Block dot product with the fixed lane structure.
+#[inline(always)]
+fn dot_block_body<const FMA: bool>(x: &[f64], y: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; LANES];
+    let mut xs = x.chunks_exact(LANES);
+    let mut ys = y.chunks_exact(LANES);
+    for (xv, yv) in (&mut xs).zip(&mut ys) {
+        for ((l, &a), &b) in lanes.iter_mut().zip(xv).zip(yv) {
+            *l = fmadd::<FMA>(*l, a, b);
+        }
+    }
+    let mut tail = 0.0;
+    for (&a, &b) in xs.remainder().iter().zip(ys.remainder()) {
+        tail = fmadd::<FMA>(tail, a, b);
+    }
+    fold_lanes(lanes, tail)
+}
+
+/// Block `y += alpha * x`.
+#[inline(always)]
+fn axpy_block_body<const FMA: bool>(alpha: f64, x: &[f64], y: &mut [f64]) {
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = fmadd::<FMA>(*yi, alpha, xi);
+    }
+}
+
+/// Fused block `x += alpha*p; r += malpha*ap; return sum(r_new^2)` — the
+/// squared-norm lanes see exactly the values and grouping `dot(r, r)` would.
+#[inline(always)]
+fn axpy2_nrm2_block_body<const FMA: bool>(
+    alpha: f64,
+    malpha: f64,
+    p: &[f64],
+    ap: &[f64],
+    x: &mut [f64],
+    r: &mut [f64],
+) -> f64 {
+    let mut lanes = [0.0f64; LANES];
+    let mut ps = p.chunks_exact(LANES);
+    let mut aps = ap.chunks_exact(LANES);
+    let mut xs = x.chunks_exact_mut(LANES);
+    let mut rs = r.chunks_exact_mut(LANES);
+    for (((pv, apv), xv), rv) in (&mut ps).zip(&mut aps).zip(&mut xs).zip(&mut rs) {
+        for (xi, &pi) in xv.iter_mut().zip(pv) {
+            *xi = fmadd::<FMA>(*xi, alpha, pi);
+        }
+        for (ri, &api) in rv.iter_mut().zip(apv) {
+            *ri = fmadd::<FMA>(*ri, malpha, api);
+        }
+        for (l, &ri) in lanes.iter_mut().zip(rv.iter()) {
+            *l = fmadd::<FMA>(*l, ri, ri);
+        }
+    }
+    let mut tail = 0.0;
+    let (pr, apr) = (ps.remainder(), aps.remainder());
+    let it = xs.into_remainder().iter_mut().zip(rs.into_remainder()).zip(pr).zip(apr);
+    for (((xi, ri), &pi), &api) in it {
+        *xi = fmadd::<FMA>(*xi, alpha, pi);
+        *ri = fmadd::<FMA>(*ri, malpha, api);
+        tail = fmadd::<FMA>(tail, *ri, *ri);
+    }
+    fold_lanes(lanes, tail)
+}
+
+/// Block `r·z` with `z_i = minv_i * r_i` recomputed on the fly: the same
+/// single-rounding multiply the Jacobi apply stores, fed to the same dot
+/// lanes — bitwise-equal to apply-then-dot.
+#[inline(always)]
+fn rz_block_body<const FMA: bool>(minv: &[f64], r: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; LANES];
+    let mut ms = minv.chunks_exact(LANES);
+    let mut rs = r.chunks_exact(LANES);
+    for (mv, rv) in (&mut ms).zip(&mut rs) {
+        for ((l, &mi), &ri) in lanes.iter_mut().zip(mv).zip(rv) {
+            *l = fmadd::<FMA>(*l, ri, mi * ri);
+        }
+    }
+    let mut tail = 0.0;
+    for (&mi, &ri) in ms.remainder().iter().zip(rs.remainder()) {
+        tail = fmadd::<FMA>(tail, ri, mi * ri);
+    }
+    fold_lanes(lanes, tail)
+}
+
+/// Block direction update `p = z + beta*p` with `z` recomputed from `minv`
+/// and `r`.
+#[inline(always)]
+fn dir_update_block_body<const FMA: bool>(minv: &[f64], r: &[f64], beta: f64, p: &mut [f64]) {
+    for ((pi, &mi), &ri) in p.iter_mut().zip(minv).zip(r) {
+        *pi = fmadd::<FMA>(mi * ri, beta, *pi);
+    }
+}
+
+/// Block direction update `p = z + beta*p` from a stored `z` (unfused leg).
+#[inline(always)]
+fn dir_update_z_block_body<const FMA: bool>(z: &[f64], beta: f64, p: &mut [f64]) {
+    for (pi, &zi) in p.iter_mut().zip(z) {
+        *pi = fmadd::<FMA>(zi, beta, *pi);
+    }
+}
+
+/// Block CSR row sweep: `y[lo..] = A[lo.., :] x`. Non-FMA matches
+/// `CsrMatrix::spmv_into` bitwise (same ascending-k accumulation).
+#[inline(always)]
+fn spmv_rows_body<const FMA: bool>(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[f64],
+    lo: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    for (i, yi) in y.iter_mut().enumerate() {
+        let (start, end) = (row_ptr[lo + i], row_ptr[lo + i + 1]);
+        let mut acc = 0.0;
+        for (&v, &c) in values[start..end].iter().zip(&col_idx[start..end]) {
+            acc = fmadd::<FMA>(acc, v, x[c]);
+        }
+        *yi = acc;
+    }
+}
+
+/// Block CSR row sweep with the dot fused into row production: `y[lo..] =
+/// A[lo.., :] x` and `x[lo..]·y[lo..]` in one pass, accumulating each
+/// row's contribution while it is still in a register — `y` is written
+/// once and never re-read. Row `i` of the block lands in lane `i % 8`
+/// (the last `len % 8` rows in the scalar tail), exactly the grouping
+/// [`dot_block_body`] applies to the finished block, so the fusion is
+/// bitwise-invisible.
+#[inline(always)]
+fn spmv_rows_dot_body<const FMA: bool>(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[f64],
+    lo: usize,
+    x: &[f64],
+    y: &mut [f64],
+) -> f64 {
+    // Row-group staging: produce a 64-row subblock with the plain SpMV
+    // loop (vectorizes exactly like `spmv_rows_body`), then fold it into
+    // the dot lanes while it still sits in L1 — a second tight SIMD loop
+    // instead of per-row lane bookkeeping that would wreck the row loop's
+    // codegen. 64 is a multiple of the lane width, so carrying the lanes
+    // across subblocks assigns element `j` of the block to lane `j % 8` —
+    // exactly [`dot_block_body`]'s grouping, making the staging invisible.
+    const SUB: usize = 64;
+    let mut lanes = [0.0f64; LANES];
+    let mut tail = 0.0;
+    let len = y.len();
+    let mut s = 0;
+    while s < len {
+        let e = (s + SUB).min(len);
+        spmv_rows_body::<FMA>(row_ptr, col_idx, values, lo + s, x, &mut y[s..e]);
+        let mut xc = x[lo + s..lo + e].chunks_exact(LANES);
+        let mut yc = y[s..e].chunks_exact(LANES);
+        for (xg, yg) in (&mut xc).zip(&mut yc) {
+            for ((l, &a), &b) in lanes.iter_mut().zip(xg).zip(yg) {
+                *l = fmadd::<FMA>(*l, a, b);
+            }
+        }
+        // Non-empty only in the final subblock: the block-level dot tail.
+        for (&a, &b) in xc.remainder().iter().zip(yc.remainder()) {
+            tail = fmadd::<FMA>(tail, a, b);
+        }
+        s = e;
+    }
+    fold_lanes(lanes, tail)
+}
+
+// ---------------------------------------------------------------------------
+// #[target_feature] clones. SAFETY for all: callers check `simd_level()`
+// before dispatching, which verified the feature bits at runtime.
+// ---------------------------------------------------------------------------
+
+macro_rules! clones {
+    ($body:ident => $avx2:ident, $avx512:ident;
+     fn($($arg:ident : $ty:ty),*) $(-> $ret:ty)?) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2,fma")]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $avx2($($arg: $ty),*) $(-> $ret)? {
+            $body::<true>($($arg),*)
+        }
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f,avx512vl,fma")]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $avx512($($arg: $ty),*) $(-> $ret)? {
+            $body::<true>($($arg),*)
+        }
+    };
+}
+
+clones!(dot_block_body => dot_block_avx2, dot_block_avx512;
+    fn(x: &[f64], y: &[f64]) -> f64);
+clones!(axpy_block_body => axpy_block_avx2, axpy_block_avx512;
+    fn(alpha: f64, x: &[f64], y: &mut [f64]));
+clones!(axpy2_nrm2_block_body => axpy2_nrm2_block_avx2, axpy2_nrm2_block_avx512;
+    fn(alpha: f64, malpha: f64, p: &[f64], ap: &[f64], x: &mut [f64], r: &mut [f64]) -> f64);
+clones!(rz_block_body => rz_block_avx2, rz_block_avx512;
+    fn(minv: &[f64], r: &[f64]) -> f64);
+clones!(dir_update_block_body => dir_update_block_avx2, dir_update_block_avx512;
+    fn(minv: &[f64], r: &[f64], beta: f64, p: &mut [f64]));
+clones!(dir_update_z_block_body => dir_update_z_block_avx2, dir_update_z_block_avx512;
+    fn(z: &[f64], beta: f64, p: &mut [f64]));
+clones!(spmv_rows_body => spmv_rows_avx2, spmv_rows_avx512;
+    fn(row_ptr: &[usize], col_idx: &[usize], values: &[f64], lo: usize, x: &[f64], y: &mut [f64]));
+clones!(spmv_rows_dot_body => spmv_rows_dot_avx2, spmv_rows_dot_avx512;
+    fn(row_ptr: &[usize], col_idx: &[usize], values: &[f64], lo: usize, x: &[f64], y: &mut [f64]) -> f64);
+
+macro_rules! dispatch {
+    ($body:ident / $avx2:ident / $avx512:ident ($($arg:expr),*)) => {{
+        #[cfg(target_arch = "x86_64")]
+        {
+            let level = simd_level();
+            if level >= 2 {
+                // SAFETY: avx512f+avx512vl+fma verified by simd_level().
+                return unsafe { $avx512($($arg),*) };
+            }
+            if level >= 1 {
+                // SAFETY: avx2+fma verified by simd_level().
+                return unsafe { $avx2($($arg),*) };
+            }
+        }
+        $body::<false>($($arg),*)
+    }};
+}
+
+#[inline]
+fn dot_block(x: &[f64], y: &[f64]) -> f64 {
+    dispatch!(dot_block_body / dot_block_avx2 / dot_block_avx512(x, y))
+}
+
+#[inline]
+fn axpy_block(alpha: f64, x: &[f64], y: &mut [f64]) {
+    dispatch!(axpy_block_body / axpy_block_avx2 / axpy_block_avx512(alpha, x, y))
+}
+
+#[inline]
+fn axpy2_nrm2_block(alpha: f64, malpha: f64, p: &[f64], ap: &[f64], x: &mut [f64], r: &mut [f64]) -> f64 {
+    dispatch!(axpy2_nrm2_block_body / axpy2_nrm2_block_avx2 / axpy2_nrm2_block_avx512(
+        alpha, malpha, p, ap, x, r
+    ))
+}
+
+#[inline]
+fn rz_block(minv: &[f64], r: &[f64]) -> f64 {
+    dispatch!(rz_block_body / rz_block_avx2 / rz_block_avx512(minv, r))
+}
+
+#[inline]
+fn dir_update_block(minv: &[f64], r: &[f64], beta: f64, p: &mut [f64]) {
+    dispatch!(dir_update_block_body / dir_update_block_avx2 / dir_update_block_avx512(
+        minv, r, beta, p
+    ))
+}
+
+#[inline]
+fn dir_update_z_block(z: &[f64], beta: f64, p: &mut [f64]) {
+    dispatch!(dir_update_z_block_body / dir_update_z_block_avx2 / dir_update_z_block_avx512(
+        z, beta, p
+    ))
+}
+
+#[inline]
+fn spmv_rows(row_ptr: &[usize], col_idx: &[usize], values: &[f64], lo: usize, x: &[f64], y: &mut [f64]) {
+    dispatch!(spmv_rows_body / spmv_rows_avx2 / spmv_rows_avx512(
+        row_ptr, col_idx, values, lo, x, y
+    ))
+}
+
+#[inline]
+fn spmv_rows_dot(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[f64],
+    lo: usize,
+    x: &[f64],
+    y: &mut [f64],
+) -> f64 {
+    dispatch!(spmv_rows_dot_body / spmv_rows_dot_avx2 / spmv_rows_dot_avx512(
+        row_ptr, col_idx, values, lo, x, y
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Public streaming ops. Each walks the fixed block grid, serially or on the
+// pool per the active variant — identical bits either way.
+// ---------------------------------------------------------------------------
+
+/// Streaming dot product. Panics on length mismatch.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "stream::dot length mismatch");
+    let n = x.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let bl = block_len(n);
+    let partials = Partials::new();
+    if use_parallel(n) {
+        x.par_chunks(bl).zip(y.par_chunks(bl)).enumerate().for_each(|(c, (xv, yv))| {
+            partials.set(c, dot_block(xv, yv));
+        });
+    } else {
+        for (c, (xv, yv)) in x.chunks(bl).zip(y.chunks(bl)).enumerate() {
+            partials.set(c, dot_block(xv, yv));
+        }
+    }
+    partials.fold(n.div_ceil(bl))
+}
+
+/// Streaming squared Euclidean norm (`dot(x, x)` with the same grid).
+pub fn nrm2_sq(x: &[f64]) -> f64 {
+    let n = x.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let bl = block_len(n);
+    let partials = Partials::new();
+    if use_parallel(n) {
+        x.par_chunks(bl).enumerate().for_each(|(c, xv)| {
+            partials.set(c, dot_block(xv, xv));
+        });
+    } else {
+        for (c, xv) in x.chunks(bl).enumerate() {
+            partials.set(c, dot_block(xv, xv));
+        }
+    }
+    partials.fold(n.div_ceil(bl))
+}
+
+/// Finalizes a Euclidean norm from a precomputed squared sum: `sqrt` on the
+/// fast path, falling back to the scaled two-pass accumulation when the
+/// squared sum over- or underflowed (see `dense::nrm2_from_sumsq`).
+pub fn nrm2_from_sumsq(sumsq: f64, x: &[f64]) -> f64 {
+    if sumsq.is_finite() && sumsq >= f64::MIN_POSITIVE {
+        sumsq.sqrt()
+    } else {
+        nrm2_scaled(x)
+    }
+}
+
+/// Streaming overflow-safe Euclidean norm.
+pub fn nrm2(x: &[f64]) -> f64 {
+    nrm2_from_sumsq(nrm2_sq(x), x)
+}
+
+/// Streaming `y += alpha * x`. Panics on length mismatch.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "stream::axpy length mismatch");
+    let n = x.len();
+    if n == 0 {
+        return;
+    }
+    let bl = block_len(n);
+    if use_parallel(n) {
+        y.par_chunks_mut(bl).zip(x.par_chunks(bl)).for_each(|(yv, xv)| {
+            axpy_block(alpha, xv, yv);
+        });
+    } else {
+        for (yv, xv) in y.chunks_mut(bl).zip(x.chunks(bl)) {
+            axpy_block(alpha, xv, yv);
+        }
+    }
+}
+
+/// Streaming CSR SpMV `y = A x` over the row block grid.
+pub fn spmv(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.cols(), "stream::spmv x length mismatch");
+    assert_eq!(y.len(), a.rows(), "stream::spmv y length mismatch");
+    let n = a.rows();
+    if n == 0 {
+        return;
+    }
+    let bl = block_len(n);
+    let (rp, ci, vals) = (a.row_ptr(), a.col_idx(), a.values());
+    if use_parallel(n) {
+        y.par_chunks_mut(bl).enumerate().for_each(|(c, yv)| {
+            spmv_rows(rp, ci, vals, c * bl, x, yv);
+        });
+    } else {
+        for (c, yv) in y.chunks_mut(bl).enumerate() {
+            spmv_rows(rp, ci, vals, c * bl, x, yv);
+        }
+    }
+}
+
+/// Fused SpMV + dot: `y = A x` and `x·y` in one sweep. Requires a square
+/// operator. The per-block dot reads the freshly written `y` rows while
+/// they are cache-hot — bitwise-equal to `spmv` followed by [`dot`].
+pub fn spmv_dot(a: &CsrMatrix, x: &[f64], y: &mut [f64]) -> f64 {
+    assert_eq!(a.rows(), a.cols(), "stream::spmv_dot needs a square operator");
+    assert_eq!(x.len(), a.cols(), "stream::spmv_dot x length mismatch");
+    assert_eq!(y.len(), a.rows(), "stream::spmv_dot y length mismatch");
+    let n = a.rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let bl = block_len(n);
+    let (rp, ci, vals) = (a.row_ptr(), a.col_idx(), a.values());
+    let partials = Partials::new();
+    if use_parallel(n) {
+        y.par_chunks_mut(bl).enumerate().for_each(|(c, yv)| {
+            partials.set(c, spmv_rows_dot(rp, ci, vals, c * bl, x, yv));
+        });
+    } else {
+        for (c, yv) in y.chunks_mut(bl).enumerate() {
+            partials.set(c, spmv_rows_dot(rp, ci, vals, c * bl, x, yv));
+        }
+    }
+    partials.fold(n.div_ceil(bl))
+}
+
+/// Masks `x` into `tmp` (constrained entries zeroed) — phase 1 of the
+/// projected operator `P A P + (I - P)`.
+fn mask_into(x: &[f64], mask: &[bool], tmp: &mut [f64]) {
+    let n = x.len();
+    let bl = block_len(n);
+    if use_parallel(n) {
+        tmp.par_chunks_mut(bl).zip(x.par_chunks(bl)).zip(mask.par_chunks(bl)).for_each(
+            |((tv, xv), mv)| {
+                for ((t, &xi), &c) in tv.iter_mut().zip(xv).zip(mv) {
+                    *t = if c { 0.0 } else { xi };
+                }
+            },
+        );
+    } else {
+        for ((t, &xi), &c) in tmp.iter_mut().zip(x).zip(mask) {
+            *t = if c { 0.0 } else { xi };
+        }
+    }
+}
+
+/// One row-block of the constrained operator: `y = A tmp`, then constrained
+/// rows overwritten with `x` (identity block keeps the system SPD).
+#[inline]
+fn constrained_rows(
+    a: &CsrMatrix,
+    lo: usize,
+    x: &[f64],
+    mask: &[bool],
+    tmp: &[f64],
+    yv: &mut [f64],
+) {
+    spmv_rows(a.row_ptr(), a.col_idx(), a.values(), lo, tmp, yv);
+    let hi = lo + yv.len();
+    for ((yi, &xi), &c) in yv.iter_mut().zip(&x[lo..hi]).zip(&mask[lo..hi]) {
+        if c {
+            *yi = xi;
+        }
+    }
+}
+
+/// Constrained operator apply `y = (P A P + (I - P)) x` using `tmp` as the
+/// masked-input scratch (the unfused leg of [`spmv_constrained_dot`]).
+pub fn spmv_constrained(a: &CsrMatrix, x: &[f64], mask: &[bool], tmp: &mut [f64], y: &mut [f64]) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "stream::spmv_constrained needs a square operator");
+    assert_eq!(x.len(), n, "stream::spmv_constrained x length mismatch");
+    assert_eq!(mask.len(), n, "stream::spmv_constrained mask length mismatch");
+    assert_eq!(tmp.len(), n, "stream::spmv_constrained tmp length mismatch");
+    assert_eq!(y.len(), n, "stream::spmv_constrained y length mismatch");
+    if n == 0 {
+        return;
+    }
+    mask_into(x, mask, tmp);
+    let bl = block_len(n);
+    if use_parallel(n) {
+        y.par_chunks_mut(bl)
+            .enumerate()
+            .for_each(|(c, yv)| constrained_rows(a, c * bl, x, mask, tmp, yv));
+    } else {
+        for (c, yv) in y.chunks_mut(bl).enumerate() {
+            constrained_rows(a, c * bl, x, mask, tmp, yv);
+        }
+    }
+}
+
+/// Fused constrained apply + dot: [`spmv_constrained`] producing `x·y` in
+/// the same row sweep (the fixup runs before the block dot, exactly as the
+/// unfused apply-then-dot sequence sees it).
+pub fn spmv_constrained_dot(
+    a: &CsrMatrix,
+    x: &[f64],
+    mask: &[bool],
+    tmp: &mut [f64],
+    y: &mut [f64],
+) -> f64 {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "stream::spmv_constrained_dot needs a square operator");
+    assert_eq!(x.len(), n, "stream::spmv_constrained_dot x length mismatch");
+    assert_eq!(mask.len(), n, "stream::spmv_constrained_dot mask length mismatch");
+    assert_eq!(tmp.len(), n, "stream::spmv_constrained_dot tmp length mismatch");
+    assert_eq!(y.len(), n, "stream::spmv_constrained_dot y length mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    mask_into(x, mask, tmp);
+    let bl = block_len(n);
+    let partials = Partials::new();
+    if use_parallel(n) {
+        y.par_chunks_mut(bl).enumerate().for_each(|(c, yv)| {
+            let lo = c * bl;
+            constrained_rows(a, lo, x, mask, tmp, yv);
+            partials.set(c, dot_block(&x[lo..lo + yv.len()], yv));
+        });
+    } else {
+        for (c, yv) in y.chunks_mut(bl).enumerate() {
+            let lo = c * bl;
+            constrained_rows(a, lo, x, mask, tmp, yv);
+            partials.set(c, dot_block(&x[lo..lo + yv.len()], yv));
+        }
+    }
+    partials.fold(n.div_ceil(bl))
+}
+
+/// Fused pair update: `x += alpha*p; r -= alpha*ap`, returning the new
+/// `sum(r_i^2)` from the same sweep (finalize with [`nrm2_from_sumsq`]).
+pub fn axpy2_nrm2(alpha: f64, p: &[f64], ap: &[f64], x: &mut [f64], r: &mut [f64]) -> f64 {
+    let n = p.len();
+    assert_eq!(ap.len(), n, "stream::axpy2_nrm2 ap length mismatch");
+    assert_eq!(x.len(), n, "stream::axpy2_nrm2 x length mismatch");
+    assert_eq!(r.len(), n, "stream::axpy2_nrm2 r length mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let malpha = -alpha;
+    let bl = block_len(n);
+    let partials = Partials::new();
+    if use_parallel(n) {
+        x.par_chunks_mut(bl)
+            .zip(r.par_chunks_mut(bl))
+            .zip(p.par_chunks(bl))
+            .zip(ap.par_chunks(bl))
+            .enumerate()
+            .for_each(|(c, (((xv, rv), pv), apv))| {
+                partials.set(c, axpy2_nrm2_block(alpha, malpha, pv, apv, xv, rv));
+            });
+    } else {
+        let it = x.chunks_mut(bl).zip(r.chunks_mut(bl)).zip(p.chunks(bl)).zip(ap.chunks(bl));
+        for (c, (((xv, rv), pv), apv)) in it.enumerate() {
+            partials.set(c, axpy2_nrm2_block(alpha, malpha, pv, apv, xv, rv));
+        }
+    }
+    partials.fold(n.div_ceil(bl))
+}
+
+/// Fused Jacobi apply + `r·z` + direction update, never materializing `z`:
+///
+/// * `rz_prev = None` (setup): `p = z` and `r·z` is returned;
+/// * `rz_prev = Some(rz)`: `beta = r·z_new / rz`, then `p = z + beta*p`.
+///
+/// Returns `r·z_new`. Bitwise-equal to apply / dot / update as three sweeps.
+pub fn precond_dot_update(minv: &[f64], r: &[f64], rz_prev: Option<f64>, p: &mut [f64]) -> f64 {
+    let n = r.len();
+    assert_eq!(minv.len(), n, "stream::precond_dot_update minv length mismatch");
+    assert_eq!(p.len(), n, "stream::precond_dot_update p length mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let bl = block_len(n);
+    // Phase A: the r·z reduction (needs every block before beta exists).
+    let partials = Partials::new();
+    if use_parallel(n) {
+        minv.par_chunks(bl).zip(r.par_chunks(bl)).enumerate().for_each(|(c, (mv, rv))| {
+            partials.set(c, rz_block(mv, rv));
+        });
+    } else {
+        for (c, (mv, rv)) in minv.chunks(bl).zip(r.chunks(bl)).enumerate() {
+            partials.set(c, rz_block(mv, rv));
+        }
+    }
+    let rz = partials.fold(n.div_ceil(bl));
+
+    // Phase B: direction update with z recomputed (one multiply per entry,
+    // cheaper than a DRAM round-trip for a stored z).
+    match rz_prev {
+        None => {
+            // Setup: p = z exactly (same bits as a Jacobi apply + copy).
+            if use_parallel(n) {
+                p.par_chunks_mut(bl).zip(minv.par_chunks(bl)).zip(r.par_chunks(bl)).for_each(
+                    |((pv, mv), rv)| {
+                        for ((pi, &mi), &ri) in pv.iter_mut().zip(mv).zip(rv) {
+                            *pi = mi * ri;
+                        }
+                    },
+                );
+            } else {
+                for ((pi, &mi), &ri) in p.iter_mut().zip(minv).zip(r) {
+                    *pi = mi * ri;
+                }
+            }
+        }
+        Some(prev) => {
+            let beta = rz / prev;
+            if use_parallel(n) {
+                p.par_chunks_mut(bl).zip(minv.par_chunks(bl)).zip(r.par_chunks(bl)).for_each(
+                    |((pv, mv), rv)| dir_update_block(mv, rv, beta, pv),
+                );
+            } else {
+                for ((pv, mv), rv) in p.chunks_mut(bl).zip(minv.chunks(bl)).zip(r.chunks(bl)) {
+                    dir_update_block(mv, rv, beta, pv);
+                }
+            }
+        }
+    }
+    rz
+}
+
+/// Direction update `p = z + beta*p` from a stored `z` (the unfused leg;
+/// same FMA regime as the fused [`precond_dot_update`] phase B).
+pub fn update_direction(beta: f64, z: &[f64], p: &mut [f64]) {
+    assert_eq!(z.len(), p.len(), "stream::update_direction length mismatch");
+    let n = z.len();
+    if n == 0 {
+        return;
+    }
+    let bl = block_len(n);
+    if use_parallel(n) {
+        p.par_chunks_mut(bl)
+            .zip(z.par_chunks(bl))
+            .for_each(|(pv, zv)| dir_update_z_block(zv, beta, pv));
+    } else {
+        for (pv, zv) in p.chunks_mut(bl).zip(z.chunks(bl)) {
+            dir_update_z_block(zv, beta, pv);
+        }
+    }
+}
+
+/// Scalar serial oracle: the same block grid and lane structure as the
+/// dispatched kernels, instantiated with `FMA = false` and driven serially —
+/// the `dense::naive`-style reference the property tests pin against.
+/// Bitwise-equal to the dispatched ops on hosts without FMA clones
+/// ([`fma_active`]` == false`), ULP-bounded-close otherwise.
+pub mod reference {
+    use super::*;
+
+    /// Reference dot product.
+    pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "reference dot length mismatch");
+        let n = x.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let bl = block_len(n);
+        x.chunks(bl)
+            .zip(y.chunks(bl))
+            .fold(0.0, |acc, (xv, yv)| acc + dot_block_body::<false>(xv, yv))
+    }
+
+    /// Reference squared norm.
+    pub fn nrm2_sq(x: &[f64]) -> f64 {
+        let n = x.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let bl = block_len(n);
+        x.chunks(bl).fold(0.0, |acc, xv| acc + dot_block_body::<false>(xv, xv))
+    }
+
+    /// Reference overflow-safe norm.
+    pub fn nrm2(x: &[f64]) -> f64 {
+        nrm2_from_sumsq(nrm2_sq(x), x)
+    }
+
+    /// Reference `y += alpha * x` (identical to `dense::axpy`).
+    pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), y.len(), "reference axpy length mismatch");
+        axpy_block_body::<false>(alpha, x, y);
+    }
+
+    /// Reference fused pair update (serial, two-rounding).
+    pub fn axpy2_nrm2(alpha: f64, p: &[f64], ap: &[f64], x: &mut [f64], r: &mut [f64]) -> f64 {
+        let n = p.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let bl = block_len(n);
+        let malpha = -alpha;
+        let it = x.chunks_mut(bl).zip(r.chunks_mut(bl)).zip(p.chunks(bl)).zip(ap.chunks(bl));
+        it.fold(0.0, |acc, (((xv, rv), pv), apv)| {
+            acc + axpy2_nrm2_block_body::<false>(alpha, malpha, pv, apv, xv, rv)
+        })
+    }
+
+    /// Reference fused precondition + dot + update (serial, two-rounding).
+    pub fn precond_dot_update(minv: &[f64], r: &[f64], rz_prev: Option<f64>, p: &mut [f64]) -> f64 {
+        let n = r.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let bl = block_len(n);
+        let rz = minv
+            .chunks(bl)
+            .zip(r.chunks(bl))
+            .fold(0.0, |acc, (mv, rv)| acc + rz_block_body::<false>(mv, rv));
+        match rz_prev {
+            None => {
+                for ((pi, &mi), &ri) in p.iter_mut().zip(minv).zip(r) {
+                    *pi = mi * ri;
+                }
+            }
+            Some(prev) => {
+                let beta = rz / prev;
+                dir_update_block_body::<false>(minv, r, beta, p);
+            }
+        }
+        rz
+    }
+
+    /// Reference direction update from a stored `z`.
+    pub fn update_direction(beta: f64, z: &[f64], p: &mut [f64]) {
+        assert_eq!(z.len(), p.len(), "reference update_direction length mismatch");
+        dir_update_z_block_body::<false>(z, beta, p);
+    }
+
+    /// Reference SpMV (identical to `CsrMatrix::spmv_into`).
+    pub fn spmv(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+        a.spmv_into(x, y);
+    }
+
+    /// Reference SpMV + dot as two serial sweeps.
+    pub fn spmv_dot(a: &CsrMatrix, x: &[f64], y: &mut [f64]) -> f64 {
+        a.spmv_into(x, y);
+        dot(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrBuilder;
+
+    fn vecs(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 101) as f64 * 0.013 - 0.5).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 53 + 7) % 89) as f64 * 0.017 - 0.7).collect();
+        (x, y)
+    }
+
+    fn banded(n: usize, half_band: usize) -> CsrMatrix {
+        let mut b = CsrBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.0 * half_band as f64 + 1.0);
+            for o in 1..=half_band {
+                if i >= o {
+                    b.add(i, i - o, -0.4);
+                }
+                if i + o < n {
+                    b.add(i, i + o, -0.4);
+                }
+            }
+        }
+        b.build()
+    }
+
+    const SIZES: [usize; 10] = [0, 1, 2, 7, 8, 63, 64, 65, 500, 4097];
+
+    #[test]
+    fn dot_matches_reference_regimes() {
+        for &n in &SIZES {
+            let (x, y) = vecs(n);
+            let fused = dot(&x, &y);
+            let oracle = reference::dot(&x, &y);
+            if fma_active() {
+                let tol = 1e-13 * oracle.abs().max(1.0);
+                assert!((fused - oracle).abs() <= tol, "n={n}: {fused} vs {oracle}");
+            } else {
+                assert_eq!(fused.to_bits(), oracle.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_dot_equals_spmv_then_dot_bitwise() {
+        // Fused vs unfused *dispatched* paths share every rounding: equal
+        // bits in both regimes.
+        for &n in &[1usize, 7, 64, 65, 500] {
+            let a = banded(n, 3.min(n.saturating_sub(1)).max(1));
+            let (x, _) = vecs(n);
+            let mut y1 = vec![0.0; n];
+            let fused = spmv_dot(&a, &x, &mut y1);
+            let mut y2 = vec![0.0; n];
+            spmv(&a, &x, &mut y2);
+            let unfused = dot(&x, &y2);
+            assert_eq!(y1, y2, "n={n}");
+            assert_eq!(fused.to_bits(), unfused.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy2_nrm2_equals_two_axpys_and_dot_bitwise() {
+        for &n in &[1usize, 9, 64, 129, 1000] {
+            let (p, ap) = vecs(n);
+            let (x0, r0) = vecs(n);
+            let alpha = 0.37;
+
+            let (mut x1, mut r1) = (x0.clone(), r0.clone());
+            let sumsq = axpy2_nrm2(alpha, &p, &ap, &mut x1, &mut r1);
+
+            let (mut x2, mut r2) = (x0.clone(), r0.clone());
+            axpy(alpha, &p, &mut x2);
+            axpy(-alpha, &ap, &mut r2);
+            assert_eq!(x1, x2, "n={n}");
+            assert_eq!(r1, r2, "n={n}");
+            assert_eq!(sumsq.to_bits(), nrm2_sq(&r2).to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn precond_dot_update_equals_unfused_bitwise() {
+        for &n in &[1usize, 9, 64, 129, 1000] {
+            let (r, minv_raw) = vecs(n);
+            let minv: Vec<f64> = minv_raw.iter().map(|&m| m.abs() + 0.1).collect();
+            let (p0, _) = vecs(n);
+
+            // Setup (rz_prev = None) == apply + copy.
+            let mut p1 = p0.clone();
+            let rz1 = precond_dot_update(&minv, &r, None, &mut p1);
+            let z: Vec<f64> = minv.iter().zip(&r).map(|(&m, &ri)| m * ri).collect();
+            assert_eq!(p1, z, "n={n}");
+            assert_eq!(rz1.to_bits(), dot(&r, &z).to_bits(), "n={n}");
+
+            // Update (rz_prev = Some) == apply + dot + update_direction.
+            let mut p2 = p0.clone();
+            let rz2 = precond_dot_update(&minv, &r, Some(rz1), &mut p2);
+            let mut p3 = p0.clone();
+            update_direction(rz2 / rz1, &z, &mut p3);
+            assert_eq!(p2, p3, "n={n}");
+        }
+    }
+
+    #[test]
+    fn all_variants_bitwise_identical() {
+        let n = 5000; // above PAR_MIN_N so parallel variants engage the pool
+        let (x, y) = vecs(n);
+        let before = active_stream_index();
+        let baseline = {
+            set_active_stream_index(0);
+            dot(&x, &y)
+        };
+        for idx in 1..CANDIDATES.len() {
+            set_active_stream_index(idx);
+            assert_eq!(dot(&x, &y).to_bits(), baseline.to_bits(), "variant {idx}");
+        }
+        set_active_stream_index(before);
+    }
+
+    #[test]
+    fn thread_count_invariance() {
+        let n = 6000;
+        let (x, y) = vecs(n);
+        let base = dot(&x, &y);
+        for threads in [1usize, 2, 4, 8] {
+            rayon::set_active_threads(threads);
+            assert_eq!(dot(&x, &y).to_bits(), base.to_bits(), "threads={threads}");
+        }
+        rayon::set_active_threads(0);
+    }
+
+    #[test]
+    fn constrained_dot_matches_manual_projection() {
+        let n = 200;
+        let a = banded(n, 4);
+        let (x, _) = vecs(n);
+        let mask: Vec<bool> = (0..n).map(|i| i % 17 == 0).collect();
+        let mut tmp = vec![0.0; n];
+        let mut y1 = vec![0.0; n];
+        let pap = spmv_constrained_dot(&a, &x, &mask, &mut tmp, &mut y1);
+
+        let mut tmp2 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        spmv_constrained(&a, &x, &mask, &mut tmp2, &mut y2);
+        assert_eq!(y1, y2);
+        assert_eq!(pap.to_bits(), dot(&x, &y2).to_bits());
+        for i in (0..n).filter(|i| mask[*i]) {
+            assert_eq!(y1[i], x[i], "constrained row {i} must be identity");
+        }
+    }
+}
