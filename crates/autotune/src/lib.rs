@@ -26,11 +26,17 @@
 //!   kernels — picks the fusion x parallel-drive combination
 //!   (`blast_la::stream::CANDIDATES`) per (dimension, thread count).
 
+//! - [`assembly`]: the memory-or-time decision between the stored batched
+//!   operators and the matrix-free sum-factorized path, per
+//!   `(dimension, order)` with a hard device-footprint override.
+
+pub mod assembly;
 pub mod balance;
 pub mod host_tiles;
 pub mod pcg_stream;
 pub mod tuner;
 
+pub use assembly::{choose_assembly_mode, AssemblyChoice};
 pub use balance::AutoBalancer;
 pub use host_tiles::{tune_host_tiles, HostTileChoice};
 pub use pcg_stream::{tune_pcg_stream, StreamChoice};

@@ -1,0 +1,514 @@
+//! matfree_ceiling — the matrix-free sum-factorization experiment: break
+//! the paper's §4.1 Q4-Q3 memory ceiling.
+//!
+//! **Host leg (measured wall-clock):** the `autotune::assembly` proxies —
+//! the stored path's `A_z` materialization + `F_z` GEMM against the
+//! sum-factorized evaluation chains — per `(dimension, order)`,
+//! interleaved min-of-rounds. The gate requires matrix-free to win on
+//! every gated shape (see [`SHAPES`]): exactly the decision the assembly
+//! tuner makes at runtime, so a gate failure means the tuner would
+//! (correctly) stop picking matrix-free and the tentpole is moot.
+//!
+//! **Ceiling leg (gpu-sim, deterministic physics):** Q4-Q3 3D on the K20
+//! device model, above the 16³ limit of Table 8 (24³ smoke / 32³ full).
+//! The stored build must fail with the *typed* `OutOfMemory` error —
+//! both byte counts populated — and the matrix-free build must run real
+//! time steps on the same device, with the modeled launch/DRAM accounting
+//! capturing the flop/byte shift (force traffic collapse, SpMV-free mass
+//! applies at higher arithmetic intensity, resident-bytes collapse).
+//!
+//! The binary (`cargo run -p blast-bench --release --bin matfree_ceiling`)
+//! writes `BENCH_matfree.json` and exits non-zero on any gate failure —
+//! the CI matfree-smoke gate.
+
+use std::sync::Arc;
+
+use blast_core::exec::{
+    cg_iteration_traffic, cg_iteration_traffic_matfree, corner_force_traffic,
+    corner_force_traffic_matfree,
+};
+use blast_core::{AssemblyMode, ExecMode, Executor, Hydro, HydroError, Sedov};
+use blast_kernels::sumfac::{SumfacFactors, SumfacMassKernel};
+use blast_kernels::ProblemShape;
+use blast_la::PcgOptions;
+use gpu_sim::{CpuSpec, GpuDevice, GpuSpec};
+
+use crate::table;
+
+/// Host proxy shapes `(dim, order, gated)`. Gated: every 3D order >= 3
+/// shape plus 2D Q4 — the shapes where the per-zone batch is large enough
+/// that sum-factorization must win for the tentpole to hold. 2D Q2/Q3 and
+/// 3D Q2 are reported but allowed to go either way: their stored batches
+/// are small (cache-resident `A_z`, tiny GEMMs), the stored path
+/// legitimately wins, the assembly tuner correctly keeps it, and no 2D
+/// low-order problem is anywhere near the memory ceiling.
+pub const SHAPES: [(usize, usize, bool); 6] = [
+    (2, 2, false),
+    (2, 3, false),
+    (2, 4, true),
+    (3, 2, false),
+    (3, 3, true),
+    (3, 4, true),
+];
+
+/// Measured host proxy result on one `(dim, order)` shape.
+#[derive(Clone, Debug)]
+pub struct HostShape {
+    /// Mesh dimension.
+    pub dim: usize,
+    /// FE order `k`.
+    pub order: usize,
+    /// Participates in the CI gate (3D order >= 3, 2D Q4)?
+    pub gated: bool,
+    /// Best stored-path per-zone proxy time, seconds.
+    pub stored_s: f64,
+    /// Best matrix-free per-zone proxy time, seconds.
+    pub matfree_s: f64,
+}
+
+impl HostShape {
+    /// Stored over matrix-free — the gate metric; > 1 means the
+    /// sum-factorized path pays off.
+    pub fn speedup(&self) -> f64 {
+        self.stored_s / self.matfree_s
+    }
+}
+
+/// Deterministic cost-model facts at the ceiling shape (no measurement).
+#[derive(Clone, Debug)]
+pub struct ModeledShift {
+    /// Corner-force flops, stored over matrix-free (the `A_z`/`F_z` GEMM
+    /// collapse).
+    pub force_flops_ratio: f64,
+    /// Corner-force DRAM bytes, stored over matrix-free.
+    pub force_dram_ratio: f64,
+    /// Corner-force arithmetic intensity (flops per DRAM byte), stored.
+    pub force_ai_stored: f64,
+    /// Corner-force arithmetic intensity, matrix-free.
+    pub force_ai_matfree: f64,
+    /// Mass-apply (CG iteration) arithmetic intensity, stored CSR SpMV.
+    pub mass_ai_stored: f64,
+    /// Mass-apply arithmetic intensity, sum-factorized (SpMV-free).
+    pub mass_ai_matfree: f64,
+    /// Modeled device-resident bytes, stored path.
+    pub stored_resident: usize,
+    /// Modeled device-resident bytes, matrix-free path.
+    pub matfree_resident: usize,
+}
+
+/// The gpu-sim ceiling run.
+#[derive(Clone, Debug)]
+pub struct CeilingLeg {
+    /// Zones per axis of the Q4-Q3 3D mesh.
+    pub zones_axis: usize,
+    /// Device DRAM capacity (K20: 5 GiB).
+    pub capacity: usize,
+    /// Did the stored build fail with the typed OOM?
+    pub stored_oom: bool,
+    /// The stored build's error message (must carry both byte counts).
+    pub oom_message: String,
+    /// `required` from the typed error (0 when the build unexpectedly
+    /// succeeded).
+    pub oom_required: usize,
+    /// Time steps the matrix-free build completed.
+    pub matfree_steps: usize,
+    /// Simulation time reached.
+    pub final_t: f64,
+    /// Modeled device time of the matrix-free run, seconds.
+    pub device_time_s: f64,
+    /// Modeled device energy of the matrix-free run, joules.
+    pub device_energy_j: f64,
+    /// The cost-model facts at this shape.
+    pub modeled: ModeledShift,
+}
+
+/// Full experiment result.
+#[derive(Clone, Debug)]
+pub struct MatfreeCeiling {
+    /// One entry per [`SHAPES`] row.
+    pub shapes: Vec<HostShape>,
+    /// The gpu-sim ceiling leg.
+    pub ceiling: CeilingLeg,
+    /// Whether the reduced smoke budget (24³ ceiling) was used.
+    pub smoke: bool,
+}
+
+impl MatfreeCeiling {
+    /// Gate: matrix-free must win every gated host proxy, the stored
+    /// Q4 ceiling build must fail with the typed OOM, the matrix-free
+    /// build must run, and the modeled shift must hold (>= 10x force
+    /// flop *and* DRAM collapse, > 4x mass-apply intensity, resident
+    /// bytes straddling the device capacity). Corner-force arithmetic
+    /// *intensity* is deliberately not gated — the stored `k7` GEMM is
+    /// already high-AI, the win is doing 10x less of everything.
+    pub fn gate_failures(&self) -> Vec<String> {
+        let mut fails = Vec::new();
+        for s in self.shapes.iter().filter(|s| s.gated && s.speedup() < 1.0) {
+            fails.push(format!(
+                "host {}D Q{}: matrix-free {:.3} us/zone vs stored {:.3} us/zone ({:.2}x < 1x)",
+                s.dim,
+                s.order,
+                s.matfree_s * 1e6,
+                s.stored_s * 1e6,
+                s.speedup()
+            ));
+        }
+        let c = &self.ceiling;
+        if !c.stored_oom {
+            fails.push(format!(
+                "ceiling {za}^3: stored build did not return the typed OutOfMemory",
+                za = c.zones_axis
+            ));
+        } else if !c.oom_message.contains("out of device memory") {
+            fails.push(format!("ceiling: OOM message not actionable: {}", c.oom_message));
+        }
+        if c.matfree_steps == 0 || !(c.final_t.is_finite() && c.final_t > 0.0) {
+            fails.push(format!(
+                "ceiling {za}^3: matrix-free run completed no steps",
+                za = c.zones_axis
+            ));
+        }
+        let m = &c.modeled;
+        if m.force_flops_ratio < 10.0 {
+            fails.push(format!("force flop collapse {:.1}x < 10x", m.force_flops_ratio));
+        }
+        if m.force_dram_ratio < 10.0 {
+            fails.push(format!("force DRAM collapse {:.1}x < 10x", m.force_dram_ratio));
+        }
+        if m.mass_ai_matfree < 4.0 * m.mass_ai_stored {
+            fails.push(format!(
+                "mass-apply AI {:.2} < 4x SpMV AI {:.2}",
+                m.mass_ai_matfree, m.mass_ai_stored
+            ));
+        }
+        if m.stored_resident <= c.capacity {
+            fails.push(format!(
+                "stored resident {} B fits the {} B device — not a ceiling shape",
+                m.stored_resident, c.capacity
+            ));
+        }
+        if m.matfree_resident > c.capacity {
+            fails.push(format!(
+                "matrix-free resident {} B exceeds the {} B device",
+                m.matfree_resident, c.capacity
+            ));
+        }
+        fails
+    }
+
+    /// Machine-readable artifact (`BENCH_matfree.json`).
+    pub fn to_json(&self) -> String {
+        let mut rows = Vec::new();
+        for s in &self.shapes {
+            rows.push(format!(
+                "    {{\"dim\": {}, \"order\": {}, \"gated\": {}, \
+                 \"stored_us\": {:.4}, \"matfree_us\": {:.4}, \"speedup\": {:.4}}}",
+                s.dim,
+                s.order,
+                s.gated,
+                s.stored_s * 1e6,
+                s.matfree_s * 1e6,
+                s.speedup(),
+            ));
+        }
+        let c = &self.ceiling;
+        let m = &c.modeled;
+        format!(
+            "{{\n  \"experiment\": \"matfree_ceiling\",\n  \"smoke\": {},\n  \
+             \"shapes\": [\n{}\n  ],\n  \"ceiling\": {{\n    \
+             \"zones_axis\": {}, \"capacity_bytes\": {},\n    \
+             \"stored_oom\": {}, \"oom_required_bytes\": {},\n    \
+             \"matfree_steps\": {}, \"final_t\": {:.6e},\n    \
+             \"device_time_s\": {:.6}, \"device_energy_j\": {:.4},\n    \
+             \"stored_resident_bytes\": {}, \"matfree_resident_bytes\": {},\n    \
+             \"force_flops_ratio\": {:.3}, \"force_dram_ratio\": {:.3},\n    \
+             \"force_ai_stored\": {:.4}, \"force_ai_matfree\": {:.4},\n    \
+             \"mass_ai_stored\": {:.4}, \"mass_ai_matfree\": {:.4}\n  }}\n}}\n",
+            self.smoke,
+            rows.join(",\n"),
+            c.zones_axis,
+            c.capacity,
+            c.stored_oom,
+            c.oom_required,
+            c.matfree_steps,
+            c.final_t,
+            c.device_time_s,
+            c.device_energy_j,
+            m.stored_resident,
+            m.matfree_resident,
+            m.force_flops_ratio,
+            m.force_dram_ratio,
+            m.force_ai_stored,
+            m.force_ai_matfree,
+            m.mass_ai_stored,
+            m.mass_ai_matfree,
+        )
+    }
+}
+
+/// The deterministic cost-model shift at a Q4-Q3 3D `za³` mesh: traffic
+/// ratios from the kernel models, resident bytes from the builder's
+/// estimators. Pure arithmetic — identical in every build profile.
+pub fn modeled_shift(zones_axis: usize) -> ModeledShift {
+    let nz = zones_axis.pow(3);
+    let shape = ProblemShape::new(3, 4, nz);
+    let n = (4 * zones_axis + 1).pow(3);
+    let factors = SumfacFactors::new(3, 4);
+
+    let stored = corner_force_traffic(&shape);
+    let matfree = corner_force_traffic_matfree(&shape, &factors);
+
+    // The stored mass matrix cannot be assembled at this shape (that is
+    // the point), so its SpMV traffic uses the same FEM sparsity estimate
+    // as the footprint model: `(2k+1)^3` stencil entries per row.
+    let nnz_est = n * (2 * 4 + 1usize).pow(3);
+    let spmv = cg_iteration_traffic(nnz_est, n);
+    let sumfac = cg_iteration_traffic_matfree(&SumfacMassKernel.traffic(&shape, &factors, n), n, false);
+
+    let req = Hydro::<3>::builder(&Sedov::default(), [zones_axis; 3]).order(4).required_bytes();
+
+    ModeledShift {
+        force_flops_ratio: stored.flops / matfree.flops,
+        force_dram_ratio: stored.dram_bytes / matfree.dram_bytes,
+        force_ai_stored: stored.flops / stored.dram_bytes,
+        force_ai_matfree: matfree.flops / matfree.dram_bytes,
+        mass_ai_stored: spmv.flops / spmv.dram_bytes,
+        mass_ai_matfree: sumfac.flops / sumfac.dram_bytes,
+        stored_resident: req.stored,
+        matfree_resident: req.matrix_free,
+    }
+}
+
+/// Runs the gpu-sim ceiling leg at a Q4-Q3 3D `za³` mesh on the K20 model.
+fn measure_ceiling(zones_axis: usize, steps: usize) -> CeilingLeg {
+    let problem = Sedov::default();
+    let capacity = GpuSpec::k20().dram_capacity;
+    let gpu_exec = |dev: &Arc<GpuDevice>| {
+        Executor::new(
+            ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 },
+            CpuSpec::e5_2670(),
+            Some(dev.clone()),
+        )
+    };
+
+    // Stored: must fail with the typed OOM before any assembly work.
+    let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+    let (stored_oom, oom_message, oom_required) = match Hydro::<3>::builder(&problem, [zones_axis; 3])
+        .order(4)
+        .executor(gpu_exec(&dev))
+        .assembly(AssemblyMode::Stored)
+        .build()
+    {
+        Err(e @ HydroError::OutOfMemory { required, .. }) => (true, e.to_string(), required),
+        Err(e) => (false, e.to_string(), 0),
+        Ok(_) => (false, String::from("build unexpectedly succeeded"), 0),
+    };
+
+    // Matrix-free: build on a fresh device and run real steps. Loose PCG
+    // keeps the (single-core) run short; the physics is still the real
+    // RK2-average scheme end to end.
+    let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+    let pcg = PcgOptions { rel_tol: 1e-6, max_iter: 400, ..PcgOptions::default() };
+    let mut hydro = Hydro::<3>::builder(&problem, [zones_axis; 3])
+        .order(4)
+        .executor(gpu_exec(&dev))
+        .assembly(AssemblyMode::MatrixFree)
+        .pcg(pcg)
+        .build()
+        .expect("matrix-free Q4 fits the K20 where stored cannot");
+    let mut state = hydro.initial_state();
+    let mut dt = hydro.suggest_dt(&state);
+    let mut done = 0;
+    for _ in 0..steps {
+        let out = hydro.step(&mut state, dt);
+        dt = out.dt_est.min(1.02 * dt);
+        done += 1;
+    }
+
+    CeilingLeg {
+        zones_axis,
+        capacity,
+        stored_oom,
+        oom_message,
+        oom_required,
+        matfree_steps: done,
+        final_t: state.t,
+        device_time_s: dev.now(),
+        device_energy_j: dev.energy_joules(),
+        modeled: modeled_shift(zones_axis),
+    }
+}
+
+/// Runs the full sweep. `smoke` drops the ceiling mesh from 32³ to 24³
+/// (both well above the paper's 16³ stored-path limit); the host shape
+/// list and every gate stay complete.
+pub fn measure_with_budget(smoke: bool) -> MatfreeCeiling {
+    let shapes = SHAPES
+        .iter()
+        .map(|&(dim, order, gated)| {
+            let (stored_s, matfree_s) = autotune::assembly::measure_assembly_proxies(dim, order);
+            HostShape { dim, order, gated, stored_s, matfree_s }
+        })
+        .collect();
+    let (axis, steps) = if smoke { (24, 1) } else { (32, 2) };
+    MatfreeCeiling { shapes, ceiling: measure_ceiling(axis, steps), smoke }
+}
+
+/// Full-budget sweep (the experiment registry entry point).
+pub fn measure() -> MatfreeCeiling {
+    measure_with_budget(false)
+}
+
+/// Renders the human-readable tables.
+pub fn render(r: &MatfreeCeiling) -> String {
+    let rows: Vec<Vec<String>> = r
+        .shapes
+        .iter()
+        .map(|s| {
+            vec![
+                format!("{}D", s.dim),
+                format!("Q{}", s.order),
+                format!("{:.3}", s.stored_s * 1e6),
+                format!("{:.3}", s.matfree_s * 1e6),
+                format!("{:.2}x", s.speedup()),
+                if s.gated { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = table::render(
+        "matfree_ceiling — measured stored vs matrix-free corner-force proxy (us/zone, serial)",
+        &["dim", "order", "stored", "matfree", "speedup", "gated"],
+        &rows,
+    );
+    let c = &r.ceiling;
+    let m = &c.modeled;
+    out.push_str(&format!(
+        "\nCeiling leg (Q4-Q3 3D {za}^3 on K20, {cap:.2} GiB): stored build -> {oom}; \
+         matrix-free ran {steps} step(s) to t={t:.3e} ({dt:.3}s, {de:.1}J modeled device).\n",
+        za = c.zones_axis,
+        cap = c.capacity as f64 / (1u64 << 30) as f64,
+        oom = if c.stored_oom { "typed OutOfMemory" } else { "NO OOM (gate fails)" },
+        steps = c.matfree_steps,
+        t = c.final_t,
+        dt = c.device_time_s,
+        de = c.device_energy_j,
+    ));
+    out.push_str(&format!(
+        "Modeled shift at {za}^3: force {ff:.1}x fewer flops / {fd:.1}x fewer DRAM bytes \
+         (AI {fas:.2} -> {fam:.2}); mass apply AI {mas:.2} -> {mam:.2} flop/B; \
+         resident {sr:.2} GiB -> {mr:.2} GiB.\n",
+        za = c.zones_axis,
+        ff = m.force_flops_ratio,
+        fd = m.force_dram_ratio,
+        fas = m.force_ai_stored,
+        fam = m.force_ai_matfree,
+        mas = m.mass_ai_stored,
+        mam = m.mass_ai_matfree,
+        sr = m.stored_resident as f64 / (1u64 << 30) as f64,
+        mr = m.matfree_resident as f64 / (1u64 << 30) as f64,
+    ));
+    out
+}
+
+/// Regenerates the artifact (smoke budget: the full 32³ ceiling run is a
+/// standalone-binary affair, not a `paper_report` side effect).
+pub fn report() -> String {
+    render(&measure_with_budget(true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The modeled shift is pure arithmetic — gate it in every profile.
+    /// These are the numbers that make the tentpole: at the smoke ceiling
+    /// shape the stored path no longer fits the K20 while matrix-free has
+    /// ~an order of magnitude of headroom, and both traffic collapses
+    /// clear the 10x bar.
+    #[test]
+    fn modeled_shift_clears_every_bar_at_the_ceiling_shapes() {
+        let cap = GpuSpec::k20().dram_capacity;
+        for za in [24usize, 32] {
+            let m = modeled_shift(za);
+            assert!(m.stored_resident > cap, "{za}^3 stored {} fits {cap}", m.stored_resident);
+            assert!(m.matfree_resident <= cap, "{za}^3 matfree {} exceeds {cap}", m.matfree_resident);
+            assert!(m.force_flops_ratio >= 10.0, "{za}^3 flop ratio {}", m.force_flops_ratio);
+            assert!(m.force_dram_ratio >= 10.0, "{za}^3 DRAM ratio {}", m.force_dram_ratio);
+            assert!(
+                m.mass_ai_matfree > 4.0 * m.mass_ai_stored,
+                "{za}^3 mass AI {} vs SpMV {}",
+                m.mass_ai_matfree,
+                m.mass_ai_stored
+            );
+        }
+    }
+
+    /// Gate logic on synthetic results: a losing gated shape and a missing
+    /// OOM must both fail; the reference configuration passes.
+    #[test]
+    fn gate_failures_catch_regressions() {
+        let good = MatfreeCeiling {
+            shapes: vec![
+                HostShape { dim: 2, order: 2, gated: false, stored_s: 1.0, matfree_s: 2.0 },
+                HostShape { dim: 3, order: 4, gated: true, stored_s: 2.0, matfree_s: 1.0 },
+            ],
+            ceiling: CeilingLeg {
+                zones_axis: 24,
+                capacity: GpuSpec::k20().dram_capacity,
+                stored_oom: true,
+                oom_message: "out of device memory: ...".into(),
+                oom_required: 8 << 30,
+                matfree_steps: 1,
+                final_t: 1e-4,
+                device_time_s: 1.0,
+                device_energy_j: 100.0,
+                modeled: modeled_shift(24),
+            },
+            smoke: true,
+        };
+        assert!(good.gate_failures().is_empty(), "{:?}", good.gate_failures());
+
+        let mut lost_host = good.clone();
+        lost_host.shapes[1].matfree_s = 3.0;
+        assert!(lost_host.gate_failures().iter().any(|f| f.contains("3D Q4")));
+
+        let mut no_oom = good.clone();
+        no_oom.ceiling.stored_oom = false;
+        assert!(no_oom.gate_failures().iter().any(|f| f.contains("OutOfMemory")));
+
+        let mut no_run = good;
+        no_run.ceiling.matfree_steps = 0;
+        assert!(no_run.gate_failures().iter().any(|f| f.contains("no steps")));
+    }
+
+    #[test]
+    fn json_is_balanced_and_labeled() {
+        let r = MatfreeCeiling {
+            shapes: vec![HostShape { dim: 3, order: 4, gated: true, stored_s: 2.0, matfree_s: 1.0 }],
+            ceiling: CeilingLeg {
+                zones_axis: 24,
+                capacity: 5 << 30,
+                stored_oom: true,
+                oom_message: "out of device memory".into(),
+                oom_required: 8 << 30,
+                matfree_steps: 1,
+                final_t: 2.5e-4,
+                device_time_s: 0.5,
+                device_energy_j: 42.0,
+                modeled: modeled_shift(24),
+            },
+            smoke: true,
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"experiment\": \"matfree_ceiling\""));
+        assert!(json.contains("\"stored_oom\": true"));
+        assert!(json.contains("\"matfree_resident_bytes\""));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+}

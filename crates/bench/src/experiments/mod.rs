@@ -15,6 +15,7 @@ pub mod fig08_bandwidth;
 pub mod fig11_speedup;
 pub mod host_kernels;
 pub mod host_speedup;
+pub mod matfree_ceiling;
 pub mod pcg_streaming;
 pub mod fig12_weak_scaling;
 pub mod fig13_strong_scaling;
@@ -60,6 +61,7 @@ pub fn all_experiment_names() -> Vec<&'static str> {
         "host_speedup",
         "host_kernels",
         "pcg_streaming",
+        "matfree_ceiling",
         "telemetry_profile",
         "serve_storm",
         "sdc_campaign",
@@ -93,6 +95,7 @@ pub fn run_by_name(name: &str) -> Option<String> {
         "host_speedup" => host_speedup::report(),
         "host_kernels" => host_kernels::report(),
         "pcg_streaming" => pcg_streaming::report(),
+        "matfree_ceiling" => matfree_ceiling::report(),
         "telemetry_profile" => telemetry_profile::report(),
         "serve_storm" => serve_storm::report(),
         "sdc_campaign" => sdc_campaign::report(),

@@ -20,6 +20,18 @@ use gpu_sim::GpuError;
 pub enum HydroError {
     /// The simulated device failed past its retry budget (or OOM'd).
     Gpu(GpuError),
+    /// The *modeled* device working set of the requested problem exceeds
+    /// the device memory, detected by the builder's footprint pre-check
+    /// before any allocation or assembly happens. Carries the numbers the
+    /// caller needs to act: shrink the problem, or switch the assembly
+    /// mode to matrix-free (`HydroBuilder::assembly`), whose footprint the
+    /// same pre-check accepts far past the stored-matrix ceiling.
+    OutOfMemory {
+        /// Modeled resident bytes of the requested configuration.
+        required: usize,
+        /// Device memory capacity, bytes.
+        available: usize,
+    },
     /// A state or derived field picked up a NaN/Inf.
     NonFinite {
         /// Which field went non-finite (e.g. `"accel"`, `"de/dt"`).
@@ -93,6 +105,11 @@ impl std::fmt::Display for HydroError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HydroError::Gpu(e) => write!(f, "{e}"),
+            HydroError::OutOfMemory { required, available } => write!(
+                f,
+                "out of device memory: modeled footprint needs {required} B of {available} B — \
+                 shrink the problem or use AssemblyMode::MatrixFree"
+            ),
             HydroError::NonFinite { what, index } => {
                 write!(f, "non-finite value in {what} at index {index}")
             }
@@ -155,5 +172,15 @@ mod tests {
             capacity: 5,
         });
         assert!(e.to_string().contains("out of device memory"));
+    }
+
+    #[test]
+    fn typed_oom_is_actionable_and_not_rollbackable() {
+        let e = HydroError::OutOfMemory { required: 6_000_000_000, available: 5_368_709_120 };
+        assert!(!e.recoverable_by_rollback(), "dt halving cannot shrink a footprint");
+        let msg = e.to_string();
+        assert!(msg.contains("out of device memory"), "canonical phrase: {msg}");
+        assert!(msg.contains("6000000000") && msg.contains("5368709120"), "numbers: {msg}");
+        assert!(msg.contains("MatrixFree"), "points at the fix: {msg}");
     }
 }

@@ -11,6 +11,9 @@ use powermon::{CpuPowerState, ResilienceReport};
 use blast_kernels::base::MonolithicCornerForce;
 use blast_kernels::k7::FzKernel;
 use blast_kernels::k8_10::{EnergyRhsKernel, MomentumRhsKernel};
+use blast_kernels::sumfac::{
+    SumfacEnergyKernel, SumfacFactors, SumfacForceKernel, SumfacMomentumKernel,
+};
 use blast_kernels::ProblemShape;
 
 /// Fraction of CPU peak the corner-force inner loops sustain at low order
@@ -437,6 +440,19 @@ pub fn corner_force_traffic(shape: &ProblemShape) -> Traffic {
         .add(&EnergyRhsKernel.traffic(shape))
 }
 
+/// Whole-phase corner-force traffic of the *matrix-free* pipeline: the
+/// fused sum-factorized force sweep plus the momentum and energy
+/// right-hand-side transforms. Same physics as [`corner_force_traffic`]
+/// in roughly an order of magnitude fewer flops *and* DRAM bytes at Q4 —
+/// the stored path's dense `nvdof x npts x nthermo` contraction and its
+/// `A_z`/`F_z` batch round-trips both disappear.
+pub fn corner_force_traffic_matfree(shape: &ProblemShape, factors: &SumfacFactors) -> Traffic {
+    SumfacForceKernel { use_viscosity: true }
+        .traffic(shape, factors)
+        .add(&SumfacMomentumKernel.traffic(shape, factors))
+        .add(&SumfacEnergyKernel.traffic(shape, factors))
+}
+
 /// Per-iteration CG traffic on the host: one *blocked* SpMV over the
 /// kinematic mass matrix (all `D` velocity components advance together, so
 /// the matrix streams once per iteration) plus the vector operations.
@@ -467,6 +483,19 @@ pub fn cg_iteration_traffic_fused(nnz: usize, n: usize) -> Traffic {
         dram_bytes: matrix_bytes * l3_factor + 7.0 * n as f64 * 8.0,
         ..Default::default()
     }
+}
+
+/// Per-iteration CG traffic of the SpMV-free momentum solve: one
+/// sum-factorized mass apply (per scalar component, like the stored
+/// billing — there is no matrix to stream, so no `nnz` term and no L3
+/// discount to model) plus the same vector transits as the stored solve
+/// (10n words, 7n fused).
+pub fn cg_iteration_traffic_matfree(apply: &Traffic, n: usize, fused: bool) -> Traffic {
+    let vec_words = if fused { 7.0 } else { 10.0 };
+    let mut t = *apply;
+    t.flops += 10.0 * n as f64;
+    t.dram_bytes += vec_words * n as f64 * 8.0;
+    t
 }
 
 /// Host-side integration traffic per RK2-average step (vector AXPYs over

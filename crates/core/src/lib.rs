@@ -44,8 +44,9 @@ pub use error::HydroError;
 pub use exec::{ExecMode, Executor};
 pub use problems::{Problem, Sedov, TaylorGreen, TriplePoint};
 pub use retry::RetryPolicy;
+pub use blast_kernels::sumfac::AssemblyMode;
 pub use solver::{
-    AdvanceOutcome, Hydro, HydroBuilder, HydroConfig, ResumeInfo, RunConfig, RunStats,
-    StepOutcome, ENERGY_RECONCILE_TOL, MAX_STEP_REDOS,
+    AdvanceOutcome, Hydro, HydroBuilder, HydroConfig, RequiredBytes, ResumeInfo, RunConfig,
+    RunStats, StepOutcome, ENERGY_RECONCILE_TOL, MAX_STEP_REDOS,
 };
 pub use state::{EnergyBreakdown, HydroState};

@@ -15,6 +15,10 @@ use blast_kernels::k56::BatchedDimGemm;
 use blast_kernels::k7::FzKernel;
 use blast_kernels::k8_10::{EnergyRhsKernel, MomentumRhsKernel};
 use blast_kernels::k9::GpuPcg;
+use blast_kernels::sumfac::{
+    matfree_resident_bytes, stored_resident_bytes, AssemblyMode, SumfacEnergyKernel,
+    SumfacFactors, SumfacForceKernel, SumfacMassKernel, SumfacMomentumKernel,
+};
 use blast_kernels::{GemmVariant, ProblemShape, Workspace};
 use blast_la::{
     pcg_solve_instrumented, BatchedMats, BlockDiag, CsrMatrix, DiagPrecond, LinearOperator,
@@ -32,8 +36,9 @@ use crate::audit::{AuditConfig, StepAuditor};
 use crate::checkpoint::{Checkpoint, CheckpointPolicy, CheckpointStore};
 use crate::error::HydroError;
 use crate::exec::{
-    cg_iteration_traffic, cg_iteration_traffic_fused, corner_force_traffic,
-    integration_traffic, ExecMode, Executor, CG_CPU_EFF,
+    cg_iteration_traffic, cg_iteration_traffic_fused, cg_iteration_traffic_matfree,
+    corner_force_traffic, corner_force_traffic_matfree, integration_traffic, ExecMode, Executor,
+    CG_CPU_EFF,
 };
 use crate::problems::Problem;
 use crate::state::{EnergyBreakdown, HydroState};
@@ -143,10 +148,68 @@ pub fn device_footprint<const D: usize>(
 }
 
 struct ForceEval {
+    /// Stored mode: the per-zone `F_z` batch (`nvdof x nthermo`).
+    /// Matrix-free mode: the per-point `D_z = α_k σ̂ adj(J)^T` batch
+    /// (`d x d`) — either way, exactly what the energy rate needs next.
     fz: BatchedMats,
     accel: Vec<f64>,
     max_inv_dt: f64,
     cg_iterations: usize,
+}
+
+/// Matrix-free operator data ([`AssemblyMode::MatrixFree`]): the 1D
+/// factor tables, the per-point kinematic mass scale factors
+/// `svals[p] = α_{p mod npts} ρ0|J0|(p)` (frozen in the Lagrangian
+/// frame, like the stored matrix they replace), and a grow-only staging
+/// pool for the mass applies that run outside the step scratch (audits
+/// and energy reporting stay alloc-free at steady state).
+struct MatFreeOps {
+    factors: SumfacFactors,
+    svals: Vec<f64>,
+    mass_local: std::cell::RefCell<Vec<f64>>,
+}
+
+/// The SpMV-free constrained operator: masked input, one sum-factorized
+/// mass apply, identity on constrained DOFs — the same projection
+/// semantics as the stored `ConstrainedOp` with no matrix anywhere. The
+/// apply is bitwise-deterministic at every thread count (zone staging +
+/// serial scatter), so the whole PCG is — which is why the CPU and GPU
+/// momentum solves share this one type.
+struct MatFreeConstrainedOp<'a> {
+    shape: &'a ProblemShape,
+    factors: &'a SumfacFactors,
+    svals: &'a [f64],
+    zone_dofs: &'a [usize],
+    n: usize,
+    mask: &'a [bool],
+    tmp: &'a mut [f64],
+    local: &'a mut Vec<f64>,
+}
+
+impl LinearOperator for MatFreeConstrainedOp<'_> {
+    fn dim(&self) -> usize {
+        self.n
+    }
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        for ((t, &xi), &c) in self.tmp.iter_mut().zip(x).zip(self.mask) {
+            *t = if c { 0.0 } else { xi };
+        }
+        SumfacMassKernel.compute_with(
+            self.shape,
+            self.factors,
+            self.svals,
+            self.zone_dofs,
+            self.n,
+            self.tmp,
+            y,
+            self.local,
+        );
+        for (yi, (&c, &xi)) in y.iter_mut().zip(self.mask.iter().zip(x)) {
+            if c {
+                *yi = xi;
+            }
+        }
+    }
 }
 
 /// Reusable buffers for the step hot path. Everything a timestep touches
@@ -279,6 +342,23 @@ pub struct HydroBuilder<'p, const D: usize> {
     checkpoint_policy: CheckpointPolicy,
     sdc_plan: Option<SdcPlan>,
     audit: Option<AuditConfig>,
+    assembly: Option<AssemblyMode>,
+    assembly_auto: bool,
+}
+
+/// Modeled device-resident bytes of a builder configuration, one entry
+/// per [`AssemblyMode`] — computable *before* [`HydroBuilder::build`]
+/// does any mesh or assembly work, so callers (and the build-time
+/// pre-check itself) can see an out-of-memory outcome coming and pick
+/// the mode that fits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequiredBytes {
+    /// Footprint of [`AssemblyMode::Stored`]: `A_z`/`F_z` batches,
+    /// per-point small matrices, state, and the CSR mass matrix.
+    pub stored: usize,
+    /// Footprint of [`AssemblyMode::MatrixFree`]: `d x d` per-point data,
+    /// staging rows, state, and the Jacobi diagonal.
+    pub matrix_free: usize,
 }
 
 impl<'p, const D: usize> HydroBuilder<'p, D> {
@@ -392,6 +472,49 @@ impl<'p, const D: usize> HydroBuilder<'p, D> {
         self
     }
 
+    /// Selects how the corner-force and kinematic mass operators are
+    /// realized (default [`AssemblyMode::Stored`], the paper's batched
+    /// kernels). [`AssemblyMode::MatrixFree`] never materializes `A_z`,
+    /// `F_z` or the CSR mass matrix — it is how `Q4` 3D runs past the
+    /// stored path's device-memory ceiling.
+    #[must_use]
+    pub fn assembly(mut self, mode: AssemblyMode) -> Self {
+        self.assembly = Some(mode);
+        self.assembly_auto = false;
+        self
+    }
+
+    /// Picks the assembly mode automatically at build time: matrix-free
+    /// when the stored footprint cannot fit the device, otherwise
+    /// whichever mode the [`autotune::assembly`] proxy search measures
+    /// faster for this `(dimension, order)`. An explicit
+    /// [`Self::assembly`] call wins over this.
+    #[must_use]
+    pub fn assembly_auto(mut self) -> Self {
+        if self.assembly.is_none() {
+            self.assembly_auto = true;
+        }
+        self
+    }
+
+    /// Modeled device-resident bytes of this configuration per assembly
+    /// mode, without building anything. A stored footprint above the
+    /// device capacity means [`Self::build`] would return
+    /// [`HydroError::OutOfMemory`] — switch to
+    /// [`AssemblyMode::MatrixFree`] (or let [`Self::assembly_auto`] do
+    /// it) when the matrix-free entry fits.
+    pub fn required_bytes(&self) -> RequiredBytes {
+        let order = self.config.order;
+        let nz: usize = self.zones_per_axis.iter().product();
+        let n_h1: usize = self.zones_per_axis.iter().map(|&za| order * za + 1).product();
+        let shape = ProblemShape::new(D, order, nz);
+        let n_l2 = nz * shape.nthermo;
+        RequiredBytes {
+            stored: stored_resident_bytes(&shape, n_h1, n_l2),
+            matrix_free: matfree_resident_bytes(&shape, n_h1, n_l2),
+        }
+    }
+
     /// Builds the solver. Fails when the simulated GPU cannot hold the
     /// working set (the paper's Q4-Q3 memory limit at `16^3` on K20).
     pub fn build(self) -> Result<Hydro<D>, HydroError> {
@@ -407,7 +530,14 @@ impl<'p, const D: usize> HydroBuilder<'p, D> {
                 gpu.set_fault_plan(plan);
             }
         }
-        let mut hydro = Hydro::build_impl(self.problem, self.zones_per_axis, self.config, exec)?;
+        let mut hydro = Hydro::build_impl(
+            self.problem,
+            self.zones_per_axis,
+            self.config,
+            exec,
+            self.assembly,
+            self.assembly_auto,
+        )?;
         hydro.default_ckpt_policy = self.checkpoint_policy;
         if self.step_faults > 0 {
             hydro.inject_step_faults(self.step_faults);
@@ -432,7 +562,13 @@ pub struct Hydro<const D: usize> {
     shape: ProblemShape,
     /// Flattened zone -> global kinematic scalar DOF map.
     zone_dofs: Vec<usize>,
-    mv: CsrMatrix,
+    /// How the corner-force and kinematic mass operators are realized.
+    assembly: AssemblyMode,
+    /// Stored CSR kinematic mass matrix (`None` in matrix-free mode —
+    /// that is the whole point).
+    mv: Option<CsrMatrix>,
+    /// Matrix-free operator data (`None` in stored mode).
+    matfree: Option<MatFreeOps>,
     mv_precond: DiagPrecond,
     me: BlockDiag,
     me_inv: BlockDiag,
@@ -494,6 +630,8 @@ impl<const D: usize> Hydro<D> {
             checkpoint_policy: CheckpointPolicy::Never,
             sdc_plan: None,
             audit: None,
+            assembly: None,
+            assembly_auto: false,
         }
     }
 
@@ -505,7 +643,7 @@ impl<const D: usize> Hydro<D> {
         config: HydroConfig,
         exec: Executor,
     ) -> Result<Self, HydroError> {
-        Self::build_impl(problem, zones_per_axis, config, exec)
+        Self::build_impl(problem, zones_per_axis, config, exec, None, false)
     }
 
     /// Sets up the solver: spaces, quadrature, mass matrices (assembled
@@ -519,6 +657,8 @@ impl<const D: usize> Hydro<D> {
         zones_per_axis: [usize; D],
         config: HydroConfig,
         exec: Executor,
+        assembly: Option<AssemblyMode>,
+        assembly_auto: bool,
     ) -> Result<Self, HydroError> {
         let order = config.order;
         assert!(order >= 1, "Q_k-Q_{{k-1}} needs k >= 1");
@@ -539,16 +679,46 @@ impl<const D: usize> Hydro<D> {
         let zone_dofs: Vec<usize> =
             (0..nz).flat_map(|z| kin.zone_dofs(z).iter().copied()).collect();
 
-        // Device footprint check happens *before* the expensive assembly so
-        // an over-sized problem fails fast (the paper's Q4-Q3 limit at 16^3
-        // on the 5 GB K20).
+        // Resolve the assembly mode: explicit choice > autotuner > stored
+        // (the default preserves every stored-path trajectory bitwise).
+        let assembly = match assembly {
+            Some(mode) => mode,
+            None if assembly_auto => {
+                let budget = exec.gpu.as_ref().map(|g| g.spec().dram_capacity);
+                autotune::assembly::choose_assembly_mode(
+                    D,
+                    order,
+                    nz,
+                    n,
+                    thermo.num_dofs(),
+                    budget,
+                )
+                .mode
+            }
+            None => AssemblyMode::Stored,
+        };
+
+        // Device footprint check happens *before* any allocation or
+        // expensive assembly so an over-sized problem fails fast with the
+        // numbers in hand (the paper's Q4-Q3 limit at 16^3 on the 5 GB
+        // K20 — which only the stored mode hits).
         let mut device_bytes = 0usize;
         if matches!(exec.mode, ExecMode::Gpu { .. } | ExecMode::Hybrid { .. }) {
-            device_bytes = device_footprint::<D>(&shape, n, thermo.num_dofs());
-            exec.gpu
-                .as_ref()
-                .expect("GPU mode has a device")
-                .alloc(device_bytes)?;
+            device_bytes = match assembly {
+                AssemblyMode::Stored => device_footprint::<D>(&shape, n, thermo.num_dofs()),
+                AssemblyMode::MatrixFree => {
+                    matfree_resident_bytes(&shape, n, thermo.num_dofs())
+                }
+            };
+            let gpu = exec.gpu.as_ref().expect("GPU mode has a device");
+            let capacity = gpu.spec().dram_capacity;
+            if device_bytes > capacity {
+                return Err(HydroError::OutOfMemory {
+                    required: device_bytes,
+                    available: capacity,
+                });
+            }
+            gpu.alloc(device_bytes)?;
         }
 
         // Initial geometry and the frozen rho0 |J0|.
@@ -566,9 +736,37 @@ impl<const D: usize> Hydro<D> {
             }
         }
 
-        // Mass matrices (time-independent).
-        let mv = assemble_kinematic_mass(&kin, &rule, &kin_table, &rho0detj0);
-        let mv_precond = DiagPrecond::from_diagonal(&mv.diagonal());
+        // Kinematic mass operator (time-independent — `ρ|J|` is frozen).
+        // Stored mode assembles the global CSR matrix; matrix-free mode
+        // keeps only the per-point scale factors `α_k ρ0|J0|` and the 1D
+        // factor tables, with a Jacobi diagonal built in the *same
+        // accumulation order* as the CSR assembly (bitwise-equal
+        // preconditioner, so the PCG iterates see identical scaling).
+        let (mv, matfree, mv_precond) = match assembly {
+            AssemblyMode::Stored => {
+                let mv = assemble_kinematic_mass(&kin, &rule, &kin_table, &rho0detj0);
+                let precond = DiagPrecond::from_diagonal(&mv.diagonal());
+                (Some(mv), None, precond)
+            }
+            AssemblyMode::MatrixFree => {
+                let factors = SumfacFactors::for_shape(&shape);
+                let mut svals = vec![0.0; nz * npts];
+                for z in 0..nz {
+                    for k in 0..npts {
+                        svals[z * npts + k] = rule.weights[k] * rho0detj0[z * npts + k];
+                    }
+                }
+                let diag =
+                    SumfacMassKernel.diagonal(&shape, &factors, &svals, &zone_dofs, n);
+                let precond = DiagPrecond::from_diagonal(&diag);
+                let ops = MatFreeOps {
+                    factors,
+                    svals,
+                    mass_local: std::cell::RefCell::new(Vec::new()),
+                };
+                (None, Some(ops), precond)
+            }
+        };
         let me = assemble_thermodynamic_mass(&thermo, &rule, &thermo_table, &rho0detj0);
         let me_inv = me.inverse();
         let me_inv_csr = me_inv.to_csr();
@@ -638,7 +836,9 @@ impl<const D: usize> Hydro<D> {
             thermo_table,
             shape,
             zone_dofs,
+            assembly,
             mv,
+            matfree,
             mv_precond,
             me,
             me_inv,
@@ -671,6 +871,48 @@ impl<const D: usize> Hydro<D> {
     /// Problem shape (operand dimensions).
     pub fn shape(&self) -> &ProblemShape {
         &self.shape
+    }
+
+    /// How the corner-force and mass operators are realized.
+    pub fn assembly_mode(&self) -> AssemblyMode {
+        self.assembly
+    }
+
+    /// `y = M_V x` for one scalar component, through whichever operator
+    /// realization is live (`y` is fully overwritten by both).
+    fn mass_apply(&self, x: &[f64], y: &mut [f64]) {
+        match (&self.mv, &self.matfree) {
+            (Some(mv), _) => mv.spmv_into(x, y),
+            (None, Some(mf)) => {
+                let mut local = mf.mass_local.borrow_mut();
+                SumfacMassKernel.compute_with(
+                    &self.shape,
+                    &mf.factors,
+                    &mf.svals,
+                    &self.zone_dofs,
+                    self.kin.num_dofs(),
+                    x,
+                    y,
+                    &mut local,
+                );
+            }
+            (None, None) => unreachable!("one mass-operator realization always exists"),
+        }
+    }
+
+    /// Modeled cost of one `D`-component mass apply: `(flops, dram words)`
+    /// — the stored CSR stream or the sum-factorized transform chain.
+    fn mass_apply_cost(&self) -> (f64, f64) {
+        match (&self.mv, &self.matfree) {
+            (Some(mv), _) => ((2 * D * mv.nnz()) as f64, mv.nnz() as f64),
+            (None, Some(mf)) => {
+                let t = SumfacMassKernel
+                    .traffic(&self.shape, &mf.factors, self.kin.num_dofs())
+                    .scale(D as f64);
+                (t.flops, t.dram_bytes / 8.0)
+            }
+            (None, None) => unreachable!("one mass-operator realization always exists"),
+        }
     }
 
     /// Kinematic space.
@@ -777,12 +1019,13 @@ impl<const D: usize> Hydro<D> {
         let vlen = (D * n) as f64;
         let elen = self.me.dim() as f64;
         let jac = (self.shape.zones * npts * 2 * D * D * self.shape.nkin) as f64;
-        let energy = (2 * D * self.mv.nnz()) as f64 + 2.0 * elen * self.shape.nthermo as f64;
+        let (mass_flops, mass_words) = self.mass_apply_cost();
+        let energy = mass_flops + 2.0 * elen * self.shape.nthermo as f64;
         let scans = 4.0 * (2.0 * vlen + elen);
         aud.traffic = Traffic {
             flops: jac + energy + scans,
             dram_bytes: 8.0
-                * (self.mv.nnz() as f64
+                * (mass_words
                     + 3.0 * vlen
                     + 2.0 * elen
                     + (self.shape.zones * npts) as f64),
@@ -827,7 +1070,7 @@ impl<const D: usize> Hydro<D> {
         let mut kinetic = 0.0;
         for c in 0..D {
             let vc = &state.v[c * n..(c + 1) * n];
-            self.mv.spmv_into(vc, &mut aud.mv_v);
+            self.mass_apply(vc, &mut aud.mv_v);
             kinetic += 0.5 * blast_la::dense::dot(vc, &aud.mv_v);
         }
         ensure_zeroed(&mut aud.me_e, self.me.dim());
@@ -960,7 +1203,7 @@ impl<const D: usize> Hydro<D> {
         let mut mv_v = vec![0.0; n];
         for c in 0..D {
             let vc = &state.v[c * n..(c + 1) * n];
-            self.mv.spmv_into(vc, &mut mv_v);
+            self.mass_apply(vc, &mut mv_v);
             kinetic += 0.5 * blast_la::dense::dot(vc, &mv_v);
         }
         let mut me_e = vec![0.0; self.me.dim()];
@@ -1016,15 +1259,38 @@ impl<const D: usize> Hydro<D> {
     /// functional body runs, so the failed evaluation never produced
     /// partial physics and the CPU redo is bit-identical to a pure-CPU run.
     fn eval_force(&mut self, v: &[f64], e: &[f64], x: &[f64]) -> Result<ForceEval, HydroError> {
+        let mf = self.matfree.is_some();
         if self.exec.is_degraded() {
-            return self.eval_force_cpu(v, e, x);
+            return if mf {
+                self.eval_force_cpu_matfree(v, e, x)
+            } else {
+                self.eval_force_cpu(v, e, x)
+            };
         }
         let attempt = match self.exec.mode {
             ExecMode::CpuSerial | ExecMode::CpuParallel { .. } => {
-                return self.eval_force_cpu(v, e, x)
+                return if mf {
+                    self.eval_force_cpu_matfree(v, e, x)
+                } else {
+                    self.eval_force_cpu(v, e, x)
+                }
             }
-            ExecMode::Gpu { base, gpu_pcg, .. } => self.eval_force_gpu(v, e, x, base, gpu_pcg),
-            ExecMode::Hybrid { .. } => self.eval_force_hybrid(v, e, x),
+            // The `base` (monolithic) ablation only exists for the stored
+            // pipeline; matrix-free has no monolithic baseline.
+            ExecMode::Gpu { base, gpu_pcg, .. } => {
+                if mf {
+                    self.eval_force_gpu_matfree(v, e, x, gpu_pcg)
+                } else {
+                    self.eval_force_gpu(v, e, x, base, gpu_pcg)
+                }
+            }
+            ExecMode::Hybrid { .. } => {
+                if mf {
+                    self.eval_force_hybrid_matfree(v, e, x)
+                } else {
+                    self.eval_force_hybrid(v, e, x)
+                }
+            }
         };
         match attempt {
             Err(HydroError::Gpu(g)) => {
@@ -1032,7 +1298,11 @@ impl<const D: usize> Hydro<D> {
                 if let Some(b) = &mut self.exec.balancer {
                     b.force_ratio(0.0);
                 }
-                self.eval_force_cpu(v, e, x)
+                if mf {
+                    self.eval_force_cpu_matfree(v, e, x)
+                } else {
+                    self.eval_force_cpu(v, e, x)
+                }
             }
             other => other,
         }
@@ -1120,6 +1390,85 @@ impl<const D: usize> Hydro<D> {
         Ok(ForceEval { fz, accel, max_inv_dt, cg_iterations: iters })
     }
 
+    /// CPU force evaluation, matrix-free: one fused sum-factorized sweep
+    /// replaces the whole `A_z` pipeline + kernel 7, persisting only the
+    /// `d x d` per-point `D_z` batch; the momentum RHS is `d²` backward
+    /// transforms of it. Phase structure, scratch reuse, determinism and
+    /// error contracts mirror [`Self::eval_force_cpu`] exactly.
+    fn eval_force_cpu_matfree(
+        &mut self,
+        v: &[f64],
+        e: &[f64],
+        x: &[f64],
+    ) -> Result<ForceEval, HydroError> {
+        let mf = self.matfree.as_ref().expect("matrix-free mode has factor tables");
+        let n = self.kin.num_dofs();
+        let threads = self.exec.cpu_threads();
+        let traffic = corner_force_traffic_matfree(&self.shape, &mf.factors);
+        let host = &self.exec.host;
+        let shape = &self.shape;
+        let total = shape.total_points();
+        let force = SumfacForceKernel { use_viscosity: self.use_viscosity };
+        let (fz, mut rhs, max_inv_dt) = {
+            let mut ws = self.scratch.borrow_mut();
+            let ws = &mut *ws;
+            let ((), t) = host.run_phase(
+                names::phases::CORNER_FORCE,
+                &traffic,
+                threads,
+                self.exec.cf_eff(self.shape.order),
+                CpuPowerState::Busy,
+                || {
+                    // The F_z pool carries the d x d `D_z` batch here; the
+                    // pipeline's detj / inv_dt buffers are reused as-is.
+                    ws.fz.ensure(D, D, total);
+                    if ws.pipe.detj.len() != total {
+                        ws.pipe.detj.resize(total, 0.0);
+                    }
+                    if ws.pipe.inv_dt.len() != total {
+                        ws.pipe.inv_dt.resize(total, 0.0);
+                    }
+                    force.compute(
+                        shape,
+                        &mf.factors,
+                        x,
+                        v,
+                        e,
+                        n,
+                        &self.zone_dofs,
+                        &self.rule.weights,
+                        &self.rho0detj0,
+                        &self.consts,
+                        &mut ws.fz,
+                        &mut ws.pipe.detj,
+                        &mut ws.pipe.inv_dt,
+                    );
+                    ensure_zeroed(&mut ws.rhs, D * n);
+                    SumfacMomentumKernel.compute_with(
+                        shape,
+                        &mf.factors,
+                        &ws.fz,
+                        &self.zone_dofs,
+                        n,
+                        &mut ws.rhs,
+                        &mut ws.mom_local,
+                    );
+                },
+            );
+            if let Some(g) = &self.exec.gpu {
+                g.idle(t);
+            }
+            self.check_mesh(&ws.pipe.detj)?;
+            let max_inv_dt = ws.pipe.inv_dt.iter().cloned().fold(0.0, f64::max);
+            (std::mem::take(&mut ws.fz), std::mem::take(&mut ws.rhs), max_inv_dt)
+        };
+        self.project_constraints(&mut rhs);
+        let (accel, iters) = self.solve_momentum_cpu(&rhs)?;
+        self.scratch.borrow_mut().rhs = rhs;
+        Self::check_finite("accel", &accel)?;
+        Ok(ForceEval { fz, accel, max_inv_dt, cg_iterations: iters })
+    }
+
     /// CPU momentum solve: one constrained PCG per velocity component,
     /// charged to the host timeline with per-iteration SpMV traffic.
     ///
@@ -1169,23 +1518,51 @@ impl<const D: usize> Hydro<D> {
             ensure_zeroed(&mut ws.mom_xk, n);
             let mut total_iters = 0;
             for c in 0..D {
-                let mut op = ConstrainedOp {
-                    a: &self.mv,
-                    mask: &self.constrained[c],
-                    tmp: &mut ws.mom_tmp,
-                };
                 ws.mom_xk.copy_from_slice(&accel[c * n..(c + 1) * n]);
                 // The instrumented wrapper is bit-identical to
                 // `pcg_solve_ws`; it only adds solve/iteration counters.
-                let res = pcg_solve_instrumented(
-                    &mut op,
-                    &self.mv_precond,
-                    &rhs[c * n..(c + 1) * n],
-                    &mut ws.mom_xk,
-                    &self.pcg_opts,
-                    &mut ws.pcg,
-                    self.exec.telemetry(),
-                );
+                let res = match (&self.mv, &self.matfree) {
+                    (Some(mv), _) => {
+                        let mut op = ConstrainedOp {
+                            a: mv,
+                            mask: &self.constrained[c],
+                            tmp: &mut ws.mom_tmp,
+                        };
+                        pcg_solve_instrumented(
+                            &mut op,
+                            &self.mv_precond,
+                            &rhs[c * n..(c + 1) * n],
+                            &mut ws.mom_xk,
+                            &self.pcg_opts,
+                            &mut ws.pcg,
+                            self.exec.telemetry(),
+                        )
+                    }
+                    (None, Some(mf)) => {
+                        let mut op = MatFreeConstrainedOp {
+                            shape: &self.shape,
+                            factors: &mf.factors,
+                            svals: &mf.svals,
+                            zone_dofs: &self.zone_dofs,
+                            n,
+                            mask: &self.constrained[c],
+                            tmp: &mut ws.mom_tmp,
+                            local: &mut ws.mom_local,
+                        };
+                        pcg_solve_instrumented(
+                            &mut op,
+                            &self.mv_precond,
+                            &rhs[c * n..(c + 1) * n],
+                            &mut ws.mom_xk,
+                            &self.pcg_opts,
+                            &mut ws.pcg,
+                            self.exec.telemetry(),
+                        )
+                    }
+                    (None, None) => {
+                        unreachable!("one mass-operator realization always exists")
+                    }
+                };
                 if !res.converged {
                     ws.accel = accel; // hand the pool buffer back
                     return Err(HydroError::PcgBreakdown {
@@ -1202,10 +1579,21 @@ impl<const D: usize> Hydro<D> {
         // Charge the CG phase on the host timeline: the scalar component
         // solves each stream the matrix (warm-starting keeps the iteration
         // counts low).
-        let traffic = if blast_la::stream::active_stream().fused {
-            cg_iteration_traffic_fused(self.mv.nnz(), n)
-        } else {
-            cg_iteration_traffic(self.mv.nnz(), n)
+        let fused = blast_la::stream::active_stream().fused;
+        let traffic = match (&self.mv, &self.matfree) {
+            (Some(mv), _) => {
+                if fused {
+                    cg_iteration_traffic_fused(mv.nnz(), n)
+                } else {
+                    cg_iteration_traffic(mv.nnz(), n)
+                }
+            }
+            (None, Some(mf)) => cg_iteration_traffic_matfree(
+                &SumfacMassKernel.traffic(&self.shape, &mf.factors, n),
+                n,
+                fused,
+            ),
+            (None, None) => unreachable!("one mass-operator realization always exists"),
         }
         .scale(total_iters as f64);
         let threads = self.exec.cpu_threads();
@@ -1338,7 +1726,7 @@ impl<const D: usize> Hydro<D> {
                 let mut xk = accel[c * n..(c + 1) * n].to_vec();
                 let res = solver.solve(
                     &gpu,
-                    &self.mv,
+                    self.mv.as_ref().expect("stored mode has a CSR mass matrix"),
                     &self.mv_precond,
                     &rhs[c * n..(c + 1) * n],
                     &self.constrained[c],
@@ -1377,6 +1765,140 @@ impl<const D: usize> Hydro<D> {
         Self::check_finite("accel", &accel)?;
         let max_inv_dt = inv_dt.iter().cloned().fold(0.0, f64::max);
         Ok(ForceEval { fz, accel, max_inv_dt, cg_iterations: iters })
+    }
+
+    /// GPU force evaluation, matrix-free: one fused force launch + one
+    /// momentum launch + the SpMV-free PCG. The PCG arithmetic runs
+    /// host-side through the same `MatFreeConstrainedOp` as the CPU solve
+    /// (bit-identical accelerations across legs — the degraded-redo
+    /// contract for free); the device timeline is billed per-iteration
+    /// mass-apply launches, which is what a fused device solver would
+    /// execute.
+    fn eval_force_gpu_matfree(
+        &mut self,
+        v: &[f64],
+        e: &[f64],
+        x: &[f64],
+        gpu_pcg: bool,
+    ) -> Result<ForceEval, HydroError> {
+        let gpu = self.exec.gpu.as_ref().expect("GPU mode has a device").clone();
+        let mf = self.matfree.as_ref().expect("matrix-free mode has factor tables");
+        let n = self.kin.num_dofs();
+        let shape = self.shape;
+        let total = shape.total_points();
+        let t0 = gpu.now();
+
+        // Ship (v, e, x) to the device (§3.1.2).
+        gpu.h2d((2 * D * n + self.thermo.num_dofs()) * 8)?;
+
+        let force = SumfacForceKernel { use_viscosity: self.use_viscosity };
+        let mut dsf = BatchedMats::zeros(D, D, total);
+        let mut detj = vec![0.0; total];
+        let mut inv_dt = vec![0.0; total];
+        force.run(
+            &gpu,
+            &shape,
+            &mf.factors,
+            x,
+            v,
+            e,
+            n,
+            &self.zone_dofs,
+            &self.rule.weights,
+            &self.rho0detj0,
+            &self.consts,
+            &mut dsf,
+            &mut detj,
+            &mut inv_dt,
+        )?;
+        self.check_mesh(&detj)?;
+
+        let mom = SumfacMomentumKernel;
+        let mut rhs = vec![0.0; D * n];
+        let mut mom_local = Vec::new();
+        gpu.launch(
+            SumfacMomentumKernel::NAME,
+            &mom.config(&shape),
+            &mom.traffic(&shape, &mf.factors),
+            || {
+                mom.compute_with(&shape, &mf.factors, &dsf, &self.zone_dofs, n, &mut rhs, &mut mom_local);
+            },
+        )?;
+        self.project_constraints(&mut rhs);
+
+        let (accel, iters) = if gpu_pcg {
+            let fused = blast_la::stream::active_stream().fused;
+            let mass = SumfacMassKernel;
+            let iter_traffic =
+                cg_iteration_traffic_matfree(&mass.traffic(&shape, &mf.factors, n), n, fused);
+            let mut accel = self.accel_prev.borrow().clone();
+            let mut iters = 0;
+            let mut ws = self.scratch.borrow_mut();
+            let ws = &mut *ws;
+            ensure_zeroed(&mut ws.mom_tmp, n);
+            ensure_zeroed(&mut ws.mom_xk, n);
+            for c in 0..D {
+                ws.mom_xk.copy_from_slice(&accel[c * n..(c + 1) * n]);
+                let res = {
+                    let mut op = MatFreeConstrainedOp {
+                        shape: &shape,
+                        factors: &mf.factors,
+                        svals: &mf.svals,
+                        zone_dofs: &self.zone_dofs,
+                        n,
+                        mask: &self.constrained[c],
+                        tmp: &mut ws.mom_tmp,
+                        local: &mut ws.mom_local,
+                    };
+                    pcg_solve_instrumented(
+                        &mut op,
+                        &self.mv_precond,
+                        &rhs[c * n..(c + 1) * n],
+                        &mut ws.mom_xk,
+                        &self.pcg_opts,
+                        &mut ws.pcg,
+                        self.exec.telemetry(),
+                    )
+                };
+                if !res.converged {
+                    return Err(HydroError::PcgBreakdown {
+                        residual: res.residual,
+                        iterations: res.iterations,
+                    });
+                }
+                // Bill the device for the solve it (functionally) ran:
+                // the per-iteration fused mass-apply sweeps.
+                gpu.launch(
+                    SumfacMassKernel::NAME,
+                    &mass.config(&shape),
+                    &iter_traffic.scale(res.iterations as f64),
+                    || (),
+                )?;
+                iters += res.iterations;
+                accel[c * n..(c + 1) * n].copy_from_slice(&ws.mom_xk);
+            }
+            // Ship dv/dt back *before* committing the warm-start cache.
+            gpu.d2h(D * n * 8)?;
+            self.accel_prev.borrow_mut().copy_from_slice(&accel);
+            (accel, iters)
+        } else {
+            // Ship -F·1 back and solve on the host.
+            gpu.d2h(D * n * 8)?;
+            let host_wait = gpu.now() - t0;
+            self.exec.host.idle(host_wait);
+            let out = self.solve_momentum_cpu(&rhs)?;
+            Self::check_finite("accel", &out.0)?;
+            let max_inv_dt = inv_dt.iter().cloned().fold(0.0, f64::max);
+            return Ok(ForceEval { fz: dsf, accel: out.0, max_inv_dt, cg_iterations: out.1 });
+        };
+
+        // Host waited on the device for the whole evaluation.
+        let host_wait = gpu.now() - t0;
+        self.exec.host.idle(host_wait);
+
+        Self::check_finite("accel", &accel)?;
+        let max_inv_dt = inv_dt.iter().cloned().fold(0.0, f64::max);
+        Ok(ForceEval { fz: dsf, accel, max_inv_dt, cg_iterations: iters })
     }
 
     fn eval_force_hybrid(
@@ -1470,6 +1992,101 @@ impl<const D: usize> Hydro<D> {
         Ok(ForceEval { fz, accel, max_inv_dt, cg_iterations: iters })
     }
 
+    /// Hybrid force evaluation, matrix-free: same zone-split costing as
+    /// [`Self::eval_force_hybrid`], with the sum-factorized pipeline as the
+    /// functional body — the flop/byte shift the balancer sees is the
+    /// matrix-free one, so its converged ratio differs from stored mode.
+    fn eval_force_hybrid_matfree(
+        &mut self,
+        v: &[f64],
+        e: &[f64],
+        x: &[f64],
+    ) -> Result<ForceEval, HydroError> {
+        let gpu = self.exec.gpu.as_ref().expect("hybrid mode has a device").clone();
+        let mf = self.matfree.as_ref().expect("matrix-free mode has factor tables");
+        let n = self.kin.num_dofs();
+        let shape = self.shape;
+        let total = shape.total_points();
+        let ratio = self.exec.balancer.as_ref().expect("hybrid has balancer").ratio();
+
+        let total_traffic = corner_force_traffic_matfree(&shape, &mf.factors);
+        let gpu_traffic = total_traffic.scale(ratio);
+        let cpu_traffic = total_traffic.scale(1.0 - ratio);
+        let gpu_zones = ((shape.zones as f64) * ratio).round().max(1.0) as u32;
+        let cfg = LaunchConfig::new(gpu_zones, 256, 8 * 1024, 48);
+        let force = SumfacForceKernel { use_viscosity: self.use_viscosity };
+
+        gpu.h2d(((2 * D * n + self.thermo.num_dofs()) as f64 * 8.0 * ratio) as usize)?;
+        let t0g = gpu.now();
+        let (fz, mut rhs, max_inv_dt) = {
+            let mut ws = self.scratch.borrow_mut();
+            let ws = &mut *ws;
+            let (_, _stats) = gpu.launch(names::phases::CORNER_FORCE_HYBRID, &cfg, &gpu_traffic, || {
+                ws.fz.ensure(D, D, total);
+                if ws.pipe.detj.len() != total {
+                    ws.pipe.detj.resize(total, 0.0);
+                }
+                if ws.pipe.inv_dt.len() != total {
+                    ws.pipe.inv_dt.resize(total, 0.0);
+                }
+                force.compute(
+                    &shape,
+                    &mf.factors,
+                    x,
+                    v,
+                    e,
+                    n,
+                    &self.zone_dofs,
+                    &self.rule.weights,
+                    &self.rho0detj0,
+                    &self.consts,
+                    &mut ws.fz,
+                    &mut ws.pipe.detj,
+                    &mut ws.pipe.inv_dt,
+                );
+                ensure_zeroed(&mut ws.rhs, D * n);
+                SumfacMomentumKernel.compute_with(
+                    &shape,
+                    &mf.factors,
+                    &ws.fz,
+                    &self.zone_dofs,
+                    n,
+                    &mut ws.rhs,
+                    &mut ws.mom_local,
+                );
+            })?;
+            let max_inv_dt = ws.pipe.inv_dt.iter().cloned().fold(0.0, f64::max);
+            (std::mem::take(&mut ws.fz), std::mem::take(&mut ws.rhs), max_inv_dt)
+        };
+        let t_gpu = gpu.now() - t0g;
+
+        let threads = self.exec.cpu_threads();
+        let (_, t_cpu) = self.exec.host.run_phase(
+            names::phases::CORNER_FORCE_HYBRID_CPU,
+            &cpu_traffic,
+            threads,
+            self.exec.cf_eff(self.shape.order),
+            CpuPowerState::Busy,
+            || (),
+        );
+
+        if t_gpu > t_cpu {
+            self.exec.host.idle(t_gpu - t_cpu);
+        } else {
+            gpu.idle(t_cpu - t_gpu);
+        }
+        if let Some(b) = &mut self.exec.balancer {
+            b.record_period(t_gpu, t_cpu);
+        }
+
+        self.check_mesh(&self.scratch.borrow().pipe.detj)?;
+        self.project_constraints(&mut rhs);
+        let (accel, iters) = self.solve_momentum_cpu(&rhs)?;
+        self.scratch.borrow_mut().rhs = rhs;
+        Self::check_finite("accel", &accel)?;
+        Ok(ForceEval { fz, accel, max_inv_dt, cg_iterations: iters })
+    }
+
     /// Energy rate `de/dt = M_E^{-1} F^T v_avg` (kernels 10 + 11). A
     /// persistent device fault here degrades the executor and recomputes on
     /// the CPU into fresh buffers (the faulted attempt's partial output is
@@ -1497,7 +2114,17 @@ impl<const D: usize> Hydro<D> {
         let mut rhs_e = vec![0.0; self.thermo.num_dofs()];
         let mut de = vec![0.0; self.thermo.num_dofs()];
         let t0 = gpu.now();
-        EnergyRhsKernel.run(gpu, shape, fz, v_avg, &self.zone_dofs, n, &mut rhs_e)?;
+        match &self.matfree {
+            Some(mf) => {
+                let k = SumfacEnergyKernel;
+                gpu.launch(SumfacEnergyKernel::NAME, &k.config(shape), &k.traffic(shape, &mf.factors), || {
+                    k.compute(shape, &mf.factors, fz, v_avg, &self.zone_dofs, n, &mut rhs_e);
+                })?;
+            }
+            None => {
+                EnergyRhsKernel.run(gpu, shape, fz, v_avg, &self.zone_dofs, n, &mut rhs_e)?;
+            }
+        }
         SpmvKernel.run(gpu, &self.me_inv_csr, &rhs_e, &mut de)?;
         gpu.d2h(de.len() * 8)?;
         self.exec.host.idle(gpu.now() - t0);
@@ -1509,7 +2136,11 @@ impl<const D: usize> Hydro<D> {
         let n = self.kin.num_dofs();
         let shape = &self.shape;
         let nth = self.thermo.num_dofs();
-        let traffic = EnergyRhsKernel.traffic(shape).add(&SpmvKernel.traffic(&self.me_inv_csr));
+        let traffic = match &self.matfree {
+            Some(mf) => SumfacEnergyKernel.traffic(shape, &mf.factors),
+            None => EnergyRhsKernel.traffic(shape),
+        }
+        .add(&SpmvKernel.traffic(&self.me_inv_csr));
         let threads = self.exec.cpu_threads();
         let de = {
             let mut ws = self.scratch.borrow_mut();
@@ -1526,7 +2157,18 @@ impl<const D: usize> Hydro<D> {
                 CG_CPU_EFF,
                 CpuPowerState::Busy,
                 || {
-                    EnergyRhsKernel::compute(shape, fz, v_avg, &self.zone_dofs, n, &mut ws.rhs_e);
+                    match &self.matfree {
+                        Some(mf) => SumfacEnergyKernel.compute(
+                            shape,
+                            &mf.factors,
+                            fz,
+                            v_avg,
+                            &self.zone_dofs,
+                            n,
+                            &mut ws.rhs_e,
+                        ),
+                        None => EnergyRhsKernel::compute(shape, fz, v_avg, &self.zone_dofs, n, &mut ws.rhs_e),
+                    }
                     self.me_inv.apply(&ws.rhs_e, &mut de);
                 },
             );
@@ -2654,7 +3296,12 @@ mod tests {
         let res = Hydro::<2>::builder(&problem, [4, 4]).executor(exec).build();
         assert!(res.is_err());
         let err = res.err().unwrap();
-        assert!(matches!(err, crate::error::HydroError::Gpu(_)), "unexpected error: {err:?}");
+        // The footprint pre-check fires before the device allocation, so
+        // the typed variant (with both byte counts) surfaces.
+        assert!(
+            matches!(err, crate::error::HydroError::OutOfMemory { .. }),
+            "unexpected error: {err:?}"
+        );
         assert!(err.to_string().contains("out of device memory"));
     }
 }

@@ -29,6 +29,7 @@ pub mod mass;
 pub mod mesh;
 pub mod quadrature;
 pub mod space;
+pub mod sumfac;
 pub mod tensor_basis;
 
 pub use basis1d::Basis1d;
@@ -36,6 +37,7 @@ pub use geom::GeomAtPoint;
 pub use mesh::CartMesh;
 pub use quadrature::{gauss_legendre, TensorRule};
 pub use space::{H1Space, L2Space};
+pub use sumfac::{Factors1d, SumfacScratch};
 pub use tensor_basis::{BasisTable, TensorBasis};
 
 /// Number of quadrature points per axis used for a `Q_k`-`Q_{k-1}` method.

@@ -215,8 +215,12 @@ impl StressKernel {
 }
 
 /// The per-point stress/viscosity computation, monomorphic in `D`.
+///
+/// Public so the matrix-free pipeline ([`crate::sumfac`]) applies the
+/// identical EOS/viscosity arithmetic — the two assembly modes must agree
+/// point-for-point on the stress before their contractions diverge.
 #[allow(clippy::too_many_arguments)]
-fn stress_at_point<const D: usize>(
+pub fn stress_at_point<const D: usize>(
     use_visc: bool,
     _gamma: f64,
     h0: f64,

@@ -42,8 +42,10 @@ pub mod k7;
 pub mod k8_10;
 pub mod k9;
 pub mod shapes;
+pub mod sumfac;
 
 pub use shapes::ProblemShape;
+pub use sumfac::AssemblyMode;
 
 /// Workspace placement for the per-thread scratch matrices of kernels 1-2
 /// (the Fig. 4 ablation).

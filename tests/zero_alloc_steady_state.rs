@@ -17,7 +17,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use blast_repro::blast_core::{AuditConfig, ExecMode, Executor, Hydro, Sedov};
+use blast_repro::blast_core::{AssemblyMode, AuditConfig, ExecMode, Executor, Hydro, Sedov};
 use blast_repro::blast_la::{abft, AbftMode};
 use blast_repro::blast_telemetry::{names, Track};
 use blast_repro::gpu_sim::CpuSpec;
@@ -49,8 +49,7 @@ fn heap_ops() -> u64 {
     ALLOCS.load(Ordering::Relaxed) + REALLOCS.load(Ordering::Relaxed)
 }
 
-#[test]
-fn steady_state_steps_do_not_touch_the_heap() {
+fn steady_state_contract(mode: AssemblyMode) {
     // Serial execution: the parallel pool spawns scoped threads (stack +
     // TLS allocations) per call, which is the multithreaded path's own
     // cost model, not the solver hot path under test here.
@@ -64,6 +63,7 @@ fn steady_state_steps_do_not_touch_the_heap() {
     let mut hydro = Hydro::<2>::builder(&problem, [6, 6])
         .executor(exec)
         .audit(AuditConfig::default())
+        .assembly(mode)
         .build()
         .expect("problem fits");
     let mut state = hydro.initial_state();
@@ -94,9 +94,9 @@ fn steady_state_steps_do_not_touch_the_heap() {
     rayon::set_active_threads(0);
     assert_eq!(
         delta, 0,
-        "steady-state timesteps performed {delta} heap allocation(s); \
-         the corner-force hot path (with telemetry recording) must be \
-         allocation-free"
+        "steady-state timesteps in {mode} mode performed {delta} heap \
+         allocation(s); the corner-force hot path (with telemetry \
+         recording) must be allocation-free"
     );
 
     // The zero-alloc window was not silent: the telemetry sink recorded it.
@@ -119,4 +119,17 @@ fn steady_state_steps_do_not_touch_the_heap() {
         .count();
     assert!(step_spans >= MEASURED_STEPS, "expected >= {MEASURED_STEPS} STEP spans");
     assert_eq!(tel.dropped_spans(), 0, "the reserved ring must not overflow");
+}
+
+#[test]
+fn steady_state_steps_do_not_touch_the_heap() {
+    steady_state_contract(AssemblyMode::Stored);
+}
+
+/// The same contract for the matrix-free path: sum-factorized force /
+/// momentum / energy kernels, the SpMV-free PCG, and the matrix-free
+/// audit mass applies all run out of grow-once pools.
+#[test]
+fn matrix_free_steady_state_steps_do_not_touch_the_heap() {
+    steady_state_contract(AssemblyMode::MatrixFree);
 }
