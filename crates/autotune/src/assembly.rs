@@ -38,6 +38,9 @@ use blast_kernels::ProblemShape;
 /// Outcome of one assembly-mode decision.
 #[derive(Clone, Debug)]
 pub struct AssemblyChoice {
+    /// Catalog device id the decision was validated for (see
+    /// [`crate::DEFAULT_DEVICE`]) — part of the soft-choice cache key.
+    pub device: String,
     /// Spatial dimension.
     pub dim: usize,
     /// Kinematic order `k`.
@@ -164,6 +167,7 @@ pub fn choose_assembly_mode_uncached(
     if let Some(budget) = device_budget {
         if stored_bytes > budget && matfree_bytes <= budget {
             return AssemblyChoice {
+                device: crate::DEFAULT_DEVICE.to_string(),
                 dim,
                 order,
                 zones,
@@ -183,6 +187,7 @@ pub fn choose_assembly_mode_uncached(
         AssemblyMode::Stored
     };
     AssemblyChoice {
+        device: crate::DEFAULT_DEVICE.to_string(),
         dim,
         order,
         zones,
@@ -197,10 +202,33 @@ pub fn choose_assembly_mode_uncached(
 
 static CACHE: Mutex<Vec<AssemblyChoice>> = Mutex::new(Vec::new());
 
-/// Decides the assembly mode for a problem. The footprint check always
-/// runs fresh (it depends on `zones` and the budget); the timed proxy
-/// search is cached per `(dim, order)` for the process lifetime.
+/// Decides the assembly mode for a problem on the default local-host
+/// device key. See [`choose_assembly_mode_for`].
 pub fn choose_assembly_mode(
+    dim: usize,
+    order: usize,
+    zones: usize,
+    num_h1_dofs: usize,
+    num_l2_dofs: usize,
+    device_budget: Option<usize>,
+) -> AssemblyChoice {
+    choose_assembly_mode_for(
+        crate::DEFAULT_DEVICE,
+        dim,
+        order,
+        zones,
+        num_h1_dofs,
+        num_l2_dofs,
+        device_budget,
+    )
+}
+
+/// Decides the assembly mode for a problem on a named catalog device.
+/// The footprint check always runs fresh (it depends on `zones` and the
+/// budget, which differ per device); the timed proxy search is cached per
+/// `(device, dim, order)` for the process lifetime.
+pub fn choose_assembly_mode_for(
+    device: &str,
     dim: usize,
     order: usize,
     zones: usize,
@@ -214,6 +242,7 @@ pub fn choose_assembly_mode(
     if let Some(budget) = device_budget {
         if stored_bytes > budget && matfree_bytes <= budget {
             return AssemblyChoice {
+                device: device.to_string(),
                 dim,
                 order,
                 zones,
@@ -227,8 +256,11 @@ pub fn choose_assembly_mode(
         }
     }
     let mut cache = CACHE.lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(hit) = cache.iter().find(|c| c.dim == dim && c.order == order) {
+    if let Some(hit) =
+        cache.iter().find(|c| c.device == device && c.dim == dim && c.order == order)
+    {
         return AssemblyChoice {
+            device: device.to_string(),
             dim,
             order,
             zones,
@@ -240,8 +272,10 @@ pub fn choose_assembly_mode(
             matfree_time_s: hit.matfree_time_s,
         };
     }
-    let choice =
-        choose_assembly_mode_uncached(dim, order, zones, num_h1_dofs, num_l2_dofs, None);
+    let choice = AssemblyChoice {
+        device: device.to_string(),
+        ..choose_assembly_mode_uncached(dim, order, zones, num_h1_dofs, num_l2_dofs, None)
+    };
     cache.push(choice.clone());
     AssemblyChoice { stored_bytes, matfree_bytes, ..choice }
 }
@@ -276,6 +310,18 @@ mod tests {
         assert_eq!(c1.stored_time_s.to_bits(), c2.stored_time_s.to_bits());
         // Footprints still reflect the *new* zones.
         assert!(c2.stored_bytes > c1.stored_bytes);
+    }
+
+    #[test]
+    fn soft_choice_cache_is_keyed_by_device_id() {
+        let a = choose_assembly_mode_for("k20", 2, 1, 16, 289, 16, None);
+        let b = choose_assembly_mode_for("fermi", 2, 1, 16, 289, 16, None);
+        assert_eq!(a.device, "k20");
+        assert_eq!(b.device, "fermi");
+        // Each device ran (and replays) its own measured proxy search.
+        assert!(a.stored_time_s > 0.0 && b.stored_time_s > 0.0);
+        let replay = choose_assembly_mode_for("k20", 2, 1, 64, 1089, 64, None);
+        assert_eq!(replay.stored_time_s.to_bits(), a.stored_time_s.to_bits());
     }
 
     #[test]

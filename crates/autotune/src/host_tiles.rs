@@ -42,6 +42,10 @@ pub fn corner_force_shape(dim: usize, order: usize) -> (usize, usize, usize) {
 /// Outcome of one host-tile search.
 #[derive(Clone, Debug)]
 pub struct HostTileChoice {
+    /// Catalog device id the search was validated for (see
+    /// [`crate::DEFAULT_DEVICE`]) — part of the cache key, so a fleet
+    /// re-tunes per device instead of reusing one node's winner.
+    pub device: String,
     /// Spatial dimension the shape was derived from.
     pub dim: usize,
     /// FE order the shape was derived from.
@@ -123,6 +127,7 @@ pub fn tune_host_tiles_uncached(
     let tiled_gflops = flops_per_sample / best[index] / 1e9;
     let naive_gflops = flops_per_sample / naive_best / 1e9;
     HostTileChoice {
+        device: crate::DEFAULT_DEVICE.to_string(),
         dim,
         order,
         shape: (m, n, k),
@@ -157,19 +162,34 @@ fn run_candidate(
 
 static CACHE: Mutex<Vec<HostTileChoice>> = Mutex::new(Vec::new());
 
-/// Searches the host tile parameters for `(dim, order)`, installs the
-/// winner as the process-wide active tile configuration, and caches the
-/// result — repeat calls for the same pair return the cached choice
+/// Searches the host tile parameters for `(dim, order)` on the default
+/// local-host device key. See [`tune_host_tiles_for`].
+pub fn tune_host_tiles(dim: usize, order: usize) -> HostTileChoice {
+    tune_host_tiles_for(crate::DEFAULT_DEVICE, dim, order)
+}
+
+/// Searches the host tile parameters for `(device, dim, order)`, installs
+/// the winner as the process-wide active tile configuration, and caches
+/// the result — repeat calls for the same triple return the cached choice
 /// without re-measuring (re-installing the winner each time, so the
 /// latest-tuned order wins when several are in play).
-pub fn tune_host_tiles(dim: usize, order: usize) -> HostTileChoice {
+///
+/// `device` is a catalog id (`DeviceCatalog` in `gpu-sim`): a fleet
+/// re-validates the search per device rather than assuming one node's
+/// winner transfers across generations.
+pub fn tune_host_tiles_for(device: &str, dim: usize, order: usize) -> HostTileChoice {
     let mut cache = CACHE.lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(hit) = cache.iter().find(|c| c.dim == dim && c.order == order) {
+    if let Some(hit) =
+        cache.iter().find(|c| c.device == device && c.dim == dim && c.order == order)
+    {
         let hit = hit.clone();
         tile::set_active_tile_index(hit.index);
         return hit;
     }
-    let choice = tune_host_tiles_uncached(dim, order, ROUNDS, TARGET_MULS);
+    let choice = HostTileChoice {
+        device: device.to_string(),
+        ..tune_host_tiles_uncached(dim, order, ROUNDS, TARGET_MULS)
+    };
     tile::set_active_tile_index(choice.index);
     cache.push(choice.clone());
     choice
@@ -224,6 +244,25 @@ mod tests {
         let again = tune_host_tiles(2, 2);
         assert_eq!(again.index, first.index);
         assert_eq!(again.candidate_times_s, first.candidate_times_s);
+        assert_eq!(again.device, crate::DEFAULT_DEVICE);
+    }
+
+    #[test]
+    fn cache_is_keyed_by_device_id() {
+        let a = tune_host_tiles_for("k20", 2, 1);
+        // Same (dim, order), different device: a fresh search ran (the
+        // timings are measured independently, so bitwise-equal candidate
+        // vectors would be a one-in-never coincidence), and both entries
+        // replay from their own cache slot afterwards.
+        let b = tune_host_tiles_for("ampere", 2, 1);
+        assert_eq!(a.device, "k20");
+        assert_eq!(b.device, "ampere");
+        assert_ne!(a.candidate_times_s, b.candidate_times_s);
+        assert_eq!(tune_host_tiles_for("k20", 2, 1).candidate_times_s, a.candidate_times_s);
+        assert_eq!(
+            tune_host_tiles_for("ampere", 2, 1).candidate_times_s,
+            b.candidate_times_s
+        );
     }
 
     #[test]

@@ -36,8 +36,15 @@ pub mod host_tiles;
 pub mod pcg_stream;
 pub mod tuner;
 
-pub use assembly::{choose_assembly_mode, AssemblyChoice};
+/// Device key used by the legacy un-keyed entry points
+/// ([`tune_host_tiles`], [`tune_pcg_stream`], [`choose_assembly_mode`]):
+/// "whatever box this process runs on". Fleet-aware callers pass a
+/// `DeviceCatalog` id to the `*_for` variants instead, so each device in
+/// a mixed fleet gets its own validated cache row.
+pub const DEFAULT_DEVICE: &str = "local-host";
+
+pub use assembly::{choose_assembly_mode, choose_assembly_mode_for, AssemblyChoice};
 pub use balance::AutoBalancer;
-pub use host_tiles::{tune_host_tiles, HostTileChoice};
-pub use pcg_stream::{tune_pcg_stream, StreamChoice};
+pub use host_tiles::{tune_host_tiles, tune_host_tiles_for, HostTileChoice};
+pub use pcg_stream::{tune_pcg_stream, tune_pcg_stream_for, StreamChoice};
 pub use tuner::{Autotuner, TunerPhase};

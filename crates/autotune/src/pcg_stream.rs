@@ -37,6 +37,9 @@ pub fn momentum_proxy_shape(dim: usize) -> (usize, usize) {
 /// Outcome of one streaming-variant search.
 #[derive(Clone, Debug)]
 pub struct StreamChoice {
+    /// Catalog device id the search was validated for (see
+    /// [`crate::DEFAULT_DEVICE`]) — part of the cache key.
+    pub device: String,
     /// Spatial dimension the proxy system was derived from.
     pub dim: usize,
     /// Pool thread count the search was run under.
@@ -127,6 +130,7 @@ pub fn tune_pcg_stream_uncached(dim: usize, rounds: usize, iters: usize) -> Stre
     };
     let fused_speedup = best[twin(false)] / best[twin(true)];
     StreamChoice {
+        device: crate::DEFAULT_DEVICE.to_string(),
         dim,
         threads: rayon::current_num_threads(),
         n,
@@ -140,19 +144,32 @@ pub fn tune_pcg_stream_uncached(dim: usize, rounds: usize, iters: usize) -> Stre
 
 static CACHE: Mutex<Vec<StreamChoice>> = Mutex::new(Vec::new());
 
-/// Searches the streaming variants for `(dim, current thread count)`,
-/// installs the winner process-wide, and caches the result — repeat calls
-/// for the same pair replay the cached choice (re-installing the winner,
-/// so the latest-tuned configuration wins when several are in play).
+/// Searches the streaming variants for `(dim, current thread count)` on
+/// the default local-host device key. See [`tune_pcg_stream_for`].
 pub fn tune_pcg_stream(dim: usize) -> StreamChoice {
+    tune_pcg_stream_for(crate::DEFAULT_DEVICE, dim)
+}
+
+/// Searches the streaming variants for `(device, dim, current thread
+/// count)`, installs the winner process-wide, and caches the result —
+/// repeat calls for the same triple replay the cached choice
+/// (re-installing the winner, so the latest-tuned configuration wins when
+/// several are in play). `device` is a catalog id (`DeviceCatalog` in
+/// `gpu-sim`), so a mixed fleet re-validates the fusion choice per device.
+pub fn tune_pcg_stream_for(device: &str, dim: usize) -> StreamChoice {
     let threads = rayon::current_num_threads();
     let mut cache = CACHE.lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(hit) = cache.iter().find(|c| c.dim == dim && c.threads == threads) {
+    if let Some(hit) =
+        cache.iter().find(|c| c.device == device && c.dim == dim && c.threads == threads)
+    {
         let hit = hit.clone();
         stream::set_active_stream_index(hit.index);
         return hit;
     }
-    let choice = tune_pcg_stream_uncached(dim, ROUNDS, PINNED_ITERS);
+    let choice = StreamChoice {
+        device: device.to_string(),
+        ..tune_pcg_stream_uncached(dim, ROUNDS, PINNED_ITERS)
+    };
     stream::set_active_stream_index(choice.index);
     cache.push(choice.clone());
     choice
@@ -198,6 +215,20 @@ mod tests {
         let again = tune_pcg_stream(1);
         assert_eq!(again.index, first.index);
         assert_eq!(again.candidate_times_s, first.candidate_times_s);
+        assert_eq!(again.device, crate::DEFAULT_DEVICE);
+        stream::set_active_stream_index(before);
+    }
+
+    #[test]
+    fn cache_is_keyed_by_device_id() {
+        let before = stream::active_stream_index();
+        let a = tune_pcg_stream_for("k20", 1);
+        let b = tune_pcg_stream_for("fermi", 1);
+        assert_eq!(a.device, "k20");
+        assert_eq!(b.device, "fermi");
+        // Independent measurements and independent replay slots.
+        assert_ne!(a.candidate_times_s, b.candidate_times_s);
+        assert_eq!(tune_pcg_stream_for("k20", 1).candidate_times_s, a.candidate_times_s);
         stream::set_active_stream_index(before);
     }
 }

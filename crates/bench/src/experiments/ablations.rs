@@ -18,6 +18,7 @@ use gpu_sim::{CpuSpec, GpuDevice, GpuSpec};
 
 use crate::experiments::scenarios::run_steps;
 use crate::table;
+use gpu_sim::DeviceCatalog;
 
 /// Ablation 1: per-order autotuned parameters vs one-size-fits-all
 /// constants. For each order the tuner sweeps the feasible candidate grid;
@@ -25,7 +26,7 @@ use crate::table;
 /// developer would hard-code without the §3.2.1 autotuner). Returns
 /// `(order, kernel, t_fixed, t_tuned, best_param)`.
 pub fn tuned_vs_default() -> Vec<(usize, &'static str, f64, f64, u32)> {
-    let dev = GpuDevice::new(GpuSpec::k20());
+    let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
     let sweep = |times: Vec<(u32, f64)>| -> (u32, f64) {
         times
             .into_iter()
@@ -95,7 +96,7 @@ pub fn execution_modes() -> Vec<(&'static str, f64)> {
     let problem = Sedov::default();
     let run = |mode: ExecMode| -> f64 {
         let gpu = matches!(mode, ExecMode::Gpu { .. } | ExecMode::Hybrid { .. })
-            .then(|| Arc::new(GpuDevice::new(GpuSpec::k20())));
+            .then(|| Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20"))));
         let exec = Executor::new(mode, CpuSpec::e5_2670(), gpu);
         let mut h = Hydro::<2>::builder(&problem, [16, 16]).executor(exec).build()
             .expect("fits");
@@ -117,7 +118,7 @@ pub fn hyperq_sweep() -> Vec<(u32, f64, f64)> {
     [1u32, 2, 4, 8]
         .into_iter()
         .map(|q| {
-            let gpu = Arc::new(GpuDevice::new(GpuSpec::k20()));
+            let gpu = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
             let exec = Executor::new(
                 ExecMode::Gpu { base: false, gpu_pcg: false, mpi_queues: q },
                 CpuSpec::e5_2670(),
@@ -145,8 +146,8 @@ pub fn sm_util_ablation() -> Vec<(&'static str, f64, f64, f64)> {
         let q4 = crate::experiments::fig15_gpu_power::scenario_power_on(4, 6, cf(), true, spec);
         (q2, q4)
     };
-    let (q2_off, q4_off) = power(GpuSpec { sm_util_w: 0.0, ..GpuSpec::k20() });
-    let (q2_on, q4_on) = power(GpuSpec::k20());
+    let (q2_off, q4_off) = power(GpuSpec { sm_util_w: 0.0, ..DeviceCatalog::gpu("k20") });
+    let (q2_on, q4_on) = power(DeviceCatalog::gpu("k20"));
     vec![
         ("sm_util_w = 0 (ablated)", q2_off, q4_off, q2_off - q4_off),
         ("sm_util_w = K20 preset", q2_on, q4_on, q2_on - q4_on),

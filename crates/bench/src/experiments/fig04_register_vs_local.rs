@@ -5,14 +5,15 @@
 use blast_kernels::k1::AdjugateDetKernel;
 use blast_kernels::k2::StressKernel;
 use blast_kernels::{ProblemShape, Workspace};
-use gpu_sim::{GpuDevice, GpuSpec};
+use gpu_sim::GpuDevice;
 
 use crate::table;
+use gpu_sim::DeviceCatalog;
 
 /// Modeled `(local_time, register_time)` pairs for kernels 1 and 2.
 pub fn measure() -> [(String, f64, f64); 2] {
     let shape = ProblemShape::new(3, 2, 4096);
-    let dev = GpuDevice::new(GpuSpec::k20());
+    let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
     let t_k1 = |ws| {
         let k = AdjugateDetKernel { workspace: ws };
         dev.model_kernel(&k.config(&shape), &k.traffic(&shape)).time_s

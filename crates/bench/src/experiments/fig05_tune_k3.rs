@@ -4,15 +4,16 @@
 use autotune::Autotuner;
 use blast_kernels::k3::CoefGradKernel;
 use blast_kernels::{GemmVariant, ProblemShape};
-use gpu_sim::{GpuDevice, GpuSpec};
+use gpu_sim::GpuDevice;
 
 use crate::table;
+use gpu_sim::DeviceCatalog;
 
 /// Sweeps the pack count through the autotuner; returns
 /// `(candidates, mean times, winner, achieved GF/s, theoretical GF/s)`.
 pub fn measure() -> (Vec<u32>, Vec<f64>, u32, f64, f64) {
     let shape = ProblemShape::new(3, 2, 4096);
-    let dev = GpuDevice::new(GpuSpec::k20());
+    let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
     // Prune infeasible candidates exactly like §3.2.1 ("artificial values,
     // like those exceeding the shared memory, will be eliminated").
     let candidates: Vec<u32> = [1u32, 2, 4, 8, 16, 32, 64]

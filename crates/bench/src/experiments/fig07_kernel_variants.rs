@@ -6,14 +6,15 @@ use blast_kernels::k3::CoefGradKernel;
 use blast_kernels::k4::AzKernel;
 use blast_kernels::k7::FzKernel;
 use blast_kernels::{GemmVariant, ProblemShape};
-use gpu_sim::{GpuDevice, GpuSpec};
+use gpu_sim::GpuDevice;
 
 use crate::table;
+use gpu_sim::DeviceCatalog;
 
 /// Modeled times (seconds) for each kernel/variant row of Fig. 7.
 pub fn measure() -> Vec<(String, f64)> {
     let shape = ProblemShape::new(3, 2, 4096);
-    let dev = GpuDevice::new(GpuSpec::k20());
+    let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
     let mut rows = Vec::new();
     for v in [GemmVariant::V1, GemmVariant::V2, GemmVariant::V3] {
         let k = match v {

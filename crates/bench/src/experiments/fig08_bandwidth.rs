@@ -10,14 +10,15 @@ use blast_kernels::k4::AzKernel;
 use blast_kernels::k56::BatchedDimGemm;
 use blast_kernels::k7::FzKernel;
 use blast_kernels::{ProblemShape, Workspace};
-use gpu_sim::{GpuDevice, GpuSpec, KernelStats};
+use gpu_sim::{GpuDevice, KernelStats};
 
 use crate::table;
+use gpu_sim::DeviceCatalog;
 
 /// Bandwidths `(name, shared GB/s, l2 GB/s, device GB/s)` per kernel.
 pub fn measure() -> Vec<(String, KernelStats)> {
     let shape = ProblemShape::new(3, 2, 4096);
-    let dev = GpuDevice::new(GpuSpec::k20());
+    let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
     let mut rows: Vec<(String, KernelStats)> = Vec::new();
 
     let base = MonolithicCornerForce;

@@ -7,6 +7,7 @@ use gpu_sim::GpuSpec;
 
 use crate::experiments::scenarios::{run_steps, sedov3d_on};
 use crate::table;
+use gpu_sim::DeviceCatalog;
 
 /// Runs one scenario and returns the NVML-style mean board power.
 ///
@@ -19,7 +20,7 @@ use crate::table;
 /// saturated the GPU, therefore its power is low"). We model the window
 /// with a duty cycle `min(1, q/2)` for `q` resident ranks.
 fn scenario_power(order: usize, zones_axis: usize, mode: ExecMode, only_cf: bool) -> f64 {
-    scenario_power_on(order, zones_axis, mode, only_cf, GpuSpec::k20())
+    scenario_power_on(order, zones_axis, mode, only_cf, DeviceCatalog::gpu("k20"))
 }
 
 /// [`scenario_power`] on an explicit spec — exported so the ablation suite
@@ -73,7 +74,7 @@ pub fn scenario_power_on(
 /// itself the Fig. 15 saturation effect).
 fn pcg_power() -> f64 {
     let (mut h, mut s) =
-        sedov3d_on(2, 16, ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 }, GpuSpec::k20());
+        sedov3d_on(2, 16, ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 }, DeviceCatalog::gpu("k20"));
     run_steps(&mut h, &mut s, 2);
     let dev = h.executor().gpu.as_ref().expect("gpu").clone();
     let solver = ["csrMv_ci_kernel", "cublasDdot", "cublasDaxpy"];

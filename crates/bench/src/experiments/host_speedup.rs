@@ -12,6 +12,8 @@ use std::time::Instant;
 
 use autotune::host_tiles;
 use blast_la::{batched_gemm_nn, batched_gemv_n, BatchedMats};
+use blast_telemetry::names::counters;
+use blast_telemetry::{Telemetry, TelemetrySink};
 use gpu_sim::CpuSpec;
 
 use crate::table;
@@ -54,6 +56,11 @@ pub struct HostSpeedup {
     /// Corner-force flop efficiency implied by the measurement
     /// (`CpuSpec::host_flop_efficiency` after calibration).
     pub host_flop_efficiency: f64,
+    /// True when the sweep produced *no* usable multi-core sample and the
+    /// preset `parallel_efficiency` was kept uncalibrated. Loudly flagged
+    /// (warning line + `host_calibration_kept` counter) because a silent
+    /// keep used to masquerade as a calibrated value.
+    pub preset_kept: bool,
 }
 
 /// The batched-kernel workload: kernels 5/6-shaped batched DGEMM plus a
@@ -81,8 +88,9 @@ fn workload(reps: usize) -> Vec<f64> {
     out
 }
 
-/// Runs the sweep and the calibration.
-pub fn measure() -> HostSpeedup {
+/// Runs the sweep and the calibration, reporting the preset-kept
+/// fallback on `telemetry` (see [`HostSpeedup::preset_kept`]).
+pub fn measure_with_telemetry(telemetry: &TelemetrySink) -> HostSpeedup {
     let reps = 40;
     // The sweep must measure the production hot path: tune the host tile
     // for the workload's 3D Q2-like shape first, so the batched kernels
@@ -128,6 +136,16 @@ pub fn measure() -> HostSpeedup {
     let cores_detected = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let usable: Vec<(u32, f64)> =
         curve.into_iter().filter(|&(t, _)| (t as usize) <= cores_detected).collect();
+    let preset_kept = usable.is_empty();
+    if preset_kept {
+        // The silent path that bit us: calibration "succeeds" but feeds
+        // the preset back. Make it observable in both channels.
+        telemetry.counter_add(counters::HOST_CALIBRATION_KEPT, 1);
+        eprintln!(
+            "host_speedup: WARNING: no usable multi-core sample ({cores_detected} core(s) \
+             detected); parallel_efficiency preset {pe_before:.3} kept uncalibrated"
+        );
+    }
     let pe_after = spec.calibrate_parallel_efficiency(&usable);
     let host_flop_efficiency =
         spec.calibrate_host_gflops(choice.tiled_gflops).unwrap_or(0.0);
@@ -140,7 +158,13 @@ pub fn measure() -> HostSpeedup {
         tile_index: choice.index,
         tiled_gflops: choice.tiled_gflops,
         host_flop_efficiency,
+        preset_kept,
     }
+}
+
+/// Runs the sweep and the calibration on a throwaway telemetry sink.
+pub fn measure() -> HostSpeedup {
+    measure_with_telemetry(&Telemetry::sink())
 }
 
 /// Regenerates the artifact.
@@ -171,7 +195,7 @@ pub fn report() -> String {
         r.cores_detected,
         r.pe_before,
         r.pe_after,
-        if r.cores_detected < 2 { " (no usable multi-core sample; preset kept)" } else { "" },
+        if r.preset_kept { " (WARNING: no usable multi-core sample; preset kept)" } else { "" },
         r.tile_index,
         r.tiled_gflops,
         r.host_flop_efficiency,
@@ -189,7 +213,14 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, ignore = "wall-clock measurement; run with --release")]
     fn sweep_is_bitwise_deterministic_and_scales_when_cores_exist() {
-        let r = measure();
+        let sink = Telemetry::sink();
+        let r = measure_with_telemetry(&sink);
+        // The preset-kept fallback must be loud: flag, counter, and the
+        // rendered note all agree (and a multi-core host never trips it).
+        assert_eq!(sink.counter(counters::HOST_CALIBRATION_KEPT), r.preset_kept as u64);
+        if r.cores_detected >= 2 {
+            assert!(!r.preset_kept, "multi-core host kept the preset");
+        }
         assert_eq!(r.samples.len(), THREAD_COUNTS.len());
         for s in &r.samples {
             assert!(s.bitwise_equal, "threads={} diverged from 1-thread bits", s.threads);

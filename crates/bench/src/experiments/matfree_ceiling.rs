@@ -31,9 +31,10 @@ use blast_core::{AssemblyMode, ExecMode, Executor, Hydro, HydroError, Sedov};
 use blast_kernels::sumfac::{SumfacFactors, SumfacMassKernel};
 use blast_kernels::ProblemShape;
 use blast_la::PcgOptions;
-use gpu_sim::{CpuSpec, GpuDevice, GpuSpec};
+use gpu_sim::{CpuSpec, GpuDevice};
 
 use crate::table;
+use gpu_sim::DeviceCatalog;
 
 /// Host proxy shapes `(dim, order, gated)`. Gated: every 3D order >= 3
 /// shape plus 2D Q4 — the shapes where the per-zone batch is large enough
@@ -282,7 +283,7 @@ pub fn modeled_shift(zones_axis: usize) -> ModeledShift {
 /// Runs the gpu-sim ceiling leg at a Q4-Q3 3D `za³` mesh on the K20 model.
 fn measure_ceiling(zones_axis: usize, steps: usize) -> CeilingLeg {
     let problem = Sedov::default();
-    let capacity = GpuSpec::k20().dram_capacity;
+    let capacity = DeviceCatalog::gpu("k20").dram_capacity;
     let gpu_exec = |dev: &Arc<GpuDevice>| {
         Executor::new(
             ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 },
@@ -292,7 +293,7 @@ fn measure_ceiling(zones_axis: usize, steps: usize) -> CeilingLeg {
     };
 
     // Stored: must fail with the typed OOM before any assembly work.
-    let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+    let dev = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
     let (stored_oom, oom_message, oom_required) = match Hydro::<3>::builder(&problem, [zones_axis; 3])
         .order(4)
         .executor(gpu_exec(&dev))
@@ -307,7 +308,7 @@ fn measure_ceiling(zones_axis: usize, steps: usize) -> CeilingLeg {
     // Matrix-free: build on a fresh device and run real steps. Loose PCG
     // keeps the (single-core) run short; the physics is still the real
     // RK2-average scheme end to end.
-    let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+    let dev = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
     let pcg = PcgOptions { rel_tol: 1e-6, max_iter: 400, ..PcgOptions::default() };
     let mut hydro = Hydro::<3>::builder(&problem, [zones_axis; 3])
         .order(4)
@@ -427,7 +428,7 @@ mod tests {
     /// clear the 10x bar.
     #[test]
     fn modeled_shift_clears_every_bar_at_the_ceiling_shapes() {
-        let cap = GpuSpec::k20().dram_capacity;
+        let cap = DeviceCatalog::gpu("k20").dram_capacity;
         for za in [24usize, 32] {
             let m = modeled_shift(za);
             assert!(m.stored_resident > cap, "{za}^3 stored {} fits {cap}", m.stored_resident);
@@ -454,7 +455,7 @@ mod tests {
             ],
             ceiling: CeilingLeg {
                 zones_axis: 24,
-                capacity: GpuSpec::k20().dram_capacity,
+                capacity: DeviceCatalog::gpu("k20").dram_capacity,
                 stored_oom: true,
                 oom_message: "out of device memory: ...".into(),
                 oom_required: 8 << 30,

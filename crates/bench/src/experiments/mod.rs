@@ -18,6 +18,7 @@ pub mod host_speedup;
 pub mod matfree_ceiling;
 pub mod pcg_streaming;
 pub mod fig12_weak_scaling;
+pub mod fleet_routing;
 pub mod fig13_strong_scaling;
 pub mod fig14_cpu_power;
 pub mod fig15_gpu_power;
@@ -65,6 +66,7 @@ pub fn all_experiment_names() -> Vec<&'static str> {
         "telemetry_profile",
         "serve_storm",
         "sdc_campaign",
+        "fleet_routing",
     ]
 }
 
@@ -99,6 +101,7 @@ pub fn run_by_name(name: &str) -> Option<String> {
         "telemetry_profile" => telemetry_profile::report(),
         "serve_storm" => serve_storm::report(),
         "sdc_campaign" => sdc_campaign::report(),
+        "fleet_routing" => fleet_routing::report(),
         _ => return None,
     })
 }

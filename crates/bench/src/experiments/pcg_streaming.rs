@@ -25,9 +25,10 @@ use std::time::Instant;
 use blast_kernels::k9::GpuPcg;
 use blast_la::stream::{self, CANDIDATES};
 use blast_la::{pcg_solve_ws, CsrBuilder, CsrMatrix, DiagPrecond, PcgOptions, PcgWorkspace};
-use gpu_sim::{GpuDevice, GpuSpec};
+use gpu_sim::GpuDevice;
 
 use crate::table;
+use gpu_sim::DeviceCatalog;
 
 /// Host shapes `(n, half_band, label, gated)`: DOF count and semi-bandwidth
 /// of the banded SPD stand-in for the kinematic mass matrix per FE order.
@@ -258,7 +259,7 @@ fn measure_gpu(iters: usize) -> GpuLeg {
     let opts = PcgOptions { rel_tol: 0.0, abs_tol: 1e-300, max_iter: iters };
 
     let leg = |fused: bool| {
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let mut x = vec![0.0; n];
         let res = GpuPcg { opts, fused }
             .solve(&dev, &a, &pre, &b, &none, &mut x)

@@ -15,9 +15,10 @@ use blast_core::{
 };
 use cluster_sim::comm::ClusterFaultPlan;
 use cluster_sim::{campaign_overhead_pct, run_chaos_campaign, CampaignConfig, RankOutcome};
-use gpu_sim::{CpuSpec, FaultKind, FaultPlan, GpuDevice, GpuSpec};
+use gpu_sim::{CpuSpec, FaultKind, FaultPlan, GpuDevice};
 
 use crate::table;
+use gpu_sim::DeviceCatalog;
 
 /// One resilience scenario's energy ledger.
 #[derive(Clone, Debug)]
@@ -53,7 +54,7 @@ fn run_energy(exec: &Executor) -> f64 {
 /// burst of transient device faults — checkpoints and retry backoff are the
 /// whole overhead.
 fn single_node_row() -> OverheadRow {
-    let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+    let dev = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
     dev.set_fault_plan(
         FaultPlan::seeded_from_env(42)
             .with_transient(FaultKind::LaunchFail, 5)

@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use blast_core::{ExecMode, Executor, Hydro, HydroConfig, HydroState, Sedov, TriplePoint};
 use gpu_sim::{CpuSpec, GpuDevice, GpuSpec};
+use gpu_sim::DeviceCatalog;
 
 /// 3D Sedov on the E5-2670 + K20 single node of §4.2.
 pub fn sedov3d(
@@ -16,7 +17,7 @@ pub fn sedov3d(
     zones_axis: usize,
     mode: ExecMode,
 ) -> (Hydro<3>, HydroState) {
-    sedov3d_on(order, zones_axis, mode, GpuSpec::k20())
+    sedov3d_on(order, zones_axis, mode, DeviceCatalog::gpu("k20"))
 }
 
 /// 3D Sedov on an explicit GPU spec — the ablation hook: energy-model
@@ -49,7 +50,7 @@ pub fn sedov3d_on(
 pub fn sedov2d(order: usize, zones_axis: usize, mode: ExecMode) -> (Hydro<2>, HydroState) {
     let gpu = match mode {
         ExecMode::Gpu { .. } | ExecMode::Hybrid { .. } => {
-            Some(Arc::new(GpuDevice::new(GpuSpec::k20())))
+            Some(Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20"))))
         }
         _ => None,
     };
@@ -84,7 +85,7 @@ pub fn triple_point_with_cfl(
 ) -> (Hydro<2>, HydroState) {
     let gpu = match mode {
         ExecMode::Gpu { .. } | ExecMode::Hybrid { .. } => {
-            Some(Arc::new(GpuDevice::new(GpuSpec::k20())))
+            Some(Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20"))))
         }
         _ => None,
     };

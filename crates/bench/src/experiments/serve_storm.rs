@@ -15,7 +15,7 @@ use blast_serve::{
     JobOutcome, JobSpec, Scenario, ServeConfig, ServeReport, Supervisor, WorkerSpec,
 };
 use gpu_sim::fault::fault_seed_from_env;
-use gpu_sim::{FaultKind, FaultPlan, RetryPolicy};
+use gpu_sim::{DeviceCatalog, FaultKind, FaultPlan, RetryPolicy};
 
 use crate::table;
 
@@ -45,10 +45,10 @@ fn storm_config(seed: u64) -> ServeConfig {
 
 fn storm_workers(seed: u64) -> Vec<WorkerSpec> {
     vec![
-        WorkerSpec::k20_node(),
+        WorkerSpec::from_device(&DeviceCatalog::get("k20")),
         // A GPU node whose device is persistently faulty: its attempts
         // degrade to the CPU path and keep serving.
-        WorkerSpec::k20_node()
+        WorkerSpec::from_device(&DeviceCatalog::get("k20"))
             .with_gpu_faults(FaultPlan::seeded(seed).with_persistent(FaultKind::EccError, 0)),
         WorkerSpec::cpu(),
         // A worker that silently dies early in the storm.
@@ -82,6 +82,7 @@ fn submit_storm(sup: &mut Supervisor) -> (u64, u64) {
                 checkpoint_every: 3,
                 energy_est_j: 1.0,
                 fault_immune: false,
+                placement: None,
             };
             match sup.submit(spec) {
                 Ok(_) => admitted += 1,

@@ -41,13 +41,14 @@ use blast_core::checkpoint::CheckpointStore;
 use blast_core::exec::RECOVERY_QUIESCE_S;
 use blast_core::{ExecMode, Executor, Hydro, HydroState, Sedov};
 use blast_fem::CartMesh;
-use gpu_sim::{CpuSpec, FaultPlan, GpuDevice, GpuSpec};
+use gpu_sim::{CpuSpec, FaultPlan, GpuDevice};
 use powermon::ResilienceReport;
 
 use crate::comm::{
     run_ranks_with_faults, ClusterFaultPlan, CommError, CommFaultStats, Communicator,
 };
 use crate::partition::Partition;
+use gpu_sim::DeviceCatalog;
 
 /// Shape and patience knobs of one chaos campaign.
 #[derive(Clone, Debug)]
@@ -237,7 +238,7 @@ fn campaign_rank(
         comm.set_suspicion_threshold(cfg.link_attempts);
     }
 
-    let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+    let dev = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
     dev.set_fault_plan(device);
     let exec = Executor::new(
         ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 },

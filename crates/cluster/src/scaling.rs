@@ -16,9 +16,10 @@ use blast_kernels::k56::BatchedDimGemm;
 use blast_kernels::k7::FzKernel;
 use blast_kernels::k8_10::{EnergyRhsKernel, MomentumRhsKernel};
 use blast_kernels::{ProblemShape, Workspace};
-use gpu_sim::{GpuDevice, GpuSpec};
+use gpu_sim::GpuDevice;
 
 use crate::netmodel::Machine;
+use gpu_sim::DeviceCatalog;
 
 /// One point of a scaling curve.
 #[derive(Clone, Copy, Debug)]
@@ -76,7 +77,7 @@ pub const NODE_STEP_OVERHEAD_S: f64 = 0.012;
 pub fn weak_scaling(levels: usize) -> Vec<ScalingPoint> {
     let machine = Machine::Titan;
     let net = machine.network();
-    let dev = GpuDevice::new(GpuSpec::k20m());
+    let dev = GpuDevice::new(DeviceCatalog::gpu("k20m"));
     // Per-node subdomain: 512 zones, shared by the node's 16 MPI ranks
     // through Hyper-Q.
     dev.set_active_queues(machine.ranks_per_node() as u32);
@@ -117,7 +118,7 @@ pub fn strong_scaling(node_counts: &[usize]) -> Vec<ScalingPoint> {
         .map(|&nodes| {
             let gpus = nodes * 2;
             let zones_per_gpu = (total_zones / gpus).max(1);
-            let dev = GpuDevice::new(GpuSpec::k20m());
+            let dev = GpuDevice::new(DeviceCatalog::gpu("k20m"));
             dev.set_active_queues(8);
             let shape = ProblemShape::new(3, 2, zones_per_gpu);
             let cf = 2.0 * corner_force_gpu_time(&dev, &shape);
@@ -187,7 +188,7 @@ mod tests {
 
     #[test]
     fn corner_force_time_scales_with_zones() {
-        let dev = GpuDevice::new(GpuSpec::k20m());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20m"));
         let t512 = corner_force_gpu_time(&dev, &ProblemShape::new(3, 2, 512));
         let t4096 = corner_force_gpu_time(&dev, &ProblemShape::new(3, 2, 4096));
         let ratio = t4096 / t512;

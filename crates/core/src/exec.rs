@@ -37,7 +37,32 @@ pub fn cf_cpu_eff(order: usize) -> f64 {
 pub const CG_CPU_EFF: f64 = 0.30;
 
 /// How the corner force (and optionally the momentum solve) executes.
-#[derive(Clone, Debug)]
+///
+/// # Derivation from a device inventory
+///
+/// Fleet-aware entry points ([`HydroBuilder::device`], [`HydroBuilder::fleet`],
+/// and the [`crate::fleet`] predictor) do not take a mode — they derive one
+/// from the `gpu_sim::DeviceSpec` they are handed:
+///
+/// | device inventory                | derived mode                                      |
+/// |---------------------------------|---------------------------------------------------|
+/// | has a GPU                       | `Gpu { base: false, gpu_pcg: true, mpi_queues: 1 }` |
+/// | CPU-only, `host.cores == 1`     | `CpuSerial`                                       |
+/// | CPU-only, `host.cores > 1`      | `CpuParallel { threads: host.cores }`             |
+///
+/// The GPU default keeps the momentum solve on the device (`gpu_pcg:
+/// true`) because transferring `dv/dt` beats transferring `-F·1` on every
+/// catalog GPU; routing additionally *candidates* the `gpu_pcg: false`
+/// variant per job (the paper's per-phase CPU/GPU placement, §4.2) and
+/// lets the measured pilot decide. [`Hybrid`](ExecMode::Hybrid) is never
+/// derived — the §3.3 auto-balanced split stays an explicit opt-in.
+/// Thread counts come from the *spec* (`host.cores`), never from the
+/// ambient rayon pool, so derived modes are identical across
+/// `BLAST_THREADS` settings.
+///
+/// [`HydroBuilder::device`]: crate::HydroBuilder::device
+/// [`HydroBuilder::fleet`]: crate::HydroBuilder::fleet
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ExecMode {
     /// Single-threaded CPU reference.
     CpuSerial,
@@ -123,6 +148,10 @@ pub struct Executor {
     /// (the shim's statistics are process-cumulative; deltas attribute
     /// them to this executor's run).
     pool_baseline: Cell<rayon::PoolStats>,
+    /// Catalog id of the device this executor models
+    /// (`gpu_sim::DeviceCatalog`), when a fleet-aware caller pinned one.
+    /// Keys the per-device autotune caches — see [`Executor::device_key`].
+    device_id: Option<String>,
 }
 
 impl Executor {
@@ -176,6 +205,33 @@ impl Executor {
             ledger: ResilienceLedger::default(),
             telemetry,
             pool_baseline: Cell::new(rayon::pool_stats()),
+            device_id: None,
+        }
+    }
+
+    /// Pins the catalog device id this executor models (fleet-aware
+    /// builders and routers set it; standalone executors leave it unset).
+    pub fn set_device_id(&mut self, id: impl Into<String>) {
+        self.device_id = Some(id.into());
+    }
+
+    /// The pinned catalog device id, when a fleet-aware caller set one.
+    pub fn device_id(&self) -> Option<&str> {
+        self.device_id.as_deref()
+    }
+
+    /// The key this executor's autotune lookups are cached under: the
+    /// pinned catalog id when set, else the GPU model name, else the host
+    /// CPU model name — so two different devices never share a validated
+    /// tile / stream / assembly choice, while repeated runs on the same
+    /// device replay theirs.
+    pub fn device_key(&self) -> &str {
+        if let Some(id) = self.device_id.as_deref() {
+            return id;
+        }
+        match &self.gpu {
+            Some(g) => g.spec().name,
+            None => self.host.spec().name,
         }
     }
 
@@ -511,6 +567,7 @@ pub fn integration_traffic(state_len: usize) -> Traffic {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::DeviceCatalog;
     use gpu_sim::GpuSpec;
 
     #[test]
@@ -537,7 +594,7 @@ mod tests {
 
     #[test]
     fn gpu_mode_sets_queues() {
-        let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+        let dev = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
         let _ex = Executor::new(
             ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 8 },
             CpuSpec::e5_2670(),
@@ -585,7 +642,7 @@ mod tests {
 
     #[test]
     fn resilience_billing_lands_in_the_report_and_traces() {
-        let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+        let dev = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
         let ex = Executor::new(
             ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 },
             CpuSpec::e5_2670(),

@@ -31,6 +31,7 @@ pub mod audit;
 pub mod checkpoint;
 pub mod error;
 pub mod exec;
+pub mod fleet;
 pub mod problems;
 pub mod retry;
 pub mod solver;
@@ -42,6 +43,7 @@ pub use checkpoint::{
 };
 pub use error::HydroError;
 pub use exec::{ExecMode, Executor};
+pub use fleet::{DevicePilot, Prediction};
 pub use problems::{Problem, Sedov, TaylorGreen, TriplePoint};
 pub use retry::RetryPolicy;
 pub use blast_kernels::sumfac::AssemblyMode;

@@ -34,8 +34,9 @@ pub fn worst_case_backoff_s(policy: &RetryPolicy, retries: u32) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::DeviceCatalog;
     use crate::exec::{ExecMode, Executor};
-    use gpu_sim::{CpuSpec, FaultKind, FaultPlan, GpuDevice, GpuSpec};
+    use gpu_sim::{CpuSpec, FaultKind, FaultPlan, GpuDevice};
     use std::sync::Arc;
 
     #[test]
@@ -68,7 +69,7 @@ mod tests {
 
     #[test]
     fn backoff_wait_is_billed_at_idle_power_on_both_devices() {
-        let gpu = Arc::new(GpuDevice::new(GpuSpec::k20()));
+        let gpu = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
         let ex = Executor::new(
             ExecMode::Gpu { base: false, gpu_pcg: false, mpi_queues: 1 },
             CpuSpec::e5_2670(),
@@ -99,7 +100,7 @@ mod tests {
     fn device_retry_ladder_bills_the_jittered_backoff_as_idle_time() {
         // A transient launch fault with a jittered policy: the device's
         // retry ladder must charge exactly the policy's (jittered) wait.
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         dev.set_fault_plan(FaultPlan::seeded(3).with_transient(FaultKind::LaunchFail, 0));
         let policy = RetryPolicy::default().with_jitter(0.5, 7).with_cap(1.0);
         dev.set_retry_policy(policy);

@@ -335,6 +335,8 @@ pub struct HydroBuilder<'p, const D: usize> {
     mode: ExecMode,
     host_spec: CpuSpec,
     gpu: Option<Arc<GpuDevice>>,
+    device_id: Option<String>,
+    fleet: Option<gpu_sim::DeviceCatalog>,
     executor: Option<Executor>,
     telemetry: Option<TelemetrySink>,
     gpu_fault_plan: Option<FaultPlan>,
@@ -409,6 +411,36 @@ impl<'p, const D: usize> HydroBuilder<'p, D> {
     #[must_use]
     pub fn gpu(mut self, gpu: Arc<GpuDevice>) -> Self {
         self.gpu = Some(gpu);
+        self
+    }
+
+    /// Targets one catalog device: sets the host CPU, a fresh simulated
+    /// GPU when the spec carries one, the derived execution mode (the
+    /// mapping documented on [`ExecMode`]), and the catalog id that keys
+    /// the per-device autotune caches. A later [`Self::mode`] call still
+    /// overrides the derived mode; [`Self::executor`] overrides all of
+    /// it.
+    #[must_use]
+    pub fn device(mut self, dev: &gpu_sim::DeviceSpec) -> Self {
+        self.host_spec = dev.host.clone();
+        self.gpu = dev.gpu.as_ref().map(|g| Arc::new(GpuDevice::new(g.clone())));
+        self.mode = crate::fleet::derive_mode(dev);
+        self.device_id = Some(dev.id.clone());
+        self.fleet = None;
+        self
+    }
+
+    /// Picks the device at build time from a whole catalog: every entry
+    /// is *piloted* (a throwaway solver advances a few real steps on it —
+    /// see [`crate::fleet`]) and the one with the cheapest marginal
+    /// modeled joules per step wins, then configures the build exactly
+    /// like [`Self::device`]. Devices that cannot hold the working set
+    /// are skipped; the build fails only when no entry fits. A later
+    /// [`Self::device`] call (or an explicit [`Self::executor`]) wins
+    /// over the survey.
+    #[must_use]
+    pub fn fleet(mut self, catalog: &gpu_sim::DeviceCatalog) -> Self {
+        self.fleet = Some(catalog.clone());
         self
     }
 
@@ -517,13 +549,45 @@ impl<'p, const D: usize> HydroBuilder<'p, D> {
 
     /// Builds the solver. Fails when the simulated GPU cannot hold the
     /// working set (the paper's Q4-Q3 memory limit at `16^3` on K20).
-    pub fn build(self) -> Result<Hydro<D>, HydroError> {
+    pub fn build(mut self) -> Result<Hydro<D>, HydroError> {
+        // Fleet selection: pilot every catalog entry and keep the one
+        // with the cheapest marginal step energy (an explicit executor
+        // or a later `.device()` call disables the survey).
+        if self.executor.is_none() {
+            if let Some(catalog) = self.fleet.take() {
+                let pilots = crate::fleet::survey_fleet(
+                    self.problem,
+                    self.zones_per_axis,
+                    &self.config,
+                    &catalog,
+                    crate::fleet::PILOT_STEPS,
+                )?;
+                let best = pilots
+                    .iter()
+                    .min_by(|a, b| a.step_energy_j.total_cmp(&b.step_energy_j))
+                    .expect("survey_fleet never returns an empty Ok");
+                let dev =
+                    catalog.lookup(&best.device_id).expect("pilot ids come from the catalog");
+                self.host_spec = dev.host.clone();
+                self.gpu = dev.gpu.as_ref().map(|g| Arc::new(GpuDevice::new(g.clone())));
+                self.mode = best.mode.clone();
+                self.device_id = Some(dev.id.clone());
+            }
+        }
         let exec = match self.executor {
             Some(exec) => exec,
-            None => match self.telemetry {
-                Some(sink) => Executor::with_telemetry(self.mode, self.host_spec, self.gpu, sink),
-                None => Executor::new(self.mode, self.host_spec, self.gpu),
-            },
+            None => {
+                let mut exec = match self.telemetry {
+                    Some(sink) => {
+                        Executor::with_telemetry(self.mode, self.host_spec, self.gpu, sink)
+                    }
+                    None => Executor::new(self.mode, self.host_spec, self.gpu),
+                };
+                if let Some(id) = self.device_id {
+                    exec.set_device_id(id);
+                }
+                exec
+            }
         };
         if let Some(plan) = self.gpu_fault_plan {
             if let Some(gpu) = &exec.gpu {
@@ -623,6 +687,8 @@ impl<const D: usize> Hydro<D> {
             mode: ExecMode::CpuSerial,
             host_spec: CpuSpec::e5_2670(),
             gpu: None,
+            device_id: None,
+            fleet: None,
             executor: None,
             telemetry: None,
             gpu_fault_plan: None,
@@ -685,7 +751,8 @@ impl<const D: usize> Hydro<D> {
             Some(mode) => mode,
             None if assembly_auto => {
                 let budget = exec.gpu.as_ref().map(|g| g.spec().dram_capacity);
-                autotune::assembly::choose_assembly_mode(
+                autotune::assembly::choose_assembly_mode_for(
+                    exec.device_key(),
                     D,
                     order,
                     nz,
@@ -2876,6 +2943,7 @@ impl<const D: usize> Hydro<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::DeviceCatalog;
     use crate::problems::{Sedov, TaylorGreen, TriplePoint};
     use gpu_sim::{CpuSpec, GpuDevice, GpuSpec};
     use std::sync::Arc;
@@ -2885,7 +2953,7 @@ mod tests {
     }
 
     fn gpu_exec(base: bool, gpu_pcg: bool) -> Executor {
-        let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+        let dev = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
         Executor::new(
             ExecMode::Gpu { base, gpu_pcg, mpi_queues: 1 },
             CpuSpec::e5_2670(),
@@ -3269,7 +3337,7 @@ mod tests {
         // allocate with Q4-Q3 elements because of memory limitation for
         // K20": the modeled footprint of 16^3 fits in 5 GB, one refinement
         // (32^3, i.e. 8x the zones in 3D) does not.
-        let cap = GpuSpec::k20().dram_capacity;
+        let cap = DeviceCatalog::gpu("k20").dram_capacity;
         let fit = |zones_axis: usize| {
             let shape = ProblemShape::new(3, 4, zones_axis.pow(3));
             let n_h1 = (4 * zones_axis + 1).pow(3);
@@ -3284,7 +3352,7 @@ mod tests {
     fn gpu_oom_propagates_from_setup() {
         // A device with tiny memory rejects even a small problem, through
         // Hydro::new's Result (checked before any assembly work).
-        let mut spec = GpuSpec::k20();
+        let mut spec = DeviceCatalog::gpu("k20");
         spec.dram_capacity = 1024; // 1 KB "GPU"
         let dev = Arc::new(GpuDevice::new(spec));
         let exec = Executor::new(
@@ -3303,5 +3371,43 @@ mod tests {
             "unexpected error: {err:?}"
         );
         assert!(err.to_string().contains("out of device memory"));
+    }
+
+    #[test]
+    fn builder_device_configures_host_gpu_mode_and_key() {
+        let problem = Sedov::default();
+        let dev = DeviceCatalog::get("k20");
+        let hydro = Hydro::<2>::builder(&problem, [4, 4]).device(&dev).build().expect("setup");
+        let exec = hydro.executor();
+        assert_eq!(exec.device_id(), Some("k20"));
+        assert_eq!(exec.device_key(), "k20");
+        assert_eq!(exec.host.spec().name, dev.host.name);
+        assert!(matches!(
+            exec.mode,
+            ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 }
+        ));
+        assert_eq!(exec.gpu.as_ref().map(|g| g.spec().name), Some("Tesla K20"));
+
+        let cpu = DeviceCatalog::get("cpu-e5-2670");
+        let hydro = Hydro::<2>::builder(&problem, [4, 4]).device(&cpu).build().expect("setup");
+        let exec = hydro.executor();
+        assert!(exec.gpu.is_none());
+        assert!(
+            matches!(exec.mode, ExecMode::CpuParallel { threads } if threads == cpu.host.cores)
+        );
+    }
+
+    #[test]
+    fn builder_fleet_picks_a_catalog_device_and_runs() {
+        let problem = Sedov::default();
+        let cat = DeviceCatalog::standard_subset(&["cpu-e5-2670", "k20"]);
+        let mut hydro =
+            Hydro::<2>::builder(&problem, [4, 4]).fleet(&cat).build().expect("some entry fits");
+        let picked = hydro.executor().device_id().expect("fleet pins an id").to_string();
+        assert!(cat.lookup(&picked).is_some(), "picked {picked:?} is not in the fleet");
+        // The selected configuration actually steps.
+        let mut state = hydro.initial_state();
+        let stats = hydro.run(&mut state, RunConfig::to(1e-3).max_steps(3)).expect("run");
+        assert!(stats.steps >= 1);
     }
 }

@@ -15,7 +15,10 @@ use powermon::{CpuPowerModel, CpuPowerState, PowerTrace};
 use crate::traffic::Traffic;
 
 /// Static description of a CPU socket (package).
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field exactly (floats bitwise via `==`),
+/// which is what the catalog delegation-parity tests rely on.
+#[derive(Clone, Debug, PartialEq)]
 pub struct CpuSpec {
     /// Marketing name.
     pub name: &'static str,
@@ -74,6 +77,49 @@ impl CpuSpec {
             measured_host_gflops: None,
             power: CpuPowerModel::opteron_6274(),
         }
+    }
+
+    /// Ice-Lake-class Xeon (Platinum 8380-like): 40 cores, 2.3 GHz,
+    /// AVX-512 (16 DP flops/cycle/core) — the modern host the device
+    /// catalog pairs with the FP64-tensor-core GPU.
+    pub fn xeon_8380() -> Self {
+        Self {
+            name: "Xeon Platinum 8380",
+            cores: 40,
+            peak_gflops_dp: 1472.0,
+            dram_bw_gbs: 204.8,
+            parallel_efficiency: 0.80,
+            measured_host_gflops: None,
+            power: CpuPowerModel::xeon_8380(),
+        }
+    }
+
+    /// Xeon-Phi-class wide-SIMD coprocessor (Knights-Corner-like): 61
+    /// in-order cores with 512-bit vectors and GDDR5 — the third leg of
+    /// the arXiv:1709.09713 CPU/GPU/Phi energy comparison. Low parallel
+    /// efficiency reflects the irregular-code penalty those cores pay.
+    pub fn xeon_phi_7120() -> Self {
+        Self {
+            name: "Xeon Phi 7120",
+            cores: 61,
+            peak_gflops_dp: 1208.0,
+            dram_bw_gbs: 352.0,
+            parallel_efficiency: 0.70,
+            measured_host_gflops: None,
+            power: CpuPowerModel::xeon_phi_7120(),
+        }
+    }
+
+    /// Every named preset — catalog-wide sanity tests iterate this, so
+    /// new presets are covered without editing the tests.
+    pub fn presets() -> Vec<CpuSpec> {
+        vec![
+            Self::e5_2670(),
+            Self::x5660(),
+            Self::opteron_6274(),
+            Self::xeon_8380(),
+            Self::xeon_phi_7120(),
+        ]
     }
 
     /// Thread count the host pool will *actually* use (the measured
@@ -432,5 +478,34 @@ mod tests {
         let snb = CpuSpec::e5_2670();
         let wsm = CpuSpec::x5660();
         assert!(snb.peak_gflops_dp / wsm.peak_gflops_dp > 2.0);
+        // Catalog-wide: every preset must be a usable roofline input.
+        let presets = CpuSpec::presets();
+        assert!(presets.len() >= 5, "preset registry lost entries");
+        for s in presets {
+            assert!(s.cores >= 1, "{}", s.name);
+            assert!(s.peak_gflops_dp > 0.0 && s.dram_bw_gbs > 0.0, "{}", s.name);
+            assert!(
+                s.parallel_efficiency > 0.0 && s.parallel_efficiency <= 1.0,
+                "{}",
+                s.name
+            );
+            assert!(s.measured_host_gflops.is_none(), "{}: presets ship uncalibrated", s.name);
+            // Full-package phase_time must be finite and ordered vs 1 thread.
+            let t = Traffic::compute(1e9);
+            let t1 = s.phase_time(&t, 1, 0.5);
+            let tn = s.phase_time(&t, s.cores, 0.5);
+            assert!(t1.is_finite() && tn.is_finite() && tn <= t1, "{}", s.name);
+        }
+        // Every standard-catalog host must be drawn from this registry,
+        // so the catalog can never carry a CPU the sweep above missed.
+        let names: Vec<&str> = CpuSpec::presets().iter().map(|s| s.name).collect();
+        for dev in crate::DeviceCatalog::standard().devices() {
+            assert!(
+                names.contains(&dev.host.name),
+                "catalog device {} uses non-preset host {}",
+                dev.id,
+                dev.host.name
+            );
+        }
     }
 }

@@ -469,9 +469,10 @@ impl GpuDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::DeviceCatalog;
 
     fn k20() -> GpuDevice {
-        GpuDevice::new(GpuSpec::k20())
+        GpuDevice::new(DeviceCatalog::gpu("k20"))
     }
 
     fn full_cfg(blocks: u32) -> LaunchConfig {

@@ -30,6 +30,7 @@
 //! tiling cuts DRAM traffic and with it both time and power (Figs. 7, 8,
 //! 15); occupancy tuning moves kernels along the roofline (Fig. 5).
 
+pub mod catalog;
 pub mod cpu;
 pub mod device;
 pub mod fault;
@@ -37,6 +38,7 @@ pub mod occupancy;
 pub mod spec;
 pub mod traffic;
 
+pub use catalog::{DeviceCatalog, DeviceSpec, DeviceSpecBuilder};
 pub use cpu::{CpuDevice, CpuSpec};
 pub use device::{GpuDevice, KernelEvent, KernelStats};
 pub use fault::{

@@ -127,11 +127,12 @@ pub fn occupancy(spec: &GpuSpec, cfg: &LaunchConfig) -> Occupancy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::DeviceCatalog;
 
     #[test]
     fn full_occupancy_on_k20() {
         // 256 threads, no smem, 32 regs: 8 blocks fill 2048 threads/SM.
-        let spec = GpuSpec::k20();
+        let spec = DeviceCatalog::gpu("k20");
         let occ = occupancy(&spec, &LaunchConfig::new(1000, 256, 0, 32));
         assert_eq!(occ.blocks_per_sm, 8);
         assert!((occ.fraction - 1.0).abs() < 1e-12);
@@ -144,7 +145,7 @@ mod tests {
         // The paper's Fig. 4 scenario: register-hungry kernels on Fermi
         // (32k registers/SM) are register-limited long before Kepler.
         let fermi = GpuSpec::c2050();
-        let kepler = GpuSpec::k20();
+        let kepler = DeviceCatalog::gpu("k20");
         let cfg = LaunchConfig::new(1000, 256, 0, 63);
         let of = occupancy(&fermi, &cfg);
         let ok = occupancy(&kepler, &cfg);
@@ -154,7 +155,7 @@ mod tests {
 
     #[test]
     fn shared_memory_limited() {
-        let spec = GpuSpec::k20();
+        let spec = DeviceCatalog::gpu("k20");
         // 24 KB smem per block: only 2 blocks per SM fit in 48 KB.
         let occ = occupancy(&spec, &LaunchConfig::new(100, 128, 24 * 1024, 20));
         assert_eq!(occ.blocks_per_sm, 2);
@@ -163,7 +164,7 @@ mod tests {
 
     #[test]
     fn oversized_block_is_invalid() {
-        let spec = GpuSpec::k20();
+        let spec = DeviceCatalog::gpu("k20");
         let occ = occupancy(&spec, &LaunchConfig::new(10, 4096, 0, 16));
         assert_eq!(occ.limiter, Limiter::Invalid);
         assert_eq!(occ.fraction, 0.0);
@@ -178,7 +179,7 @@ mod tests {
 
     #[test]
     fn small_grid_underfills_device() {
-        let spec = GpuSpec::k20();
+        let spec = DeviceCatalog::gpu("k20");
         // 13 SMs x 8 resident blocks = 104 concurrent blocks; a 26-block
         // grid fills a quarter of the device.
         let occ = occupancy(&spec, &LaunchConfig::new(26, 256, 0, 32));
@@ -187,7 +188,7 @@ mod tests {
 
     #[test]
     fn warp_granularity_rounds_up() {
-        let spec = GpuSpec::k20();
+        let spec = DeviceCatalog::gpu("k20");
         // 33 threads allocate 2 warps (64 thread slots).
         let occ = occupancy(&spec, &LaunchConfig::new(1000, 33, 0, 16));
         // 2048 / 64 = 32 blocks, but capped by max_blocks_per_sm = 16.
@@ -200,7 +201,7 @@ mod tests {
         // §3.2: kernels 5/6 tuned to 32 matrices per block hit 98.3%
         // occupancy. With 32 3x3 matrices one block uses ~9*32 threads
         // rounded to warps; pick 288 threads, 28 regs, 32*9*8*2 B smem.
-        let spec = GpuSpec::k20();
+        let spec = DeviceCatalog::gpu("k20");
         let cfg = LaunchConfig::new(4096, 288, 32 * 9 * 8 * 2, 28);
         let occ = occupancy(&spec, &cfg);
         assert!(occ.fraction > 0.85, "fraction {}", occ.fraction);

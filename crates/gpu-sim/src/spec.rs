@@ -7,7 +7,10 @@
 /// reproduce (idle 20 W, ~50 W floor with any kernel running, TDP 225 W for
 /// K20, DRAM-dominated dynamic power with an on-chip/DRAM per-byte cost
 /// ratio following Hong & Kim).
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` is exact field-for-field equality — the delegation-parity
+/// tests pin the deprecated constructors bitwise to the catalog entries.
+#[derive(Clone, Debug, PartialEq)]
 pub struct GpuSpec {
     /// Marketing name.
     pub name: &'static str,
@@ -83,43 +86,11 @@ pub struct GpuSpec {
 }
 
 impl GpuSpec {
-    /// NVIDIA Tesla K20 (GK110, compute capability 3.5) — the paper's main
-    /// single-node and power-study GPU.
+    /// NVIDIA Tesla K20 — the paper's main single-node and power-study
+    /// GPU, now a catalog entry.
+    #[deprecated(since = "0.1.0", note = "use gpu_sim::DeviceCatalog::gpu(\"k20\")")]
     pub fn k20() -> Self {
-        Self {
-            name: "Tesla K20",
-            sm_count: 13,
-            max_threads_per_sm: 2048,
-            max_blocks_per_sm: 16,
-            registers_per_sm: 65536,
-            max_regs_per_thread: 255,
-            shared_mem_per_sm: 48 * 1024,
-            max_shared_per_block: 48 * 1024,
-            warp_size: 32,
-            peak_gflops_dp: 1170.0,
-            dram_bw_gbs: 208.0,
-            l2_bw_gbs: 512.0,
-            shared_bw_gbs: 1300.0,
-            dram_capacity: 5 * 1024 * 1024 * 1024,
-            pcie_bw_gbs: 6.0,
-            pcie_latency_us: 10.0,
-            launch_overhead_us: 5.0,
-            hyperq_queues: 32,
-            tdp_w: 225.0,
-            idle_w: 20.0,
-            active_floor_w: 50.0,
-            sm_util_w: 30.0,
-            // ~100 pJ per DP flop on 28 nm Kepler: full-rate DP compute
-            // alone draws ~117 W, which is why DGEMM is the power virus.
-            e_flop_pj: 100.0,
-            e_dram_pj: 350.0,
-            e_l2_pj: 30.0,
-            e_shared_pj: 7.0,
-            hyperq_w_per_queue: 2.5,
-            local_energy_factor: 1.6,
-            occ_sat_compute: 0.50,
-            occ_sat_memory: 0.30,
-        }
+        crate::catalog::DeviceCatalog::gpu("k20")
     }
 
     /// NVIDIA Tesla C2050 (Fermi, compute capability 2.0) — the kernel-8
@@ -161,8 +132,9 @@ impl GpuSpec {
 
     /// NVIDIA Tesla K20m — ORNL Titan / SNL Shannon node GPU; identical to
     /// K20 for our purposes except the passive-cooled TDP.
+    #[deprecated(since = "0.1.0", note = "use gpu_sim::DeviceCatalog::gpu(\"k20m\")")]
     pub fn k20m() -> Self {
-        Self { name: "Tesla K20m", tdp_w: 225.0, ..Self::k20() }
+        crate::catalog::DeviceCatalog::gpu("k20m")
     }
 
     /// NVIDIA Tesla K10 — strong single-precision part with weak DP; used
@@ -214,10 +186,11 @@ impl GpuSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::DeviceCatalog;
 
     #[test]
     fn k20_datasheet_values() {
-        let k = GpuSpec::k20();
+        let k = DeviceCatalog::gpu("k20");
         assert_eq!(k.dram_bw_gbs, 208.0); // paper: "bandwidth of K20 is 208GB/s"
         assert_eq!(k.tdp_w, 225.0); // paper: "The TDP of K20 is 225W"
         assert_eq!(k.idle_w, 20.0); // paper: "idle power is 20W"
@@ -229,15 +202,16 @@ mod tests {
     fn kepler_doubles_fermi_registers() {
         // Paper Fig. 4 discussion: Kepler "doubles the number of physical
         // registers per SMX".
-        assert_eq!(GpuSpec::k20().registers_per_sm, 2 * GpuSpec::c2050().registers_per_sm);
-        assert!(GpuSpec::k20().max_regs_per_thread > GpuSpec::c2050().max_regs_per_thread);
+        let k20 = DeviceCatalog::gpu("k20");
+        assert_eq!(k20.registers_per_sm, 2 * GpuSpec::c2050().registers_per_sm);
+        assert!(k20.max_regs_per_thread > GpuSpec::c2050().max_regs_per_thread);
     }
 
     #[test]
     fn paper_batched_dgemm_peaks() {
         // §3.2: "each element will perform 4/3, 2 operations, the
         // theoretical peak ... is 35, 52 Gflop/s for DIM = 2, 3".
-        let k = GpuSpec::k20();
+        let k = DeviceCatalog::gpu("k20");
         // DIM x DIM batched DGEMM: 2*DIM^3 flops over 3*DIM^2 elements of
         // 8 bytes -> flops/byte = 2*DIM/(3*8).
         let fpb2 = 2.0 * 2.0 / (3.0 * 8.0);
@@ -249,7 +223,7 @@ mod tests {
     #[test]
     fn dram_energy_dominates_onchip() {
         // Hong & Kim: DRAM per-access cost ~52x shared memory.
-        for s in [GpuSpec::k20(), GpuSpec::c2050(), GpuSpec::k10()] {
+        for s in [DeviceCatalog::gpu("k20"), GpuSpec::c2050(), GpuSpec::k10()] {
             let ratio = s.e_dram_pj / s.e_shared_pj;
             assert!(ratio > 40.0 && ratio < 60.0, "{}: {ratio}", s.name);
         }
@@ -257,7 +231,7 @@ mod tests {
 
     #[test]
     fn only_kepler_k20_has_hyperq() {
-        assert!(GpuSpec::k20().hyperq_queues > 1);
+        assert!(DeviceCatalog::gpu("k20").hyperq_queues > 1);
         assert_eq!(GpuSpec::c2050().hyperq_queues, 1);
         assert_eq!(GpuSpec::k10().hyperq_queues, 1);
     }

@@ -2,9 +2,10 @@
 
 use gpu_sim::{occupancy, GpuDevice, GpuSpec, LaunchConfig, Traffic};
 use proptest::prelude::*;
+use gpu_sim::DeviceCatalog;
 
 fn specs() -> Vec<GpuSpec> {
-    vec![GpuSpec::k20(), GpuSpec::c2050(), GpuSpec::k10()]
+    vec![DeviceCatalog::gpu("k20"), GpuSpec::c2050(), GpuSpec::k10()]
 }
 
 proptest! {
@@ -28,7 +29,7 @@ proptest! {
         r1 in 8u32..120,
         extra in 1u32..100,
     ) {
-        let spec = GpuSpec::k20();
+        let spec = DeviceCatalog::gpu("k20");
         let o1 = occupancy(&spec, &LaunchConfig::new(1000, threads, 0, r1));
         let o2 = occupancy(&spec, &LaunchConfig::new(1000, threads, 0, (r1 + extra).min(255)));
         prop_assert!(o2.fraction <= o1.fraction + 1e-12);
@@ -40,7 +41,7 @@ proptest! {
         s1 in 0u32..24 * 1024,
         extra in 1u32..16 * 1024,
     ) {
-        let spec = GpuSpec::k20();
+        let spec = DeviceCatalog::gpu("k20");
         let o1 = occupancy(&spec, &LaunchConfig::new(1000, threads, s1, 32));
         let o2 = occupancy(&spec, &LaunchConfig::new(1000, threads, s1 + extra, 32));
         prop_assert!(o2.fraction <= o1.fraction + 1e-12);
@@ -54,7 +55,7 @@ proptest! {
         shared in 0.0..1e10f64,
         local in 0.0..1e10f64,
     ) {
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let cfg = LaunchConfig::new(10_000, 256, 0, 32);
         let t = Traffic { flops, dram_bytes: dram, l2_bytes: l2, shared_bytes: shared, local_bytes: local };
         let stats = dev.model_kernel(&cfg, &t);
@@ -72,7 +73,7 @@ proptest! {
         dram in 1e4..1e9f64,
         scale in 1.01..4.0f64,
     ) {
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let cfg = LaunchConfig::new(10_000, 256, 0, 32);
         let t1 = Traffic { flops, dram_bytes: dram, ..Default::default() };
         let t2 = t1.scale(scale);
@@ -88,7 +89,7 @@ proptest! {
     ) {
         // Power x time of a combined kernel >= each component alone would
         // imply (time is a max, energy is a sum): E_combined >= E_parts max.
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let cfg = LaunchConfig::new(10_000, 256, 0, 32);
         let combined = Traffic { flops, dram_bytes: dram, ..Default::default() };
         let only_flops = Traffic { flops, ..Default::default() };
@@ -104,7 +105,7 @@ proptest! {
         flops in 1e6..1e10f64,
         launches in 1usize..10,
     ) {
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let cfg = LaunchConfig::new(1000, 256, 0, 32);
         let t = Traffic::compute(flops);
         let mut expect = 0.0;

@@ -270,7 +270,8 @@ impl MonolithicCornerForce {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_sim::GpuSpec;
+    use gpu_sim::DeviceCatalog;
+    
 
     #[test]
     fn base_traffic_strictly_dominates_optimized() {
@@ -287,7 +288,7 @@ mod tests {
         // Fig. 6: replacing the monolith with kernels 1-6 shrinks its share
         // from 65% to 25% while total time drops ~60% => the replacement
         // runs several times faster than the monolith.
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let shape = ProblemShape::new(3, 2, 4096);
         let m = MonolithicCornerForce;
         let t_base = dev
@@ -323,7 +324,7 @@ mod tests {
         // but the phase-average power and the total energy both drop,
         // because on-chip bytes cost ~50x less than the base kernel's
         // spilled DRAM bytes.
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let shape = ProblemShape::new(3, 2, 4096);
         let m = MonolithicCornerForce;
         let base = dev.model_kernel(&m.config(&shape, 255), &m.traffic(&shape));

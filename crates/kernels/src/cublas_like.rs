@@ -190,6 +190,7 @@ impl CublasDgemmBatchedLarge {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::DeviceCatalog;
     use crate::k56::BatchedDimGemm;
     use crate::k8_10::MomentumRhsKernel;
     use gpu_sim::GpuSpec;
@@ -198,7 +199,7 @@ mod tests {
     fn batched_dgemm_lands_near_paper_1_3_gflops() {
         // §3.2: "cublasDgemmbatched has exactly the same purpose but only
         // achieves 1.3 Gflop/s" (K20, DIM x DIM batches).
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let lib = CublasDgemmBatched;
         let count = 4096 * 64;
         let stats = dev.model_kernel(&lib.config(3, count), &lib.traffic(3, count));
@@ -211,7 +212,7 @@ mod tests {
 
     #[test]
     fn custom_kernel56_beats_cublas_by_an_order_of_magnitude() {
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let count = 4096 * 64;
         let custom = BatchedDimGemm::nn_tuned();
         let t_custom = dev
@@ -224,7 +225,7 @@ mod tests {
 
     #[test]
     fn cublas_math_matches_custom() {
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let a = BatchedMats::from_fn(3, 3, 16, |z, i, j| ((z + i + 2 * j) as f64 * 0.3).sin());
         let b = BatchedMats::from_fn(3, 3, 16, |z, i, j| ((z * 2 + i + j) as f64 * 0.7).cos());
         let mut c_lib = BatchedMats::zeros(3, 3, 16);
@@ -280,7 +281,7 @@ mod tests {
         // Fig. 7: the tuned kernel 7 outperforms cublasDgemmBatched on the
         // per-zone F_z product.
         let shape = ProblemShape::new(3, 2, 4096);
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let lib = CublasDgemmBatchedLarge;
         let t_lib = dev.model_kernel(&lib.config(&shape), &lib.traffic(&shape)).time_s;
         let k7 = crate::k7::FzKernel::tuned();

@@ -128,6 +128,7 @@ impl AdjugateDetKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::DeviceCatalog;
     use gpu_sim::GpuSpec;
 
     fn shape2d() -> ProblemShape {
@@ -201,7 +202,7 @@ mod tests {
     #[test]
     fn register_variant_faster_than_local() {
         // The Fig. 4 mechanism on the simulated K20.
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let shape = ProblemShape::new(3, 2, 512);
         let jac = sample_jacobians(&shape);
         let n = shape.total_points();
@@ -223,7 +224,7 @@ mod tests {
         let shape = shape2d();
         let jac = sample_jacobians(&shape);
         let n = shape.total_points();
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let mut outs = Vec::new();
         for ws in [Workspace::Registers, Workspace::LocalMemory] {
             let k = AdjugateDetKernel { workspace: ws };
@@ -249,7 +250,7 @@ mod tests {
         let occ = gpu_sim::occupancy(&GpuSpec::c2050(), &cfg);
         assert_eq!(occ.fraction, 0.0);
         // On K20 it runs fine.
-        let occ_k20 = gpu_sim::occupancy(&GpuSpec::k20(), &cfg);
+        let occ_k20 = gpu_sim::occupancy(&DeviceCatalog::gpu("k20"), &cfg);
         assert!(occ_k20.fraction > 0.0);
     }
 }

@@ -50,8 +50,9 @@ impl SpmvKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::DeviceCatalog;
     use blast_la::CsrBuilder;
-    use gpu_sim::GpuSpec;
+    
 
     fn tridiag(n: usize) -> CsrMatrix {
         let mut b = CsrBuilder::new(n, n);
@@ -72,7 +73,7 @@ mod tests {
         let a = tridiag(50);
         let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
         let mut y = vec![0.0; 50];
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         SpmvKernel.run(&dev, &a, &x, &mut y).expect("no faults injected");
         assert_eq!(y, a.spmv(&x));
     }
@@ -86,7 +87,7 @@ mod tests {
         let t = k.traffic(&a);
         let ridge = 1170.0 / 208.0; // flops/byte where K20 turns compute-bound
         assert!(t.intensity() < ridge / 10.0, "intensity {}", t.intensity());
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let stats = dev.model_kernel(&k.config(a.rows()), &t);
         assert!(stats.dram_bw_gbs > 0.5 * 208.0, "bw {}", stats.dram_bw_gbs);
         assert!(stats.gflops < 50.0, "gflops {}", stats.gflops);
@@ -99,7 +100,7 @@ mod tests {
         // energy-hungry resource) saturated. The board should sit well
         // above the active floor but below a flop-saturated DGEMM.
         let a = tridiag(1_000_000);
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let k = SpmvKernel;
         let spmv_stats = dev.model_kernel(&k.config(a.rows()), &k.traffic(&a));
         let floor = dev.spec().active_floor_w;

@@ -181,7 +181,8 @@ impl CoefGradKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_sim::GpuSpec;
+    use gpu_sim::DeviceCatalog;
+    
 
     /// A tiny synthetic "space": 2 zones in 1 row, Q1, with a shared face.
     fn synthetic_2d() -> (ProblemShape, Vec<usize>, Vec<DMatrix>, usize) {
@@ -258,7 +259,7 @@ mod tests {
     fn variants_bitwise_identical() {
         let (shape, zone_dofs, grads, ndofs) = synthetic_2d();
         let u: Vec<f64> = (0..2 * ndofs).map(|i| (i as f64 * 0.7).sin()).collect();
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let mut results = Vec::new();
         for k in [
             CoefGradKernel { variant: GemmVariant::V1, zones_per_block: 1 },
@@ -277,7 +278,7 @@ mod tests {
     fn v3_faster_than_v2_faster_than_v1() {
         // The Fig. 7 ordering on a realistically sized 3D Q2-Q1 subdomain.
         let shape = ProblemShape::new(3, 2, 4096);
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let time = |k: CoefGradKernel| {
             let cfg = k.config(&shape);
             let traffic = k.traffic(&shape);
@@ -296,7 +297,7 @@ mod tests {
         // The tuner's search space spans feasible pack counts; the best one
         // must clearly beat the naive single-zone block.
         let shape = ProblemShape::new(3, 2, 4096);
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let mut times = Vec::new();
         for na in [1u32, 2, 4, 8, 16, 32] {
             let k = CoefGradKernel { variant: GemmVariant::V3, zones_per_block: na };

@@ -159,7 +159,8 @@ impl AzKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_sim::GpuSpec;
+    use gpu_sim::DeviceCatalog;
+    
 
     fn setup(dim: usize) -> (ProblemShape, BatchedMats, Vec<DMatrix>, Vec<f64>) {
         let shape = ProblemShape::new(dim, 1, 3);
@@ -224,7 +225,7 @@ mod tests {
     #[test]
     fn variants_identical_and_ordered() {
         let (shape, s, grads, alpha) = setup(2);
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let mut results = Vec::new();
         let mut times = Vec::new();
         for k in [

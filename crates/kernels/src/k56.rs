@@ -161,8 +161,9 @@ impl BatchedDimGemm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::DeviceCatalog;
     use blast_la::batched_gemm_nn;
-    use gpu_sim::GpuSpec;
+    
 
     fn batch(d: usize, n: usize, seed: f64) -> BatchedMats {
         BatchedMats::from_fn(d, d, n, |z, i, j| ((z * 7 + i * 3 + j) as f64 * seed).sin())
@@ -224,7 +225,7 @@ mod tests {
     fn tuned_kernel_reaches_bandwidth_bound_fraction() {
         // Fig. 5: the tuned kernel reaches ~60% of the theoretical
         // (bandwidth-bound) peak of batched DIM x DIM DGEMM on K20.
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let k = BatchedDimGemm::nn_tuned();
         let count = 4096 * 64; // Q2-Q1 3D: zones * points
         let stats = dev.model_kernel(&k.config(3, count), &k.traffic(3, count));
@@ -238,7 +239,7 @@ mod tests {
         // "We find 32 delivered the best performance with an occupancy
         // 98.3%."
         let k = BatchedDimGemm::nn_tuned();
-        let occ = gpu_sim::occupancy(&GpuSpec::k20(), &k.config(3, 100_000));
+        let occ = gpu_sim::occupancy(&DeviceCatalog::gpu("k20"), &k.config(3, 100_000));
         assert!(occ.fraction > 0.85, "occupancy {}", occ.fraction);
     }
 

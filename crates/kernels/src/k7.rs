@@ -129,8 +129,9 @@ impl FzKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::DeviceCatalog;
     use blast_la::dense::gemm_nt;
-    use gpu_sim::GpuSpec;
+    
 
     fn setup(zones: usize) -> (ProblemShape, BatchedMats, DMatrix) {
         let shape = ProblemShape::new(2, 2, zones);
@@ -171,7 +172,7 @@ mod tests {
     #[test]
     fn variant_ordering_v3_best() {
         let shape = ProblemShape::new(3, 2, 4096);
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let t = |k: FzKernel| dev.model_kernel(&k.config(&shape), &k.traffic(&shape)).time_s;
         let t1 = t(FzKernel { variant: GemmVariant::V1, col_block: 0 });
         let t2 = t(FzKernel { variant: GemmVariant::V2, col_block: 0 });
@@ -187,7 +188,7 @@ mod tests {
         // v2 stages all of A_z (up to 48 KB): 1 block/SM. v3's column
         // blocking shrinks the footprint and lifts residency.
         let shape = ProblemShape::new(3, 2, 4096);
-        let spec = GpuSpec::k20();
+        let spec = DeviceCatalog::gpu("k20");
         let occ2 = gpu_sim::occupancy(&spec, &FzKernel { variant: GemmVariant::V2, col_block: 0 }.config(&shape));
         let occ3 = gpu_sim::occupancy(&spec, &FzKernel::tuned().config(&shape));
         assert!(occ3.fraction > occ2.fraction, "{} vs {}", occ3.fraction, occ2.fraction);
@@ -198,7 +199,7 @@ mod tests {
         // Very small blocks re-read; very large blocks kill occupancy —
         // there is an interior optimum for the autotuner to find.
         let shape = ProblemShape::new(3, 4, 512); // Q4-Q3: big A_z
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let mut times = Vec::new();
         for cb in [1u32, 4, 8, 16, 32, 64] {
             let k = FzKernel { variant: GemmVariant::V3, col_block: cb };

@@ -407,8 +407,9 @@ fn fused_precond_launch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::DeviceCatalog;
     use blast_la::CsrBuilder;
-    use gpu_sim::GpuSpec;
+    
 
     fn laplacian(n: usize) -> CsrMatrix {
         let mut b = CsrBuilder::new(n, n);
@@ -442,7 +443,7 @@ mod tests {
                 .position(|c| c.fused == fused && !c.parallel)
                 .unwrap();
             stream::set_active_stream_index(idx);
-            let dev = GpuDevice::new(GpuSpec::k20());
+            let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
             let mut x_gpu = vec![0.0; n];
             let res = GpuPcg { opts: PcgOptions::default(), fused }
                 .solve(&dev, &a, &pre, &b, &none, &mut x_gpu)
@@ -469,13 +470,13 @@ mod tests {
         constrained[0] = true;
         constrained[n / 2] = true;
 
-        let dev_f = GpuDevice::new(GpuSpec::k20());
+        let dev_f = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let mut x_f = vec![0.0; n];
         let res_f = GpuPcg { fused: true, ..Default::default() }
             .solve(&dev_f, &a, &pre, &b, &constrained, &mut x_f)
             .expect("no faults injected");
 
-        let dev_u = GpuDevice::new(GpuSpec::k20());
+        let dev_u = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let mut x_u = vec![0.0; n];
         let res_u = GpuPcg { fused: false, ..Default::default() }
             .solve(&dev_u, &a, &pre, &b, &constrained, &mut x_u)
@@ -519,7 +520,7 @@ mod tests {
         let mut constrained = vec![false; n];
         constrained[0] = true;
         constrained[n - 1] = true;
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let mut x = vec![0.0; n];
         let res = GpuPcg::default().solve(&dev, &a, &pre, &b, &constrained, &mut x).expect("no faults injected");
         assert!(res.converged);
@@ -561,7 +562,7 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).cos()).collect();
         let pre = DiagPrecond::from_diagonal(&a.diagonal());
         let none = vec![false; n];
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let mut x = vec![0.0; n];
         GpuPcg::default().solve(&dev, &a, &pre, &b, &none, &mut x).expect("no faults injected");
         let summary = dev.kernel_summary();
@@ -577,7 +578,7 @@ mod tests {
         let b = vec![1.0; n];
         let pre = DiagPrecond::from_diagonal(&a.diagonal());
         let none = vec![false; n];
-        let dev = GpuDevice::new(GpuSpec::k20());
+        let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
         let mut x = vec![0.0; n];
         let res = GpuPcg::default().solve(&dev, &a, &pre, &b, &none, &mut x).expect("no faults injected");
         assert!(res.converged);

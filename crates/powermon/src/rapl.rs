@@ -37,7 +37,9 @@ pub struct RaplReading {
 }
 
 /// Per-package power model with the paper's measured levels as defaults.
-#[derive(Clone, Copy, Debug)]
+/// `PartialEq` is field-for-field bitwise equality, which is what the
+/// catalog delegation-parity tests assert.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CpuPowerModel {
     /// Thermal design power (E5-2670: 115 W).
     pub tdp_w: f64,
@@ -99,6 +101,49 @@ impl CpuPowerModel {
             busy_dram_w: 18.0,
             idle_dram_w: 0.8,
         }
+    }
+
+    /// Ice-Lake-class Xeon (Platinum 8380-like) — the modern host paired
+    /// with the FP64-tensor-core GPU in the device catalog. Higher idle
+    /// floor than Sandy Bridge (bigger uncore), same ~82% ACP/TDP ratio.
+    pub fn xeon_8380() -> Self {
+        Self {
+            tdp_w: 270.0,
+            busy_pkg_w: 220.0,
+            idle_pkg_w: 42.0,
+            offload_pkg_w: 165.0,
+            pp0_fraction: 0.80,
+            busy_dram_w: 32.0,
+            idle_dram_w: 2.0,
+        }
+    }
+
+    /// Xeon-Phi-class wide-SIMD coprocessor (Knights-Corner-like, the
+    /// arXiv:1709.09713 energy-comparison part). In-order cores never
+    /// fully gate, so the idle floor is high relative to the Xeons.
+    pub fn xeon_phi_7120() -> Self {
+        Self {
+            tdp_w: 300.0,
+            busy_pkg_w: 245.0,
+            idle_pkg_w: 88.0,
+            offload_pkg_w: 160.0,
+            pp0_fraction: 0.85,
+            busy_dram_w: 38.0,
+            idle_dram_w: 4.0,
+        }
+    }
+
+    /// Every named preset with its label — the catalog-wide sanity tests
+    /// iterate this instead of hand-listing constructors, so a new preset
+    /// cannot dodge the ACP/TDP band by being forgotten here.
+    pub fn presets() -> Vec<(&'static str, Self)> {
+        vec![
+            ("e5_2670", Self::e5_2670()),
+            ("x5660", Self::x5660()),
+            ("opteron_6274", Self::opteron_6274()),
+            ("xeon_8380", Self::xeon_8380()),
+            ("xeon_phi_7120", Self::xeon_phi_7120()),
+        ]
     }
 
     /// Package power for a state at full utilization.
@@ -219,17 +264,17 @@ mod tests {
 
     #[test]
     fn all_presets_sane() {
-        for m in [
-            CpuPowerModel::e5_2670(),
-            CpuPowerModel::x5660(),
-            CpuPowerModel::opteron_6274(),
-        ] {
-            assert!(m.busy_pkg_w < m.tdp_w, "ACP below TDP");
-            assert!(m.idle_pkg_w < m.offload_pkg_w);
-            assert!(m.offload_pkg_w < m.busy_pkg_w);
+        let presets = CpuPowerModel::presets();
+        assert!(presets.len() >= 5, "preset registry lost entries");
+        for (name, m) in presets {
+            assert!(m.busy_pkg_w < m.tdp_w, "{name}: ACP below TDP");
+            assert!(m.idle_pkg_w < m.offload_pkg_w, "{name}: idle < offload");
+            assert!(m.offload_pkg_w < m.busy_pkg_w, "{name}: offload < busy");
             // ACP in AMD's reported "normal range" of 65-90% of TDP.
             let frac = m.busy_pkg_w / m.tdp_w;
-            assert!(frac > 0.65 && frac < 0.9, "{frac}");
+            assert!(frac > 0.65 && frac < 0.9, "{name}: {frac}");
+            assert!(m.idle_dram_w < m.busy_dram_w, "{name}: DRAM idle < busy");
+            assert!(m.pp0_fraction > 0.0 && m.pp0_fraction <= 1.0, "{name}");
         }
     }
 }

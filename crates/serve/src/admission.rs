@@ -23,6 +23,15 @@ pub enum AdmissionError {
         /// This submission's estimate.
         requested_j: f64,
     },
+    /// The energy-aware router found no fleet device that can run the
+    /// job's problem at all (only raised by
+    /// [`Supervisor::submit_routed`](crate::Supervisor::submit_routed)).
+    Unroutable {
+        /// The scenario that could not be placed.
+        scenario: &'static str,
+        /// The solver error the last pilot died with, rendered.
+        error: String,
+    },
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -36,6 +45,9 @@ impl std::fmt::Display for AdmissionError {
                 "tenant `{tenant}` over energy budget: {committed_j:.3e} J committed \
                  + {requested_j:.3e} J requested > {budget_j:.3e} J budget"
             ),
+            AdmissionError::Unroutable { scenario, error } => {
+                write!(f, "no fleet device can run scenario `{scenario}`: {error}")
+            }
         }
     }
 }

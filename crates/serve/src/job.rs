@@ -2,8 +2,8 @@
 //! gets back ([`JobId`]), and the per-job ledger row the supervisor
 //! maintains ([`JobRecord`]).
 
-use blast_core::{Executor, Hydro, HydroError, Sedov, TaylorGreen, TriplePoint};
 use blast_core::state::HydroState;
+use blast_core::{ExecMode, Executor, Hydro, HydroError, Sedov, TaylorGreen, TriplePoint};
 
 /// Opaque handle of an admitted job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -59,6 +59,20 @@ impl Scenario {
     }
 }
 
+/// A routing pin: which fleet device a job must run on, and the
+/// execution mode the router's winning pilot measured there. Produced by
+/// `Router::route` (or built by hand); the scheduler dispatches a placed
+/// job only to workers advertising the same catalog device id, and the
+/// attempt builder realizes exactly this mode instead of the worker's
+/// legacy default.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    /// Catalog device id (`gpu_sim::DeviceCatalog`) the job is pinned to.
+    pub device_id: String,
+    /// Execution mode the attempt must run under.
+    pub mode: ExecMode,
+}
+
 /// A scenario submission: what to run, who pays, and the robustness
 /// envelope (deadline, priority, checkpoint cadence, admission estimate).
 #[derive(Clone, Debug)]
@@ -91,6 +105,11 @@ pub struct JobSpec {
     pub energy_est_j: f64,
     /// Exempt from injected chaos (used by bit-identity probe jobs).
     pub fault_immune: bool,
+    /// Routing pin: restricts the job to workers of one fleet device and
+    /// fixes the attempt's execution mode. `None` (the default) keeps the
+    /// legacy any-worker scheduling and per-worker default modes —
+    /// unplaced workloads are byte-identical to pre-routing builds.
+    pub placement: Option<Placement>,
 }
 
 impl Default for JobSpec {
@@ -108,6 +127,7 @@ impl Default for JobSpec {
             checkpoint_every: 4,
             energy_est_j: 0.0,
             fault_immune: false,
+            placement: None,
         }
     }
 }

@@ -23,6 +23,12 @@ pub struct ServeReport {
     /// The per-worker power traces integrated over each worker's
     /// lifetime — the independent ground truth the billing must match.
     pub trace_energy_j: f64,
+    /// Trace joules grouped by catalog device id (summed over every
+    /// worker advertising that id, sorted by id). Sums to
+    /// `trace_energy_j`; the fleet-routing gate reads placement quality
+    /// off this breakdown. Deliberately excluded from `ledger_digest` so
+    /// legacy digests are unchanged.
+    pub device_energy_j: Vec<(String, f64)>,
     /// End of the serve timeline (max worker clock), simulated seconds.
     pub wall_s: f64,
     /// Workers declared dead by the failure detector.
@@ -127,6 +133,9 @@ impl ServeReport {
         }
         for (tenant, j) in &self.tenant_energy_j {
             let _ = writeln!(s, "  tenant {tenant}: {j:.6e} J");
+        }
+        for (dev, j) in &self.device_energy_j {
+            let _ = writeln!(s, "  device {dev}: {j:.6e} J");
         }
         let _ = writeln!(
             s,

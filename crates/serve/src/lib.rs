@@ -33,6 +33,13 @@
 //!   tenant or to the idle bucket — and reconciled against the
 //!   independently integrated per-worker power traces to 1e-9
 //!   ([`ServeReport::reconciliation_error`]).
+//! - **Energy-aware routing** ([`Supervisor::submit_routed`]): the
+//!   greenup-driven [`Router`] pilots the job's scenario on every fleet
+//!   device (`gpu_sim::DeviceCatalog`), predicts per-device wall time
+//!   and energy off the billing meters themselves, and pins the job to
+//!   the cheapest-energy device that meets its latency SLO (fastest
+//!   device when none does). Unrouted submissions are byte-identical to
+//!   pre-routing builds.
 //!
 //! Everything is deterministic: scheduling is a single-threaded
 //! discrete-event loop with total tie ordering, and chaos comes from
@@ -43,9 +50,11 @@
 pub mod admission;
 pub mod job;
 pub mod ledger;
+pub mod routing;
 pub mod supervisor;
 
 pub use admission::AdmissionError;
-pub use job::{CancelReason, JobId, JobOutcome, JobRecord, JobSpec, Scenario};
+pub use job::{CancelReason, JobId, JobOutcome, JobRecord, JobSpec, Placement, Scenario};
 pub use ledger::ServeReport;
+pub use routing::{Router, RoutingDecision};
 pub use supervisor::{ServeConfig, Supervisor, WorkerSpec, SERVE_CHAOS_STREAM};

@@ -41,6 +41,7 @@ use powermon::{PowerTrace, ResilienceReport};
 use crate::admission::AdmissionError;
 use crate::job::{CancelReason, JobId, JobOutcome, JobRecord, JobSpec};
 use crate::ledger::ServeReport;
+use gpu_sim::DeviceCatalog;
 
 /// Chaos stream id for the supervisor's per-quantum fault draws (disjoint
 /// from the device fault streams and the retry jitter stream).
@@ -97,6 +98,10 @@ impl Default for ServeConfig {
 /// death time on the worker's clock.
 #[derive(Clone, Debug)]
 pub struct WorkerSpec {
+    /// Catalog device id this worker advertises (`gpu_sim::DeviceCatalog`)
+    /// — the key routed jobs are matched against, and the bucket its
+    /// energy lands under in `ServeReport::device_energy_j`.
+    pub device_id: String,
     /// Host CPU model.
     pub host: CpuSpec,
     /// GPU model, when the worker runs the offloaded path.
@@ -110,19 +115,31 @@ pub struct WorkerSpec {
 }
 
 impl WorkerSpec {
-    /// A CPU-only worker (serial E5-2670 host).
-    pub fn cpu() -> Self {
-        Self { host: CpuSpec::e5_2670(), gpu: None, gpu_fault_plan: None, die_at_s: None }
-    }
-
-    /// A GPU worker (E5-2670 host + K20, the paper's node).
-    pub fn k20_node() -> Self {
+    /// A worker realizing one catalog device: its host CPU, its GPU when
+    /// the spec carries one, and the catalog id routed jobs match on.
+    pub fn from_device(dev: &gpu_sim::DeviceSpec) -> Self {
         Self {
-            host: CpuSpec::e5_2670(),
-            gpu: Some(GpuSpec::k20()),
+            device_id: dev.id.clone(),
+            host: dev.host.clone(),
+            gpu: dev.gpu.clone(),
             gpu_fault_plan: None,
             die_at_s: None,
         }
+    }
+
+    /// A CPU-only worker (serial E5-2670 host) — the catalog's
+    /// `"cpu-e5-2670"` entry.
+    pub fn cpu() -> Self {
+        Self::from_device(&DeviceCatalog::get("cpu-e5-2670"))
+    }
+
+    /// A GPU worker (E5-2670 host + K20, the paper's node).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use WorkerSpec::from_device(&DeviceCatalog::get(\"k20\"))"
+    )]
+    pub fn k20_node() -> Self {
+        Self::from_device(&DeviceCatalog::get("k20"))
     }
 
     /// Scripts this worker to die once its clock reaches `t`.
@@ -314,11 +331,37 @@ impl Supervisor {
         Ok(id)
     }
 
+    /// Routes `spec` through the energy-aware router and submits it with
+    /// the resulting placement pinned: the job will only run on workers
+    /// advertising the routed catalog device, under the routed mode.
+    /// Admission control is unchanged; a rejected submission consumes
+    /// nothing (the routing decision is returned either way, inside the
+    /// error-free arm or discarded by the caller on rejection).
+    pub fn submit_routed(
+        &mut self,
+        router: &mut crate::routing::Router,
+        mut spec: JobSpec,
+    ) -> Result<(JobId, crate::routing::RoutingDecision), AdmissionError> {
+        let decision = router.route(&spec).map_err(|e| AdmissionError::Unroutable {
+            scenario: spec.scenario.name(),
+            error: e.to_string(),
+        })?;
+        spec.placement = Some(decision.placement.clone());
+        self.telemetry.counter_add(counters::JOBS_ROUTED, 1);
+        if decision.slo_forced {
+            self.telemetry.counter_add(counters::ROUTE_SLO_FORCED, 1);
+        }
+        self.telemetry.instant(Track::Serve, phases::JOB_ROUTED, spec.arrival_s);
+        let id = self.submit(spec)?;
+        Ok((id, decision))
+    }
+
     /// Drives every admitted job to a terminal state and returns the
     /// ledger. Deterministic for a fixed config + submission sequence.
     pub fn run_to_completion(&mut self) -> ServeReport {
         loop {
             self.process_deaths();
+            self.cancel_unplaceable();
             if self.jobs.iter().all(Job::terminal) {
                 break;
             }
@@ -340,24 +383,37 @@ impl Supervisor {
                 self.run_quantum(wid);
                 continue;
             }
-            // Everyone idle: advance the earliest worker to the next
-            // arrival, billing the wait to the unowned idle bucket.
-            let next_arrival = self
-                .pending
-                .iter()
-                .map(|&j| self.jobs[j].spec.arrival_s)
-                .min_by(f64::total_cmp);
-            let Some(t) = next_arrival else {
+            // Everyone idle: advance a *compatible* worker to the next
+            // arrival, billing the wait to the unowned idle bucket. A
+            // placed job only ever pulls a worker of its pinned device
+            // forward (the unplaceable sweep above guarantees one is
+            // alive); without placements this reduces to the legacy
+            // earliest-arrival / earliest-worker rule bit for bit.
+            let mut pick: Option<(f64, usize)> = None;
+            for &j in &self.pending {
+                let spec = &self.jobs[j].spec;
+                let wid = self
+                    .workers
+                    .iter()
+                    .filter(|w| w.alive && w.current.is_none())
+                    .filter(|w| {
+                        spec.placement.as_ref().is_none_or(|p| p.device_id == w.spec.device_id)
+                    })
+                    .min_by(|a, b| a.clock.total_cmp(&b.clock).then(a.id.cmp(&b.id)))
+                    .map(|w| w.id);
+                if let Some(wid) = wid {
+                    let better = pick.is_none_or(|(t, w)| {
+                        spec.arrival_s.total_cmp(&t).then(wid.cmp(&w)).is_lt()
+                    });
+                    if better {
+                        pick = Some((spec.arrival_s, wid));
+                    }
+                }
+            }
+            let Some((t, wid)) = pick else {
                 debug_assert!(false, "non-terminal jobs but nothing runnable");
                 break;
             };
-            let wid = self
-                .workers
-                .iter()
-                .filter(|w| w.alive && w.current.is_none())
-                .min_by(|a, b| a.clock.total_cmp(&b.clock).then(a.id.cmp(&b.id)))
-                .map(|w| w.id)
-                .expect("an alive worker exists");
             let w = &mut self.workers[wid];
             if t > w.clock {
                 self.idle_energy_j += (t - w.clock) * w.spec.idle_watts();
@@ -397,6 +453,29 @@ impl Supervisor {
         }
     }
 
+    /// Cancels pending *placed* jobs whose pinned device has no alive
+    /// worker left — no future dispatch could ever serve them, so they
+    /// terminate as `WorkerLost` (zero additional energy) instead of
+    /// wedging the event loop.
+    fn cancel_unplaceable(&mut self) {
+        let orphans: Vec<usize> = self
+            .pending
+            .iter()
+            .copied()
+            .filter(|&j| {
+                self.jobs[j].spec.placement.as_ref().is_some_and(|p| {
+                    !self.workers.iter().any(|w| w.alive && w.spec.device_id == p.device_id)
+                })
+            })
+            .collect();
+        for j in orphans {
+            self.pending.retain(|&x| x != j);
+            self.telemetry.gauge_set(gauges::SERVE_QUEUE_DEPTH, self.pending.len() as f64);
+            let t = self.wall_now();
+            self.finish(j, JobOutcome::Cancelled { reason: CancelReason::WorkerLost }, t);
+        }
+    }
+
     /// Cancels every non-terminal job once no worker survives.
     fn cancel_survivorless(&mut self) {
         for idx in 0..self.jobs.len() {
@@ -410,12 +489,17 @@ impl Supervisor {
     }
 
     /// The pending job an idle worker at `clock` should take: arrived,
-    /// highest priority first, then FIFO by arrival, then job id.
-    fn pick_pending(&self, clock: f64, min_priority: Option<u8>) -> Option<usize> {
+    /// compatible with the worker's device (a placed job only matches
+    /// workers advertising its pinned catalog id), highest priority
+    /// first, then FIFO by arrival, then job id.
+    fn pick_pending(&self, clock: f64, min_priority: Option<u8>, device: &str) -> Option<usize> {
         self.pending
             .iter()
             .copied()
             .filter(|&j| self.jobs[j].spec.arrival_s <= clock)
+            .filter(|&j| {
+                self.jobs[j].spec.placement.as_ref().is_none_or(|p| p.device_id == device)
+            })
             .filter(|&j| min_priority.is_none_or(|p| self.jobs[j].spec.priority > p))
             .min_by(|&a, &b| {
                 let (ja, jb) = (&self.jobs[a], &self.jobs[b]);
@@ -449,7 +533,11 @@ impl Supervisor {
         for wid in idle {
             loop {
                 let clock = self.workers[wid].clock;
-                let Some(job_idx) = self.pick_pending(clock, None) else { break };
+                let Some(job_idx) =
+                    self.pick_pending(clock, None, &self.workers[wid].spec.device_id)
+                else {
+                    break;
+                };
                 self.pending.retain(|&j| j != job_idx);
                 self.telemetry.gauge_set(gauges::SERVE_QUEUE_DEPTH, self.pending.len() as f64);
                 let spec = &self.jobs[job_idx].spec;
@@ -500,7 +588,10 @@ impl Supervisor {
         // Checkpoint-backed preemption: a strictly higher-priority
         // arrival evicts this job at the quantum boundary.
         let cur_priority = self.jobs[job_idx].spec.priority;
-        if self.pick_pending(clock, Some(cur_priority)).is_some() {
+        if self
+            .pick_pending(clock, Some(cur_priority), &self.workers[wid].spec.device_id)
+            .is_some()
+        {
             let mut attempt = running.attempt;
             if let Some(a) = attempt.as_mut() {
                 if let Err(e) =
@@ -651,20 +742,28 @@ impl Supervisor {
     fn build_attempt(&mut self, wid: usize, job_idx: usize) -> Result<Attempt, HydroError> {
         let w = &self.workers[wid];
         let offset = w.clock;
-        let exec = match &w.spec.gpu {
+        // A routed job carries the mode its winning pilot measured; an
+        // unplaced job keeps the worker's legacy default (the digest-
+        // stable path the serve-chaos CI lanes diff).
+        let placed_mode = self.jobs[job_idx].spec.placement.as_ref().map(|p| p.mode.clone());
+        let mut exec = match &w.spec.gpu {
             Some(gspec) => {
                 let gpu = Arc::new(GpuDevice::new(gspec.clone()));
                 if let Some(plan) = &w.spec.gpu_fault_plan {
                     gpu.set_fault_plan(plan.clone());
                 }
-                Executor::new(
-                    ExecMode::Gpu { base: false, gpu_pcg: false, mpi_queues: 1 },
-                    w.spec.host.clone(),
-                    Some(gpu),
-                )
+                // A placed CPU mode on a GPU node still carries the
+                // device: it idles for the attempt's duration and the
+                // idle joules are billed like any other worker idle time.
+                let mode = placed_mode
+                    .unwrap_or(ExecMode::Gpu { base: false, gpu_pcg: false, mpi_queues: 1 });
+                Executor::new(mode, w.spec.host.clone(), Some(gpu))
             }
-            None => Executor::new(ExecMode::CpuSerial, w.spec.host.clone(), None),
+            None => {
+                Executor::new(placed_mode.unwrap_or(ExecMode::CpuSerial), w.spec.host.clone(), None)
+            }
         };
+        exec.set_device_id(w.spec.device_id.clone());
         let job = &mut self.jobs[job_idx];
         let spec = &job.spec;
         let mut hydro = spec.scenario.build(spec.zones, spec.order, exec)?;
@@ -805,17 +904,17 @@ impl Supervisor {
         for (tenant, j) in &tenants {
             resilience.attribute_tenant_energy(tenant, *j);
         }
-        let trace_energy_j = self
-            .workers
-            .iter()
-            .map(|w| {
-                w.host_trace.energy(0.0, w.clock)
-                    + w.gpu_trace.as_ref().map_or(0.0, |t| t.energy(0.0, w.clock))
-            })
-            .sum();
+        let mut devices: BTreeMap<String, f64> = BTreeMap::new();
+        for w in &self.workers {
+            let joules = w.host_trace.energy(0.0, w.clock)
+                + w.gpu_trace.as_ref().map_or(0.0, |t| t.energy(0.0, w.clock));
+            *devices.entry(w.spec.device_id.clone()).or_insert(0.0) += joules;
+        }
+        let trace_energy_j = devices.values().sum();
         ServeReport {
             jobs: self.jobs.iter().map(|j| j.record.clone()).collect(),
             tenant_energy_j: tenants.into_iter().collect(),
+            device_energy_j: devices.into_iter().collect(),
             idle_energy_j: self.idle_energy_j,
             trace_energy_j,
             wall_s: self.wall_now(),
@@ -823,5 +922,33 @@ impl Supervisor {
             rejected: self.rejected,
             resilience,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The deprecated `k20_node()` preset must stay bitwise-identical to
+    /// the catalog entry it now delegates to.
+    #[test]
+    #[allow(deprecated)]
+    fn k20_node_delegates_to_the_catalog_entry() {
+        let old = WorkerSpec::k20_node();
+        let new = WorkerSpec::from_device(&DeviceCatalog::get("k20"));
+        assert_eq!(old.device_id, new.device_id);
+        assert_eq!(old.host, new.host);
+        assert_eq!(old.gpu, new.gpu);
+        assert!(old.gpu_fault_plan.is_none() && new.gpu_fault_plan.is_none());
+        assert!(old.die_at_s.is_none() && new.die_at_s.is_none());
+    }
+
+    /// `cpu()` advertises the catalog's CPU-only entry.
+    #[test]
+    fn cpu_preset_is_the_catalog_cpu_entry() {
+        let w = WorkerSpec::cpu();
+        assert_eq!(w.device_id, "cpu-e5-2670");
+        assert!(w.gpu.is_none());
+        assert_eq!(w.host, DeviceCatalog::host("cpu-e5-2670"));
     }
 }

@@ -55,6 +55,8 @@ pub mod phases {
     pub const JOB_FAILED: &str = "job_failed";
     /// Instant: the failure detector declared a worker dead.
     pub const WORKER_DEAD: &str = "worker_dead";
+    /// Instant: the energy-aware router placed a job on a fleet device.
+    pub const JOB_ROUTED: &str = "job_routed";
     /// Physics-invariant audit of a completed step (SDC detection).
     pub const SDC_AUDIT: &str = "sdc_audit";
     /// Instant: an audit tripped — silent corruption detected.
@@ -116,6 +118,14 @@ pub mod counters {
     pub const JOB_PREEMPTIONS: &str = "job_preemptions";
     /// Whole-job retry attempts after a fault death.
     pub const JOB_RETRIES: &str = "job_retries";
+    /// Jobs placed by the energy-aware router.
+    pub const JOBS_ROUTED: &str = "jobs_routed";
+    /// Routed jobs where the latency SLO forced a pick that was not the
+    /// cheapest-energy candidate.
+    pub const ROUTE_SLO_FORCED: &str = "route_slo_forced";
+    /// Host-calibration searches that found no usable multi-core sample
+    /// and silently kept the preset efficiency (see `host_speedup`).
+    pub const HOST_CALIBRATION_KEPT: &str = "host_calibration_kept";
     /// Deadline misses (a subset of `jobs_cancelled`).
     pub const DEADLINE_MISSES: &str = "deadline_misses";
     /// Workers declared dead by the supervisor's failure detector.

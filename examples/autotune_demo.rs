@@ -11,7 +11,8 @@ use blast_repro::autotune::Autotuner;
 use blast_repro::blast_kernels::k3::CoefGradKernel;
 use blast_repro::blast_kernels::k7::FzKernel;
 use blast_repro::blast_kernels::{GemmVariant, ProblemShape};
-use blast_repro::gpu_sim::{occupancy, GpuDevice, GpuSpec};
+use blast_repro::gpu_sim::{occupancy, GpuDevice};
+use gpu_sim::DeviceCatalog;
 
 fn tune_k3(dev: &GpuDevice, shape: &ProblemShape) -> (u32, Vec<(u32, f64)>) {
     let candidates: Vec<u32> = [1, 2, 4, 8, 16, 32, 64]
@@ -65,7 +66,7 @@ fn print_curve(name: &str, best: u32, curve: &[(u32, f64)]) {
 }
 
 fn main() {
-    let dev = GpuDevice::new(GpuSpec::k20());
+    let dev = GpuDevice::new(DeviceCatalog::gpu("k20"));
     for order in [2usize, 4] {
         let zones = if order == 2 { 4096 } else { 512 };
         let shape = ProblemShape::new(3, order, zones);

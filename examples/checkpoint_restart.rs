@@ -9,13 +9,14 @@
 use std::sync::Arc;
 
 use blast_repro::blast_core::{CheckpointPolicy, CheckpointStore, ExecMode, Executor, Hydro, RunConfig, Sedov};
-use blast_repro::gpu_sim::{CpuSpec, FaultKind, FaultPlan, GpuDevice, GpuSpec, FAULT_SEED_ENV};
+use blast_repro::gpu_sim::{CpuSpec, FaultKind, FaultPlan, GpuDevice, FAULT_SEED_ENV};
+use gpu_sim::DeviceCatalog;
 
 const T_FINAL: f64 = 0.1;
 const ZONES: usize = 8;
 
 fn fresh_hydro(plan: FaultPlan) -> Hydro<2> {
-    let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+    let dev = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
     dev.set_fault_plan(plan);
     let exec = Executor::new(
         ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 },

@@ -23,14 +23,14 @@ use blast_repro::blast_core::{
     RunConfig, Sedov,
 };
 use blast_repro::gpu_sim::{
-    derive_fault, CpuSpec, FaultKind, FaultPlan, GpuDevice, GpuSpec, SdcPlan, SdcSite,
+    derive_fault, CpuSpec, DeviceCatalog, FaultKind, FaultPlan, GpuDevice, SdcPlan, SdcSite,
     FAULT_SEED_ENV,
 };
 
 const T_FINAL: f64 = 0.1;
 
 fn run(label: &str, plan: FaultPlan) -> (HydroState, f64, f64, String) {
-    let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+    let dev = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
     dev.set_fault_plan(plan);
     let exec = Executor::new(
         ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 },
@@ -63,7 +63,7 @@ fn run(label: &str, plan: FaultPlan) -> (HydroState, f64, f64, String) {
 /// buffer, caught by the physics-invariant step audit and healed by
 /// rollback. Returns the final state plus the billed audit overhead.
 fn run_sdc(seed: u64) -> (HydroState, f64, f64) {
-    let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+    let dev = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
     let exec = Executor::new(
         ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 },
         CpuSpec::e5_2670(),

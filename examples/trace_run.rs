@@ -15,7 +15,8 @@ use std::sync::Arc;
 
 use blast_repro::blast_core::{ExecMode, Hydro, RunConfig, Sedov};
 use blast_repro::blast_telemetry::{chrome, Track};
-use blast_repro::gpu_sim::{GpuDevice, GpuSpec};
+use blast_repro::gpu_sim::GpuDevice;
+use gpu_sim::DeviceCatalog;
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "trace_run.json".into());
@@ -23,7 +24,7 @@ fn main() {
     // An instrumented hybrid run: the builder wires one telemetry sink
     // through the executor into the host device, the GPU, and the solver.
     let problem = Sedov::default();
-    let gpu = Arc::new(GpuDevice::new(GpuSpec::k20()));
+    let gpu = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
     let mut hydro = Hydro::<2>::builder(&problem, [8, 8])
         .order(2)
         .mode(ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 })

@@ -10,11 +10,12 @@
 use std::sync::Arc;
 
 use blast_repro::blast_core::{ExecMode, Executor, Hydro, HydroConfig, TriplePoint};
-use blast_repro::gpu_sim::{CpuSpec, GpuDevice, GpuSpec};
+use blast_repro::gpu_sim::{CpuSpec, GpuDevice};
+use gpu_sim::DeviceCatalog;
 
 fn run(mode: ExecMode, label: &str) -> (f64, f64, f64, f64) {
     let gpu = matches!(mode, ExecMode::Gpu { .. })
-        .then(|| Arc::new(GpuDevice::new(GpuSpec::k20())));
+        .then(|| Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20"))));
     let exec = Executor::new(mode, CpuSpec::e5_2670(), gpu);
     let problem = TriplePoint::default();
     let config = HydroConfig { order: 3, ..Default::default() };

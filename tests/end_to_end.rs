@@ -4,8 +4,9 @@
 use std::sync::Arc;
 
 use blast_repro::blast_core::{EnergyBreakdown, ExecMode, Executor, Hydro, RunConfig, Sedov, TriplePoint};
-use blast_repro::gpu_sim::{CpuSpec, GpuDevice, GpuSpec};
+use blast_repro::gpu_sim::{CpuSpec, GpuDevice};
 use blast_repro::powermon::{EnergyReport, Greenup};
+use gpu_sim::DeviceCatalog;
 
 fn cpu_exec() -> Executor {
     Executor::new(ExecMode::CpuParallel { threads: 8 }, CpuSpec::e5_2670(), None)
@@ -15,7 +16,7 @@ fn gpu_exec(mpi: u32) -> Executor {
     Executor::new(
         ExecMode::Gpu { base: false, gpu_pcg: false, mpi_queues: mpi },
         CpuSpec::e5_2670(),
-        Some(Arc::new(GpuDevice::new(GpuSpec::k20()))),
+        Some(Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")))),
     )
 }
 

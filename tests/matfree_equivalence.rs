@@ -20,7 +20,8 @@ use std::sync::Arc;
 use blast_repro::blast_core::{
     AssemblyMode, Checkpoint, ExecMode, Executor, Hydro, HydroError, HydroState, RunConfig, Sedov,
 };
-use blast_repro::gpu_sim::{CpuSpec, FaultKind, FaultPlan, GpuDevice, GpuSpec};
+use blast_repro::gpu_sim::{CpuSpec, FaultKind, FaultPlan, GpuDevice};
+use gpu_sim::DeviceCatalog;
 
 fn cpu_serial() -> Executor {
     Executor::new(ExecMode::CpuSerial, CpuSpec::e5_2670(), None)
@@ -155,7 +156,7 @@ fn matrix_free_gpu_degrades_to_cpu_bit_identically() {
         hydro.run(&mut state, RunConfig::to(0.05).max_steps(60)).unwrap();
         (hydro, state)
     }
-    let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+    let dev = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
     dev.set_fault_plan(FaultPlan::seeded(7).with_persistent(FaultKind::LaunchFail, 0));
     let gpu_exec = Executor::new(
         ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 },
@@ -175,7 +176,7 @@ fn matrix_free_gpu_degrades_to_cpu_bit_identically() {
 /// produces the same physics as the matrix-free CPU run.
 #[test]
 fn matrix_free_gpu_matches_cpu() {
-    let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+    let dev = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
     let exec = Executor::new(
         ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 },
         CpuSpec::e5_2670(),
@@ -219,7 +220,7 @@ fn ceiling_straddle_stored_ooms_matrix_free_runs() {
     // Capacity strictly between the two footprints.
     let cap = req.matrix_free + (req.stored - req.matrix_free) / 2;
     let gpu_exec = || {
-        let mut spec = GpuSpec::k20();
+        let mut spec = DeviceCatalog::gpu("k20");
         spec.dram_capacity = cap;
         Executor::new(
             ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 },

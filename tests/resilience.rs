@@ -8,16 +8,17 @@ use std::sync::Arc;
 
 use blast_repro::blast_core::{ExecMode, Executor, Hydro, HydroConfig, HydroState, RunConfig, Sedov};
 use blast_repro::gpu_sim::{
-    CpuSpec, FaultKind, FaultPlan, GpuDevice, GpuSpec, RetryPolicy,
+    CpuSpec, FaultKind, FaultPlan, GpuDevice, RetryPolicy,
 };
 use proptest::prelude::*;
+use gpu_sim::DeviceCatalog;
 
 fn cpu_exec() -> Executor {
     Executor::new(ExecMode::CpuSerial, CpuSpec::e5_2670(), None)
 }
 
 fn gpu_exec_with(plan: FaultPlan) -> Executor {
-    let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+    let dev = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
     dev.set_fault_plan(plan);
     Executor::new(
         ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 },
@@ -133,7 +134,7 @@ fn transient_faults_are_retried_with_identical_physics() {
 fn disabled_fault_plan_changes_nothing() {
     let (h_default, s_default, _) = sedov_run(gpu_exec_with(FaultPlan::none()));
 
-    let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+    let dev = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
     // Never touched set_fault_plan at all.
     let exec = Executor::new(
         ExecMode::Gpu { base: false, gpu_pcg: true, mpi_queues: 1 },
@@ -257,7 +258,7 @@ proptest! {
 
 #[test]
 fn retry_policy_off_makes_first_fault_terminal() {
-    let dev = Arc::new(GpuDevice::new(GpuSpec::k20()));
+    let dev = Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20")));
     dev.set_fault_plan(FaultPlan::seeded(1).with_transient(FaultKind::LaunchFail, 0));
     dev.set_retry_policy(RetryPolicy::no_retries());
     let exec = Executor::new(

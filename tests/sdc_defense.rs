@@ -200,6 +200,7 @@ fn serve_sdc_chaos_band_upholds_the_contract() {
                 checkpoint_every: 3,
                 energy_est_j: 1.0,
                 fault_immune: false,
+                placement: None,
             })
             .expect("submission admitted");
         }

@@ -20,7 +20,7 @@ use blast_repro::blast_serve::{
 };
 use blast_repro::blast_telemetry::names::counters;
 use blast_repro::gpu_sim::fault::fault_seed_from_env;
-use blast_repro::gpu_sim::{FaultKind, FaultPlan, RetryPolicy, FAULT_SEED_ENV};
+use blast_repro::gpu_sim::{DeviceCatalog, FaultKind, FaultPlan, RetryPolicy, FAULT_SEED_ENV};
 
 /// Relative tolerance of the energy reconciliation gate — the solver-wide
 /// band named once in `blast-core`.
@@ -67,7 +67,7 @@ fn fault_storm_every_job_reaches_a_terminal_state() {
         ..ServeConfig::default()
     };
     let workers = vec![
-        WorkerSpec::k20_node(),
+        WorkerSpec::from_device(&DeviceCatalog::get("k20")),
         WorkerSpec::cpu(),
         WorkerSpec::cpu().dying_at(2e-3),
     ];
@@ -138,7 +138,7 @@ fn fault_storm_every_job_reaches_a_terminal_state() {
     let mut sup2 = Supervisor::new(
         cfg2,
         vec![
-            WorkerSpec::k20_node(),
+            WorkerSpec::from_device(&DeviceCatalog::get("k20")),
             WorkerSpec::cpu(),
             WorkerSpec::cpu().dying_at(2e-3),
         ],
@@ -420,7 +420,8 @@ fn device_fault_storm_degrades_to_cpu_and_completes() {
     let seed = serve_seed();
     let plan = FaultPlan::seeded(seed).with_persistent(FaultKind::EccError, 0);
     let cfg = ServeConfig { seed, ..ServeConfig::default() };
-    let mut sup = Supervisor::new(cfg, vec![WorkerSpec::k20_node().with_gpu_faults(plan)]);
+    let k20 = WorkerSpec::from_device(&DeviceCatalog::get("k20"));
+    let mut sup = Supervisor::new(cfg, vec![k20.with_gpu_faults(plan)]);
     let id = sup
         .submit(JobSpec {
             tenant: "deg".to_string(),

@@ -8,13 +8,14 @@ use std::sync::Arc;
 
 use blast_repro::blast_core::{ExecMode, Hydro, RunConfig, Sedov};
 use blast_repro::blast_telemetry::{chrome, names, EventKind, Track};
-use blast_repro::gpu_sim::{GpuDevice, GpuSpec};
+use blast_repro::gpu_sim::GpuDevice;
+use gpu_sim::DeviceCatalog;
 
 fn instrumented_run(mode: ExecMode, gpu: bool) -> Hydro<2> {
     let problem = Sedov::default();
     let mut b = Hydro::<2>::builder(&problem, [6, 6]).mode(mode);
     if gpu {
-        b = b.gpu(Arc::new(GpuDevice::new(GpuSpec::k20())));
+        b = b.gpu(Arc::new(GpuDevice::new(DeviceCatalog::gpu("k20"))));
     }
     let mut hydro = b.build().expect("setup");
     let mut state = hydro.initial_state();
